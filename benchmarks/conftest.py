@@ -1,0 +1,37 @@
+"""Benchmark-suite configuration.
+
+Every figure benchmark regenerates its paper figure at ``BENCH_SCALE``
+(env ``SUPERPIN_BENCH_SCALE``, default 0.25: a quarter of the paper-scale
+durations, which preserves every shape while keeping the suite fast).
+Rendered figures are written to ``benchmarks/results/`` and printed, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+report.  Full-scale figures: ``superpin figure all --scale 1.0``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("SUPERPIN_BENCH_SCALE", "0.25"))
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def save_figure():
+    """Write a rendered figure to benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+    return _save

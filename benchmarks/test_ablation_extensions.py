@@ -1,0 +1,76 @@
+"""Ablation: the paper's §8 future-work optimizations, quantified.
+
+The paper proposes two follow-ups and predicts their effect; both are
+implemented behind switches, so this bench measures exactly the claims:
+
+* **adaptive timeslice throttling** — "decrease the timeslice size
+  toward the end of application execution" to attack the pipeline
+  delay;
+* **shared code cache** — "share the code cache across all timeslices"
+  to attack the compilation slowdown, at the price of per-trace
+  consistency checks.
+"""
+
+from repro.harness import format_table
+from repro.machine import Kernel
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import ICount2
+from repro.workloads import build
+
+
+def _run(program, **kwargs):
+    config = SuperPinConfig(spmsec=2000, **kwargs)
+    return run_superpin(program, ICount2(), config, kernel=Kernel(seed=42))
+
+
+def test_future_work_optimizations(benchmark, bench_scale, save_figure):
+    scale = max(bench_scale, 0.25)
+    built = build("gcc", scale=scale)
+    expected_msec = int(built.spec.duration * scale * 1000)
+
+    def run_all():
+        return {
+            "baseline": _run(built.program),
+            "adaptive": _run(built.program, spadaptive=True,
+                             expected_duration_msec=expected_msec),
+            "shared cache": _run(built.program, spsharedcache=True),
+            "both": _run(built.program, spadaptive=True,
+                         expected_duration_msec=expected_msec,
+                         spsharedcache=True),
+        }
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for label, report in reports.items():
+        timing = report.timing
+        rows.append([
+            label,
+            report.num_slices,
+            round(timing.slowdown, 2),
+            round(timing.pipeline_cycles / timing.native_cycles * 100, 1),
+            round(timing.sleep_cycles / timing.native_cycles * 100, 1),
+            sum(s.compiled_ins for s in report.slices),
+        ])
+    table = format_table(
+        ["config", "slices", "slowdown_x", "pipeline_%", "sleep_%",
+         "compiled_ins"], rows)
+    save_figure("ablation_extensions",
+                "Ablation: paper §8 future-work optimizations (gcc)\n\n"
+                + table)
+
+    base = reports["baseline"].timing
+    adaptive = reports["adaptive"].timing
+    shared = reports["shared cache"].timing
+    both = reports["both"].timing
+
+    # Everything stays exact.
+    assert all(r.all_exact for r in reports.values())
+    # Adaptive throttling cuts the pipeline delay substantially.
+    assert adaptive.pipeline_cycles < 0.5 * base.pipeline_cycles
+    # The shared cache cuts total runtime (compilation slowdown).
+    assert shared.total_cycles < base.total_cycles
+    # Combining both beats the baseline and each single optimization.
+    assert both.total_cycles < base.total_cycles
+    assert both.total_cycles <= adaptive.total_cycles + 1e-6
+    assert both.total_cycles <= shared.total_cycles + 1e-6

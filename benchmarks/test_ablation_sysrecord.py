@@ -1,0 +1,57 @@
+"""Ablation: syscall record-and-playback vs fork-on-every-syscall.
+
+Paper §4.2: "applications such as gcc will allocate and deallocate
+memory far too frequently.  As a result, the overhead induced by forking
+becomes unacceptable.  For these instances, we have implemented a
+record-and-playback mechanism."  The ablation disables recording
+(``-spsysrecs 0``) and measures the slice-count and runtime blow-up on a
+syscall-heavy workload.
+"""
+
+from repro.harness import format_table
+from repro.machine import Kernel
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import ICount2
+from repro.workloads import build
+
+
+def _run(spsysrecs: int, scale: float):
+    built = build("twolf", scale=scale)  # time+getrandom cadence
+    config = SuperPinConfig(spmsec=2000, spsysrecs=spsysrecs)
+    report = run_superpin(built.program, ICount2(), config,
+                          kernel=Kernel(seed=42))
+    return report
+
+
+def test_record_playback_vs_forcing(benchmark, bench_scale, save_figure):
+    scale = min(bench_scale, 0.25)
+    with_recording = benchmark.pedantic(
+        lambda: _run(1000, scale), rounds=1, iterations=1)
+    forcing = _run(0, scale)
+
+    rows = []
+    for label, report in (("spsysrecs=1000", with_recording),
+                          ("spsysrecs=0", forcing)):
+        timing = report.timing
+        rows.append([
+            label, report.num_slices,
+            round(timing.slowdown, 2),
+            round(timing.fork_others_cycles / timing.native_cycles * 100,
+                  1),
+        ])
+    table = format_table(
+        ["config", "slices", "slowdown_x", "fork_others_%"], rows)
+    save_figure("ablation_sysrecord",
+                "Ablation: record/playback vs fork-per-syscall\n\n"
+                + table)
+
+    # Both are exact; the difference is pure overhead.
+    assert with_recording.all_exact and forcing.all_exact
+    # Disabling recording multiplies the slice count...
+    assert forcing.num_slices > 2 * with_recording.num_slices
+    assert forcing.num_slices - with_recording.num_slices >= 10
+    # ...and the fork-dominated overhead.
+    assert forcing.timing.fork_others_cycles \
+        > 1.5 * with_recording.timing.fork_others_cycles
+    assert forcing.timing.total_cycles \
+        > with_recording.timing.total_cycles

@@ -1,0 +1,33 @@
+"""Figure 3: icount1 — Pin and SuperPin runtime relative to native.
+
+Paper: average Pin slowdown ~12X across SPEC2000; SuperPin dramatically
+lower.  The bench regenerates the full 26-benchmark series and asserts
+the headline shape.
+"""
+
+from repro.harness import figure3, render_figure
+
+
+def test_figure3(benchmark, bench_scale, save_figure):
+    data = benchmark.pedantic(
+        lambda: figure3(scale=bench_scale), rounds=1, iterations=1)
+    save_figure("fig3_icount1", render_figure(data))
+
+    avg_pin, avg_sp = data.row("AVG")[1], data.row("AVG")[2]
+    # Paper: ~1200% average for Pin (we land in the same band).
+    assert 800 <= avg_pin <= 1600
+    # SuperPin improves every benchmark; by a large factor wherever the
+    # run is long enough to amortize the pipeline delay (the paper makes
+    # the same caveat for short executions).
+    from repro.workloads import SPEC2000
+    for row in data.rows:
+        name, pin_pct, sp_pct = row
+        if name == "AVG":
+            continue
+        assert sp_pct < pin_pct, name
+        if SPEC2000[name].duration * bench_scale >= 10:
+            assert sp_pct < pin_pct / 2.5, name
+    # gcc is among the most expensive SuperPin benchmarks (big footprint).
+    gcc_sp = data.row("gcc")[2]
+    others = [row[2] for row in data.rows if row[0] not in ("gcc", "AVG")]
+    assert gcc_sp > sorted(others)[len(others) // 2]

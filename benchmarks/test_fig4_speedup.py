@@ -1,0 +1,30 @@
+"""Figure 4: icount1 — SuperPin speedup over Pin.
+
+Paper: 3X to over 7X across the suite (one 11.2X outlier driven by cache
+locality effects our model does not reward).  Shares its runs with the
+Figure 3 bench through the harness cache.
+"""
+
+from repro.harness import figure4, render_figure
+
+
+def test_figure4(benchmark, bench_scale, save_figure):
+    data = benchmark.pedantic(
+        lambda: figure4(scale=bench_scale), rounds=1, iterations=1)
+    save_figure("fig4_speedup", render_figure(data))
+
+    speedups = {row[0]: row[1] for row in data.rows}
+    avg = speedups.pop("AVG")
+    assert 3.0 <= avg <= 8.0
+    # Every benchmark wins; long-enough runs win by a multiple (short
+    # scaled runs are pipeline-delay bound, the paper's own caveat).
+    from repro.workloads import SPEC2000
+    assert all(s > 1.0 for s in speedups.values())
+    assert all(s >= 2.5 for name, s in speedups.items()
+               if SPEC2000[name].duration * bench_scale >= 10)
+    assert max(speedups.values()) >= 5.0
+    # Long low-syscall FP codes amortize the pipeline best: the top
+    # speedups come from that group (paper's shape).
+    top = sorted(speedups, key=speedups.get, reverse=True)[:5]
+    from repro.workloads import FLOATING_POINT
+    assert sum(1 for name in top if name in FLOATING_POINT) >= 3

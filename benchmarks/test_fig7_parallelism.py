@@ -1,0 +1,36 @@
+"""Figure 7: gcc — impact of available processor parallelism.
+
+Paper: sweeping the maximum number of running slices from 1 to 16 on an
+8-way SMP with hyperthreading shows dramatic improvement up to the
+physical CPU count and modest hyperthreading gains beyond it, at which
+point execution is application-limited.
+"""
+
+from repro.harness import figure7, render_figure
+
+
+def test_figure7(benchmark, bench_scale, save_figure):
+    scale = max(bench_scale, 0.5)
+    data = benchmark.pedantic(
+        lambda: figure7(scale=scale, max_slices=(1, 2, 4, 8, 12, 16)),
+        rounds=1, iterations=1)
+    save_figure("fig7_parallelism", render_figure(data))
+
+    runtimes = dict(zip(data.column("max_slices"),
+                        data.column("runtime_s")))
+    native = data.rows[0][2]
+
+    # Monotone improvement with more slices.
+    ordered = [runtimes[n] for n in (1, 2, 4, 8, 12, 16)]
+    assert ordered == sorted(ordered, reverse=True)
+    # spmp=1 is within a factor of ~2 of doubling per step early on:
+    # near-linear scaling while CPU-limited.
+    assert runtimes[1] / runtimes[2] > 1.6
+    assert runtimes[2] / runtimes[4] > 1.5
+    # Dramatic gains to 8 physical CPUs...
+    assert runtimes[1] / runtimes[8] > 4.0
+    # ...but modest hyperthreading gains from 8 to 16 (paper: the master
+    # shares its core, so it is not quite real time).
+    assert 1.0 <= runtimes[8] / runtimes[16] < 1.5
+    # At 16 slices gcc approaches (but does not reach) native speed.
+    assert 1.0 < runtimes[16] / native < 3.2

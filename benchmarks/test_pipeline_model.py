@@ -1,0 +1,53 @@
+"""§3's closed-form pipeline-delay model vs the event simulation.
+
+Paper: "If the system is fully loaded, this will take an extra N*s
+seconds to finish ... If it is not fully loaded, it will take an extra
+(F+1)s seconds, where F is the maximum number of simultaneous slices."
+The simulated drain should track the appropriate formula within a small
+factor across instrumentation intensities.
+"""
+
+from repro.harness import format_table
+from repro.machine import Kernel
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import ICount1, ICount2
+from repro.workloads import build
+
+
+def _pipeline(tool_cls, spmsec):
+    built = build("swim", scale=0.25)  # long, syscall-free
+    config = SuperPinConfig(spmsec=spmsec)
+    report = run_superpin(built.program, tool_cls(), config,
+                          kernel=Kernel(seed=42))
+    timing = report.timing
+    return config, timing
+
+
+def test_pipeline_delay_tracks_paper_formula(benchmark, save_figure):
+    rows = []
+
+    def collect():
+        for tool_cls, label in ((ICount2, "light (icount2)"),
+                                (ICount1, "heavy (icount1)")):
+            for spmsec in (1000, 2000):
+                config, timing = _pipeline(tool_cls, spmsec)
+                s = config.timeslice_cycles
+                f = max(1, timing.max_concurrent_slices)
+                formula = (f + 1) * s
+                rows.append([label, spmsec, f,
+                             round(timing.pipeline_cycles / s, 2),
+                             round(formula / s, 2)])
+        return rows
+
+    benchmark.pedantic(collect, rounds=1, iterations=1)
+    table = format_table(
+        ["instrumentation", "spmsec", "F", "measured_tail_slices",
+         "(F+1)"], rows)
+    save_figure("pipeline_model",
+                "Pipeline-delay model check (paper SS3)\n\n" + table)
+
+    for label, spmsec, f, measured, formula in rows:
+        # The measured drain, expressed in timeslices, tracks (F+1)
+        # within a factor accounting for instrumented slice slowdown.
+        assert measured <= formula * 4.0
+        assert measured >= 0.5

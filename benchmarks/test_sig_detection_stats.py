@@ -1,0 +1,24 @@
+"""§4.4 statistics: signature detection check rates.
+
+Paper: "Only about 2% of the time does the quick detector trigger a full
+architectural state check.  A stack check is usually only called once
+and succeeds."
+"""
+
+from repro.harness import render_figure, signature_stats
+
+
+def test_signature_statistics(benchmark, bench_scale, save_figure):
+    data = benchmark.pedantic(
+        lambda: signature_stats(scale=min(bench_scale, 0.5)),
+        rounds=1, iterations=1)
+    save_figure("sig_detection_stats", render_figure(data))
+
+    total = data.row("TOTAL")
+    quick, full, rate_pct, stack = total[1], total[2], total[3], total[4]
+    assert quick > 5_000
+    # The quick check filters out the overwhelming majority of visits.
+    assert 0.0 < rate_pct < 8.0
+    # Stack checks are rare: at most a couple per full check that
+    # reached a register match.
+    assert stack <= full

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Data-cache simulation under SuperPin (the paper's §5.2 SuperTool).
+
+Cache simulation has *cross-slice dependences*: whether an access hits
+depends on what earlier slices left in the cache.  The paper's recipe —
+assume, track, reconcile at merge time — makes a direct-mapped simulator
+sliceable with zero loss.  This example drives the shipped dcache tool
+over the memory-bound ``mcf`` workload in both modes and shows:
+
+* identical hit/miss totals (the reconciliation is exact), and
+* the simulated-time win from parallelizing an expensive tool.
+
+Run:  python examples/dcache_simulation.py
+"""
+
+from repro.harness import format_table
+from repro.machine import Kernel
+from repro.pin import run_with_pin
+from repro.sched import CostModel, DEFAULT_COST_MODEL
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import DCacheSim
+from repro.workloads import build
+
+
+def main() -> None:
+    built = build("mcf", scale=0.2)
+    print(f"workload: mcf (scale 0.2) — pointer-chasing, "
+          f"{built.spec.working_set} words of working set\n")
+
+    geometries = [(256, 8), (64, 4), (16, 2)]
+    rows = []
+    for sets, line_words in geometries:
+        pin_tool = DCacheSim(sets=sets, line_words=line_words)
+        pin_result, vm, _ = run_with_pin(built.program, pin_tool,
+                                         Kernel(seed=42))
+
+        sp_tool = DCacheSim(sets=sets, line_words=line_words)
+        report = run_superpin(built.program, sp_tool,
+                              SuperPinConfig(spmsec=1000),
+                              kernel=Kernel(seed=42))
+
+        exact = (pin_tool.total_hits == sp_tool.total_hits
+                 and pin_tool.total_misses == sp_tool.total_misses)
+        cost = DEFAULT_COST_MODEL
+        pin_cycles = cost.pin_cycles(
+            pin_result.instructions, pin_result.syscalls,
+            pin_result.traces_executed, pin_result.analysis_calls,
+            pin_result.inline_checks, vm.cache.stats.compiles,
+            vm.cache.stats.compiled_ins)
+        speedup = pin_cycles / report.timing.total_cycles
+        rows.append([
+            f"{sets}x{line_words}",
+            sp_tool.total_hits, sp_tool.total_misses,
+            f"{sp_tool.miss_rate:.2%}",
+            "yes" if exact else "NO",
+            report.num_slices,
+            f"{speedup:.2f}x",
+        ])
+        assert exact, "reconciliation must be lossless"
+
+    print(format_table(
+        ["cache", "hits", "misses", "miss_rate", "pin==superpin",
+         "slices", "speedup_vs_pin"], rows))
+    print("\nreconciliation recipe (paper §4.5/§5.2): each slice assumes "
+          "its first access per set hits,\nrecords the assumed line, and "
+          "the slice-ordered merge converts wrong assumptions into "
+          "misses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+; Hello-world for the toy ISA, runnable via:
+;   superpin asm examples/hello.s
+;   superpin asm examples/hello.s -t icount1
+.entry main
+main:
+    li   a0, SYS_WRITE
+    li   a1, FD_STDOUT
+    la   a2, msg
+    li   a3, 14
+    syscall
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+.data
+msg: .ascii "hello, world!\n"

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""SuperPin over a multithreaded guest (the paper's §8 goal).
+
+The paper's final future-work item: "we would like to provide
+multithreading support to our implementation.  Though this will require
+deterministic replay of threads..."  The reproduction provides exactly
+that for cooperative threads: switch points are architectural events, so
+the interleaving replays deterministically inside every slice.
+
+The guest below is a producer/consumer pipeline: a producer thread fills
+a ring buffer, two consumer threads drain it, and main joins everyone.
+SuperPin slices the whole thing mid-thread and still merges exact
+results.
+
+Run:  python examples/multithreaded.py
+"""
+
+from repro.isa import assemble
+from repro.machine import Kernel, load_program
+from repro.machine.interpreter import Interpreter
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import ICount2
+
+GUEST = """
+.equ RING, 0x7000
+.equ COUNT, 4000
+
+.entry main
+main:
+    li   a0, SYS_THREAD_CREATE
+    la   a1, producer
+    li   a2, COUNT
+    syscall
+    mov  s0, rv
+    li   a0, SYS_THREAD_CREATE
+    la   a1, consumer
+    li   a2, 0              ; consumer id 0: even slots
+    syscall
+    mov  s1, rv
+    li   a0, SYS_THREAD_CREATE
+    la   a1, consumer
+    li   a2, 1              ; consumer id 1: odd slots
+    syscall
+    mov  s2, rv
+    li   a0, SYS_THREAD_JOIN
+    mov  a1, s0
+    syscall
+    li   a0, SYS_THREAD_JOIN
+    mov  a1, s1
+    syscall
+    mov  s3, rv
+    li   a0, SYS_THREAD_JOIN
+    mov  a1, s2
+    syscall
+    add  s3, s3, rv         ; total consumed
+    li   a0, SYS_EXIT
+    mov  a1, s3
+    syscall
+
+producer:                   ; fill RING[0..COUNT) with i*2, yield often
+    mov  t0, a0
+    li   t1, 0
+pl: shli t2, t1, 1
+    st   t2, RING(t1)
+    inc  t1
+    andi t3, t1, 127
+    bnez t3, pn
+    push t0
+    push t1
+    li   a0, SYS_YIELD
+    syscall
+    pop  t1
+    pop  t0
+pn: blt  t1, t0, pl
+    li   rv, 0
+    ret
+
+consumer:                   ; sum RING slots with parity a0 (mod 2^16)
+    mov  t5, a0             ; parity
+    li   t0, 0
+    li   t6, 0
+cl: andi t1, t0, 1
+    bne  t1, t5, cs
+    ld   t2, RING(t0)
+    add  t6, t6, t2
+cs: inc  t0
+    andi t3, t0, 255
+    bnez t3, cn
+    push t5
+    push t0
+    push t6
+    li   a0, SYS_YIELD
+    syscall
+    pop  t6
+    pop  t0
+    pop  t5
+cn: li   t4, COUNT
+    blt  t0, t4, cl
+    andi rv, t6, 0xffff
+    ret
+"""
+
+
+def main() -> None:
+    program = assemble(GUEST, name="producer-consumer")
+
+    # Native reference.
+    kernel = Kernel(seed=11)
+    process = load_program(program, kernel)
+    interp = Interpreter(process)
+    interp.run(max_instructions=20_000_000)
+    manager = process.thread_manager
+    print(f"native:   exit={process.exit_code}, "
+          f"{interp.total_instructions} instructions, "
+          f"{manager.context_switches} context switches, "
+          f"{len(manager.threads)} threads")
+
+    # SuperPin.
+    tool = ICount2()
+    config = SuperPinConfig(spmsec=500)
+    report = run_superpin(program, tool, config, kernel=Kernel(seed=11))
+    timing = report.timing
+    boundary_threads = [b.thread_fork.current_tid
+                        for b in report.timeline.boundaries]
+    print(f"superpin: exit={report.exit_code}, icount={tool.total}, "
+          f"{report.num_slices} slices (all exact: {report.all_exact})")
+    print(f"          boundary fell in thread: {boundary_threads}")
+    print(f"          slowdown {timing.slowdown:.2f}x on the 8-way "
+          f"machine model")
+
+    assert tool.total == interp.total_instructions
+    assert report.exit_code == process.exit_code
+    print("\nthe deterministic interleaving replayed exactly in every "
+          "slice —\nslices forked mid-thread detect their signatures and "
+          "merge losslessly.")
+
+
+if __name__ == "__main__":
+    main()

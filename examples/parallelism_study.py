@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Mini replication of the paper's §6.1/§6.2 sensitivity studies.
+
+Sweeps the two SuperPin scheduling knobs on the gcc workload:
+
+* the timeslice interval (``-spmsec``, Figure 6) with the four-way
+  runtime breakdown, and
+* the maximum number of running slices (``-spmp``, Figure 7) on the
+  8-way + hyperthreading machine model.
+
+Runs at a reduced scale so it finishes in seconds; the full-scale
+figures come from ``superpin figure 6`` / ``superpin figure 7``.
+
+Run:  python examples/parallelism_study.py
+"""
+
+from repro.harness import run_benchmark, format_table, stacked_chart
+from repro.sched import MachineModel
+from repro.superpin import SuperPinConfig
+
+SCALE = 0.3
+
+
+def timeslice_study() -> None:
+    print("=== timeslice interval (gcc + icount1, cf. Figure 6) ===\n")
+    labels, series = [], {"native": [], "fork_others": [], "sleep": [],
+                          "pipeline": []}
+    rows = []
+    for seconds in (0.5, 1.0, 2.0, 4.0):
+        config = SuperPinConfig(spmsec=int(seconds * 1000))
+        run = run_benchmark("gcc", tool="icount1", scale=SCALE,
+                            config=config)
+        timing = run.timing
+        to_s = 1.0 / config.clock_hz
+        breakdown = {k: v * to_s for k, v in timing.breakdown().items()}
+        labels.append(f"{seconds}s")
+        for key in series:
+            series[key].append(breakdown[key])
+        rows.append([seconds, run.superpin.num_slices,
+                     round(sum(breakdown.values()), 1)])
+    print(format_table(["timeslice_s", "slices", "total_s"], rows))
+    print()
+    print(stacked_chart(labels, series))
+    print()
+
+
+def parallelism_study() -> None:
+    print("=== max running slices (gcc + icount1, cf. Figure 7) ===\n")
+    rows = []
+    for spmp in (1, 2, 4, 8, 16):
+        config = SuperPinConfig(spmsec=2000, spmp=spmp)
+        run = run_benchmark("gcc", tool="icount1", scale=SCALE,
+                            config=config)
+        to_s = 1.0 / config.clock_hz
+        rows.append([spmp,
+                     round(run.timing.total_cycles * to_s, 1),
+                     round(run.timing.slowdown, 2),
+                     run.timing.max_concurrent_slices])
+    print(format_table(["spmp", "runtime_s", "vs_native", "max_conc"],
+                       rows))
+    print("\nno hyperthreading for comparison (8 CPUs only):")
+    config = SuperPinConfig(spmsec=2000, spmp=16)
+    run = run_benchmark("gcc", tool="icount1", scale=SCALE, config=config,
+                        machine=MachineModel(hyperthreading=False))
+    to_s = 1.0 / config.clock_hz
+    print(f"  spmp=16, no-HT: {run.timing.total_cycles * to_s:.1f}s "
+          f"({run.timing.slowdown:.2f}x native)")
+
+
+if __name__ == "__main__":
+    timeslice_study()
+    parallelism_study()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Shadow-Profiler-style sampling with SP_EndSlice.
+
+The paper cites the Shadow Profiler [Moseley et al. 2007] as the
+flagship user of ``SP_EndSlice``: it instruments only a *prefix* of each
+timeslice, then kills the slice, trading profile coverage for overhead.
+This example sweeps the sample-length knob on the ``crafty`` workload
+and reports coverage vs instrumented work — the sampling trade-off curve.
+
+Run:  python examples/shadow_profiler.py
+"""
+
+from repro.harness import format_table
+from repro.machine import Kernel
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import SampledProfiler
+from repro.workloads import build
+
+
+def main() -> None:
+    built = build("crafty", scale=0.2)
+    program = built.program
+    config = SuperPinConfig(spmsec=1000)
+
+    rows = []
+    full_profile = None
+    for sample_len in (0, 200, 1000, 5000):
+        if sample_len == 0:
+            # Full (unsampled) profiling for reference: a huge sample cap
+            # means no slice ends early.
+            tool = SampledProfiler(sample_instructions=10 ** 12)
+            label = "full"
+        else:
+            tool = SampledProfiler(sample_instructions=sample_len)
+            label = f"{sample_len}/slice"
+        report = run_superpin(program, tool, config, kernel=Kernel(seed=42))
+        total = report.timeline.total_instructions
+        executed = sum(r.instructions for r in report.slices)
+        if full_profile is None:
+            full_profile = tool.profile
+        overlap = _hot_overlap(full_profile, tool.profile, k=3)
+        rows.append([
+            label,
+            tool.total_samples,
+            f"{tool.total_samples / total:.1%}",
+            f"{executed / total:.2f}x",
+            f"{overlap}/3",
+        ])
+
+    print(f"workload: crafty (scale 0.2), "
+          f"{built.spec.n_funcs} functions, "
+          f"{len(full_profile)} profiled sites\n")
+    print(format_table(
+        ["sampling", "samples", "coverage", "slice_work_vs_native",
+         "top3_overlap"], rows))
+    print("\neven small per-slice samples recover the hottest functions "
+          "while executing a fraction\nof the instrumented work — the "
+          "Shadow Profiling premise, built on SP_EndSlice.")
+
+
+def _hot_overlap(reference: dict, sampled: dict, k: int) -> int:
+    """How many of the reference's top-k functions the sample found."""
+    top_ref = {fn for fn, _ in
+               sorted(reference.items(), key=lambda kv: -kv[1])[:k]}
+    top_sample = {fn for fn, _ in
+                  sorted(sampled.items(), key=lambda kv: -kv[1])[:k]}
+    return len(top_ref & top_sample)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+::
+
+    superpin run -t icount2 -w gzip -- -sp 1 -spmsec 1000 -spmp 8
+    superpin figure 3 [--scale 1.0] [--benchmarks gzip,gcc]
+    superpin figure all
+    superpin list
+    superpin asm program.s [--tool icount2]
+
+``superpin run`` mirrors the paper's invocation style: everything after
+``--`` is parsed as SuperPin switches (§5's -sp/-spmsec/-spmp/-spsysrecs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness.figures import FIGURES
+from .harness.report import render_figure
+from .machine import Kernel, load_program
+from .machine.interpreter import Interpreter
+from .pin.pintool import run_with_pin
+from .superpin import parse_switches, run_superpin, SuperPinConfig
+from .tools import TOOLS
+from .workloads import BENCHMARK_NAMES, build
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="superpin",
+        description="SuperPin reproduction: fork-parallelized dynamic "
+                    "instrumentation (CGO 2007)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload under a tool")
+    run_p.add_argument("-t", "--tool", default="icount2",
+                       choices=sorted(TOOLS))
+    run_p.add_argument("-w", "--workload", required=True,
+                       help="suite benchmark name (see 'superpin list')")
+    run_p.add_argument("--scale", type=float, default=0.5,
+                       help="duration scale factor (default 0.5)")
+    run_p.add_argument("--gantt", action="store_true",
+                       help="draw the slice schedule (the paper's Fig. 1)")
+    # SuperPin switches (-sp/-spmsec/-spmp/-spsysrecs) are collected from
+    # the unparsed remainder so the paper's flag style works verbatim.
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("which", choices=sorted(FIGURES) + ["all"])
+    fig_p.add_argument("--scale", type=float, default=1.0)
+    fig_p.add_argument("--benchmarks", default=None,
+                       help="comma-separated subset (figures 3/4/5)")
+
+    sub.add_parser("list", help="list workloads and tools")
+
+    asm_p = sub.add_parser(
+        "asm", help="assemble and run an .s file (or a .bin object)")
+    asm_p.add_argument("file")
+    asm_p.add_argument("-t", "--tool", default=None,
+                       choices=sorted(TOOLS))
+    asm_p.add_argument("-o", "--output", default=None,
+                       help="write a binary object file instead of running")
+
+    dump_p = sub.add_parser("objdump",
+                            help="dump an object file (or .s source)")
+    dump_p.add_argument("file")
+
+    args, extra = parser.parse_known_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, extra)
+    if extra:
+        parser.error(f"unrecognized arguments: {' '.join(extra)}")
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "asm":
+        return _cmd_asm(args)
+    if args.command == "objdump":
+        return _cmd_objdump(args)
+    return 2  # pragma: no cover
+
+
+def _cmd_run(args, extra: list[str]) -> int:
+    if args.workload not in BENCHMARK_NAMES:
+        print(f"unknown workload {args.workload!r}; see 'superpin list'",
+              file=sys.stderr)
+        return 2
+    switches = [s for s in extra if s != "--"]
+    config = parse_switches(switches) if switches else SuperPinConfig()
+    built = build(args.workload, clock_hz=config.clock_hz,
+                  scale=args.scale)
+    tool = TOOLS[args.tool]()
+
+    print(f"workload {args.workload} (scale {args.scale}): "
+          f"{built.static_instructions} static instructions, "
+          f"{built.rounds} rounds")
+
+    if not config.sp:
+        result, vm, kernel = run_with_pin(built.program, tool,
+                                          Kernel(seed=42))
+        print(f"mode: classic Pin; {result.instructions} instructions, "
+              f"{vm.cache.stats.compiles} traces compiled")
+        print(f"tool report: {tool.report()}")
+        return 0
+
+    report = run_superpin(built.program, tool, config,
+                          kernel=Kernel(seed=42))
+    timing = report.timing
+    seconds = config.seconds
+    print(f"mode: SuperPin ({config.spmp} max slices, "
+          f"{config.spmsec} ms timeslice)")
+    print(f"slices: {report.num_slices} "
+          f"({sum(1 for s in report.slices if s.exact)} exact)")
+    print(f"tool report: {tool.report()}")
+    det = report.detection_summary()
+    print(f"detection: {det['quick_checks']} quick checks, "
+          f"{det['full_checks']} full "
+          f"({det['full_check_rate']:.2%} escalation)")
+    assert timing is not None
+    print(f"virtual time: native {seconds(timing.native_cycles):.2f}s, "
+          f"superpin {seconds(timing.total_cycles):.2f}s "
+          f"(slowdown {timing.slowdown:.2f}x)")
+    breakdown = timing.breakdown()
+    print("breakdown: " + ", ".join(
+        f"{name} {seconds(value):.2f}s"
+        for name, value in breakdown.items()))
+    if args.gantt:
+        from .harness.report import gantt_chart
+        print()
+        print(gantt_chart(timing))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    names = sorted(FIGURES) if args.which == "all" else [args.which]
+    for name in names:
+        fn = FIGURES[name]
+        if name in ("3", "4", "5"):
+            data = fn(scale=args.scale, benchmarks=benchmarks)
+        elif name == "sigstats":
+            data = fn(scale=min(args.scale, 0.5), benchmarks=benchmarks)
+        else:
+            data = fn(scale=args.scale)
+        print(render_figure(data))
+        print()
+    return 0
+
+
+def _cmd_list() -> int:
+    print("workloads (synthetic SPEC2000 suite):")
+    for name in BENCHMARK_NAMES:
+        print(f"  {name}")
+    print("tools:")
+    for name in sorted(TOOLS):
+        print(f"  {name}")
+    return 0
+
+
+def _load_any(path: str):
+    """Load a program from assembly source or a binary object file."""
+    from .isa import assemble, objfile
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if objfile.is_object_file(data):
+        return objfile.loads(data, name=path)
+    return assemble(data.decode("utf-8"), name=path)
+
+
+def _cmd_asm(args) -> int:
+    from .isa import objfile
+    program = _load_any(args.file)
+    if args.output:
+        objfile.save(program, args.output)
+        print(f"wrote {args.output} ({program.word_count()} words, "
+              f"entry {program.entry:#x})")
+        return 0
+    kernel = Kernel(seed=42)
+    if args.tool:
+        tool = TOOLS[args.tool]()
+        result, vm, kernel = run_with_pin(program, tool, kernel)
+        print(f"exit code: {result.exit_code}")
+        print(f"instructions: {result.instructions}")
+        print(f"tool report: {tool.report()}")
+    else:
+        process = load_program(program, kernel)
+        interp = Interpreter(process)
+        interp.run(max_instructions=500_000_000)
+        print(f"exit code: {process.exit_code}")
+        print(f"instructions: {interp.total_instructions}")
+    stdout = kernel.stdout_text()
+    if stdout:
+        print(f"stdout: {stdout!r}")
+    return 0
+
+
+def _cmd_objdump(args) -> int:
+    from .isa import disassemble_range
+    program = _load_any(args.file)
+    print(f"{args.file}: entry {program.entry:#x}, "
+          f"{len(program.segments)} segments, "
+          f"{len(program.symbols)} symbols")
+    for segment in program.segments:
+        print(f"\nsegment {segment.name or '<anon>'} at "
+              f"{segment.base:#x} ({len(segment.words)} words)")
+        if segment.name == ".text":
+            print(disassemble_range(list(segment.words), segment.base,
+                                    program.symbols))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

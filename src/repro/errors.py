@@ -1,0 +1,80 @@
+"""Exception hierarchy for the SuperPin reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Guest-visible machine faults (bad memory access, divide
+by zero, illegal instruction) derive from :class:`GuestFault`; host-side
+misuse (bad assembler input, API misuse) derives from more specific classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AssemblerError(ReproError):
+    """Raised for malformed assembly input.
+
+    Carries the one-based source line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded (immediate overflow)."""
+
+
+class GuestFault(ReproError):
+    """Base class for faults raised by guest code at run time."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        self.pc = pc
+        if pc is not None:
+            message = f"pc={pc:#x}: {message}"
+        super().__init__(message)
+
+
+class IllegalInstruction(GuestFault):
+    """Fetched word does not decode to a valid instruction."""
+
+
+class MemoryFault(GuestFault):
+    """Access outside any mapped region (only in strict memory mode)."""
+
+
+class ArithmeticFault(GuestFault):
+    """Integer divide or modulo by zero."""
+
+
+class SyscallError(GuestFault):
+    """Guest invoked a system call with an invalid number or arguments."""
+
+
+class LoaderError(ReproError):
+    """Program image cannot be loaded (overlapping segments, no entry, ...)."""
+
+
+class InstrumentationError(ReproError):
+    """Pintool misused the instrumentation API."""
+
+
+class DivergenceError(ReproError):
+    """A SuperPin slice diverged from the master's recorded execution.
+
+    This indicates either a signature false positive/negative or
+    nondeterminism that escaped the record/replay net.
+    """
+
+
+class RunawaySliceError(ReproError):
+    """A slice failed to detect its ending signature within its budget."""
+
+
+class ConfigError(ReproError):
+    """Invalid SuperPin switch or configuration value."""

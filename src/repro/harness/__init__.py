@@ -1,0 +1,16 @@
+"""Experiment harness: runners, figure regeneration, ASCII reporting."""
+
+from .figures import (FigureData, FIGURES, figure3, figure4, figure5,
+                      figure6, figure7, signature_stats)
+from .report import (bar_chart, format_table, gantt_chart,
+                     render_figure, stacked_chart)
+from .runner import BenchmarkRun, clear_cache, EXPERIMENT_SEED, \
+    run_benchmark
+
+__all__ = [
+    "FigureData", "FIGURES", "figure3", "figure4", "figure5", "figure6",
+    "figure7", "signature_stats", "bar_chart", "format_table",
+    "gantt_chart",
+    "render_figure", "stacked_chart", "BenchmarkRun", "clear_cache",
+    "EXPERIMENT_SEED", "run_benchmark",
+]

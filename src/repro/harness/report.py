@@ -1,0 +1,143 @@
+"""ASCII rendering of figure data: tables and horizontal bar charts."""
+
+from __future__ import annotations
+
+from .figures import FigureData
+
+
+def format_table(headers: list[str], rows: list[list],
+                 indent: str = "  ") -> str:
+    """Render a fixed-width table with right-aligned numeric columns."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [max(len(headers[i]),
+                  max((len(row[i]) for row in cells), default=0))
+              for i in range(len(headers))]
+    lines = [indent + "  ".join(h.ljust(widths[i])
+                                for i, h in enumerate(headers))]
+    lines.append(indent + "  ".join("-" * w for w in widths))
+    for r, row in enumerate(cells):
+        lines.append(indent + "  ".join(
+            cell.rjust(widths[i]) if _is_numeric(rows[r][i])
+            else cell.ljust(widths[i])
+            for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def bar_chart(labels: list[str], values: list[float], width: int = 44,
+              unit: str = "", indent: str = "  ") -> str:
+    """Render a horizontal bar chart (one bar per label)."""
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(f"{indent}{label.ljust(label_width)} "
+                     f"{bar} {_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_chart(labels: list[str], series: dict[str, list[float]],
+                  width: int = 50, indent: str = "  ") -> str:
+    """Render stacked horizontal bars (Figure 6's breakdown shape)."""
+    glyphs = {"native": "=", "fork_others": "f", "sleep": "z",
+              "pipeline": "p"}
+    totals = [sum(values[i] for values in series.values())
+              for i in range(len(labels))]
+    peak = max(totals) if totals else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [indent + "legend: " + "  ".join(
+        f"{glyph}={name}" for name, glyph in glyphs.items()
+        if name in series)]
+    for i, label in enumerate(labels):
+        bar = ""
+        for name, values in series.items():
+            glyph = glyphs.get(name, "?")
+            bar += glyph * round(values[i] / peak * width)
+        lines.append(f"{indent}{label.ljust(label_width)} {bar} "
+                     f"{_fmt(totals[i])}")
+    return "\n".join(lines)
+
+
+def gantt_chart(timing, width: int = 64, indent: str = "  ") -> str:
+    """Render the run's schedule as ASCII — the paper's Figure 1.
+
+    One row for the master and one per slice.  Glyphs: ``=`` master
+    running, ``z`` master stalled (aggregate, shown in the legend),
+    ``.`` slice forked but sleeping (waiting for the next signature),
+    ``#`` slice running under instrumentation, ``|`` merge point.
+    """
+    spans = timing.spans
+    total = max(timing.total_cycles, 1.0)
+
+    def column(cycles: float) -> int:
+        return min(width - 1, int(cycles / total * width))
+
+    lines = [indent + "legend: ==master  .=sleeping  #=running  |=merged"]
+    master = ["="] * column(timing.master_finish_cycles)
+    master += [" "] * (width - len(master))
+    label_width = max(6, len(f"S{len(spans)}+"))
+    lines.append(f"{indent}{'master'.ljust(label_width)} "
+                 f"{''.join(master)}")
+    for span in spans:
+        row = [" "] * width
+        fork_col = column(span.forked_at)
+        run_col = column(span.runnable_at)
+        done_col = column(span.completed_at)
+        merge_col = column(span.merged_at)
+        for i in range(fork_col, run_col):
+            row[i] = "."
+        for i in range(run_col, max(run_col + 1, done_col)):
+            row[i] = "#"
+        row[merge_col] = "|"
+        lines.append(f"{indent}{f'S{span.index + 1}+'.ljust(label_width)} "
+                     f"{''.join(row)}")
+    if timing.sleep_cycles > 0:
+        percent = timing.sleep_cycles / total * 100
+        lines.append(f"{indent}(master stalled for "
+                     f"{percent:.0f}% of the run)")
+    return "\n".join(lines)
+
+
+def render_figure(data: FigureData) -> str:
+    """Full ASCII rendering of one figure (table + chart + notes)."""
+    parts = [f"Figure {data.figure}: {data.title}", ""]
+    parts.append(format_table(data.headers, data.rows))
+    parts.append("")
+    chart = _chart_for(data)
+    if chart:
+        parts.append(chart)
+        parts.append("")
+    for note in data.notes:
+        parts.append(f"  note: {note}")
+    return "\n".join(parts)
+
+
+def _chart_for(data: FigureData) -> str | None:
+    if data.figure in ("3", "5"):
+        labels = data.column("benchmark")
+        return bar_chart(labels, data.column("superpin_%"), unit="%")
+    if data.figure == "4":
+        return bar_chart(data.column("benchmark"),
+                         data.column("speedup_x"), unit="x")
+    if data.figure == "6":
+        labels = [f"{s}s" for s in data.column("timeslice_s")]
+        series = {name: data.column(name)
+                  for name in ("native", "fork_others", "sleep",
+                               "pipeline")}
+        return stacked_chart(labels, series)
+    if data.figure == "7":
+        return bar_chart([str(v) for v in data.column("max_slices")],
+                         data.column("runtime_s"), unit="s")
+    return None
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}".rstrip("0").rstrip(".") \
+            if value != int(value) else str(int(value))
+    return str(value)
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,29 @@
+"""Toy 64-bit word-addressed RISC ISA.
+
+This package is the "hardware manual" of the reproduction: instruction set
+and binary encoding (:mod:`~repro.isa.instructions`,
+:mod:`~repro.isa.encoding`), register conventions
+(:mod:`~repro.isa.registers`), platform ABI (:mod:`~repro.isa.abi`), and the
+assembler/disassembler/program-image toolchain.
+"""
+
+from . import abi
+from .assembler import Assembler, assemble
+from .disassembler import disassemble_range, disassemble_word
+from .encoding import decode, encode, IMM_MAX, IMM_MIN
+from . import objfile
+from .instructions import (Format, INFO, MASK64, MNEMONICS, Op, OpInfo,
+                           to_signed, to_unsigned, WRITES_RD)
+from .program import Program, Segment
+from .registers import (ALIASES, NUM_REGS, parse_register, register_name,
+                        A0, A1, A2, A3, A4, A5, FP, GP, RA, RV, SP, ZERO)
+
+__all__ = [
+    "abi", "objfile", "Assembler", "assemble", "disassemble_range",
+    "disassemble_word",
+    "decode", "encode", "IMM_MAX", "IMM_MIN", "Format", "INFO", "MASK64",
+    "MNEMONICS", "Op", "OpInfo", "to_signed", "to_unsigned", "WRITES_RD",
+    "Program", "Segment", "ALIASES", "NUM_REGS", "parse_register",
+    "register_name", "A0", "A1", "A2", "A3", "A4", "A5", "FP", "GP", "RA",
+    "RV", "SP", "ZERO",
+]

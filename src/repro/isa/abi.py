@@ -1,0 +1,94 @@
+"""Platform ABI: address-space layout and system-call numbers.
+
+Both the assembler (which exposes these as built-in ``.equ`` symbols) and
+the kernel emulator import this module, so it is the single authority on
+the guest/kernel contract.
+
+Address space (word addresses; the machine is word-addressed):
+
+================= ============ ==========================================
+Region            Base         Notes
+================= ============ ==========================================
+text              0x1000       default placement of ``.text``
+data / bss / heap after text   ``brk`` starts at the load end
+mmap arena        0x40_0000    anonymous mappings grow upward from here
+stack             0x20_0000    grows *down* from ``STACK_TOP``
+code-cache bubble 0x200_0000   reserved by SuperPin at startup (§4.1)
+================= ============ ==========================================
+"""
+
+from __future__ import annotations
+
+# --- Address-space layout (word addresses) -------------------------------
+TEXT_BASE = 0x1000
+STACK_TOP = 0x20_0000
+STACK_WORDS = 0x1_0000  # 64Ki words of stack
+MMAP_BASE = 0x40_0000
+BUBBLE_BASE = 0x200_0000
+BUBBLE_WORDS = 0x100_0000
+
+# --- System-call numbers (passed in a0; result in rv) ---------------------
+SYS_EXIT = 1       # exit(code)
+SYS_WRITE = 2      # write(fd, buf, len) -> len
+SYS_READ = 3       # read(fd, buf, len) -> nread
+SYS_BRK = 4        # brk(new_brk or 0) -> current brk
+SYS_MMAP = 5       # mmap(addr_hint, len) -> addr   (anonymous only)
+SYS_MUNMAP = 6     # munmap(addr, len) -> 0
+SYS_OPEN = 7       # open(path_buf, path_len, flags) -> fd
+SYS_CLOSE = 8      # close(fd) -> 0
+SYS_TIME = 9       # time() -> virtual nanoseconds   (nondeterministic)
+SYS_GETPID = 10    # getpid() -> pid
+SYS_GETRANDOM = 11  # getrandom(buf, len) -> len     (nondeterministic)
+# Cooperative threading (deterministic; see repro.machine.threads).
+SYS_THREAD_CREATE = 12  # thread_create(entry_pc, arg) -> tid
+SYS_THREAD_EXIT = 13    # thread_exit(value)  (never returns)
+SYS_THREAD_JOIN = 14    # thread_join(tid) -> exit value
+SYS_YIELD = 15          # yield() -> 0
+
+SYSCALL_NAMES: dict[int, str] = {
+    SYS_EXIT: "exit",
+    SYS_WRITE: "write",
+    SYS_READ: "read",
+    SYS_BRK: "brk",
+    SYS_MMAP: "mmap",
+    SYS_MUNMAP: "munmap",
+    SYS_OPEN: "open",
+    SYS_CLOSE: "close",
+    SYS_TIME: "time",
+    SYS_GETPID: "getpid",
+    SYS_GETRANDOM: "getrandom",
+    SYS_THREAD_CREATE: "thread_create",
+    SYS_THREAD_EXIT: "thread_exit",
+    SYS_THREAD_JOIN: "thread_join",
+    SYS_YIELD: "yield",
+}
+
+# File descriptors.
+FD_STDIN = 0
+FD_STDOUT = 1
+FD_STDERR = 2
+
+#: Symbols the assembler predefines, so guest programs can say
+#: ``li a0, SYS_WRITE`` without their own ``.equ`` table.
+BUILTIN_EQUATES: dict[str, int] = {
+    "SYS_EXIT": SYS_EXIT,
+    "SYS_WRITE": SYS_WRITE,
+    "SYS_READ": SYS_READ,
+    "SYS_BRK": SYS_BRK,
+    "SYS_MMAP": SYS_MMAP,
+    "SYS_MUNMAP": SYS_MUNMAP,
+    "SYS_OPEN": SYS_OPEN,
+    "SYS_CLOSE": SYS_CLOSE,
+    "SYS_TIME": SYS_TIME,
+    "SYS_GETPID": SYS_GETPID,
+    "SYS_GETRANDOM": SYS_GETRANDOM,
+    "SYS_THREAD_CREATE": SYS_THREAD_CREATE,
+    "SYS_THREAD_EXIT": SYS_THREAD_EXIT,
+    "SYS_THREAD_JOIN": SYS_THREAD_JOIN,
+    "SYS_YIELD": SYS_YIELD,
+    "FD_STDIN": FD_STDIN,
+    "FD_STDOUT": FD_STDOUT,
+    "FD_STDERR": FD_STDERR,
+    "TEXT_BASE": TEXT_BASE,
+    "STACK_TOP": STACK_TOP,
+}

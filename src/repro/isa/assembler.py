@@ -1,0 +1,490 @@
+"""Two-pass assembler for the toy ISA.
+
+Syntax overview::
+
+    ; comment (also '#')
+    .equ    LIMIT, 100          ; define a constant
+    .text                       ; switch to the text section
+    .entry  main                ; program entry point
+    main:
+        li      a0, LIMIT
+        call    work
+        li      a1, rv          ; ERROR: li takes an immediate; use mov
+        mov     a1, rv          ; pseudo-instruction
+        li      a0, SYS_EXIT
+        syscall
+    work:
+        ld      t0, 0(a0)       ; load word at a0+0
+        st      t0, 8(sp)
+        beq     t0, zero, done
+    done:
+        ret
+    .data
+    msg:    .asciiz "hello"     ; one char per word, NUL-terminated
+    table:  .word 1, 2, 3, done ; symbols allowed in .word
+    buf:    .space 64           ; 64 zero words
+
+Pseudo-instructions (expanded during pass one, so labels stay exact):
+
+========== ======================== =====================================
+Pseudo     Expansion                Notes
+========== ======================== =====================================
+``mov``    ``addi rd, rs, 0``
+``la``     ``li rd, symbol``        identical to ``li``; reads better
+``neg``    ``sub rd, zero, rs``
+``not``    ``xori rd, rs, -1``
+``inc``    ``addi rd, rd, 1``
+``dec``    ``addi rd, rd, -1``
+``b``      ``j label``
+``bgt``    ``blt`` (swapped)        and ``ble``/``bgtu``/``bleu`` likewise
+``beqz``   ``beq rs, zero, label``  and ``bnez``
+========== ======================== =====================================
+
+Immediates accept decimal, hex (``0x``), negative values, character
+literals (``'a'``), previously defined ``.equ`` names, labels, and
+``symbol+offset`` / ``symbol-offset`` expressions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import AssemblerError, EncodingError
+from . import abi
+from .encoding import encode
+from .instructions import Format, INFO, MNEMONICS, Op
+from .program import Program, Segment
+from .registers import ALIASES
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_TOKEN_SPLIT_RE = re.compile(r"\s*,\s*")
+_MEM_OPERAND_RE = re.compile(r"^(.*?)\((\w+)\)$")
+
+#: Pseudo mnemonics and how many operands they take, for early validation.
+_PSEUDOS = {
+    "mov": 2, "la": 2, "neg": 2, "not": 2, "inc": 1, "dec": 1,
+    "b": 1, "bgt": 3, "ble": 3, "bgtu": 3, "bleu": 3, "beqz": 2, "bnez": 2,
+}
+
+_SWAPPED_BRANCH = {"bgt": Op.BLT, "ble": Op.BGE, "bgtu": Op.BLTU,
+                   "bleu": Op.BGEU}
+
+
+@dataclass
+class _Item:
+    """One statement destined for a section: an instruction or data words."""
+
+    line: int
+    address: int = 0
+    # For instructions:
+    op: Op | None = None
+    operands: tuple[str, ...] = ()
+    # For data: literal word values or unresolved expression strings.
+    data: list[object] | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self.data) if self.data is not None else 1
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`.
+
+    Pass one expands pseudo-instructions, lays out both sections and
+    collects label addresses; pass two resolves expressions and encodes.
+    """
+
+    def __init__(self, text_base: int = abi.TEXT_BASE,
+                 data_base: int | None = None):
+        self.text_base = text_base
+        #: If None, .data is placed immediately after .text.
+        self.data_base = data_base
+        self.symbols: dict[str, int] = {}
+        self.equates: dict[str, int] = dict(abi.BUILTIN_EQUATES)
+        self._entry_symbol: str | None = None
+
+    # -- public API --------------------------------------------------------
+
+    def assemble(self, source: str, name: str = "<asm>") -> Program:
+        """Assemble ``source`` and return a loadable :class:`Program`."""
+        text_items, data_items = self._parse(source)
+        self._layout(text_items, data_items)
+        return self._emit(text_items, data_items, name)
+
+    # -- pass one: parse & expand ------------------------------------------
+
+    def _parse(self, source: str) -> tuple[list[_Item], list[_Item]]:
+        sections: dict[str, list[_Item]] = {"text": [], "data": []}
+        pending_labels: dict[str, list[str]] = {"text": [], "data": []}
+        seen_labels: set[str] = set()
+        current = "text"
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw).strip()
+            if not line:
+                continue
+            # Peel off any leading labels (several may stack on one line).
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in seen_labels:
+                    raise AssemblerError(f"duplicate label {label!r}", lineno)
+                seen_labels.add(label)
+                pending_labels[current].append(label)
+                line = line[match.end():].strip()
+            if not line:
+                continue
+
+            if line.startswith("."):
+                current = self._directive(line, lineno, sections,
+                                          pending_labels, current)
+                continue
+
+            items = self._instruction(line, lineno)
+            for item in items:
+                self._attach_labels(pending_labels[current],
+                                    sections[current], item)
+                sections[current].append(item)
+
+        for section in ("text", "data"):
+            if pending_labels[section]:
+                # Labels at the very end of a section point one past it.
+                tail = _Item(line=0, data=[])
+                self._attach_labels(pending_labels[section],
+                                    sections[section], tail)
+                sections[section].append(tail)
+        return sections["text"], sections["data"]
+
+    def _attach_labels(self, labels: list[str], section: list[_Item],
+                       item: _Item) -> None:
+        item.pending_labels = list(labels)  # type: ignore[attr-defined]
+        labels.clear()
+
+    def _directive(self, line: str, lineno: int,
+                   sections: dict[str, list[_Item]],
+                   pending_labels: dict[str, list[str]],
+                   current: str) -> str:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if name == ".text":
+            return "text"
+        if name == ".data":
+            return "data"
+        if name == ".entry":
+            if not rest:
+                raise AssemblerError(".entry requires a symbol", lineno)
+            self._entry_symbol = rest.strip()
+            return current
+        if name == ".equ":
+            fields = _TOKEN_SPLIT_RE.split(rest)
+            if len(fields) != 2:
+                raise AssemblerError(".equ requires 'name, value'", lineno)
+            self.equates[fields[0].strip()] = self._int_literal(
+                fields[1].strip(), lineno)
+            return current
+        if name == ".word":
+            values: list[object] = []
+            for token in _TOKEN_SPLIT_RE.split(rest):
+                token = token.strip()
+                if not token:
+                    raise AssemblerError("empty .word operand", lineno)
+                values.append(token)
+            item = _Item(line=lineno, data=values)
+        elif name == ".space":
+            count = self._int_literal(rest.strip(), lineno)
+            if count < 0:
+                raise AssemblerError(".space size must be >= 0", lineno)
+            item = _Item(line=lineno, data=[0] * count)
+        elif name in (".ascii", ".asciiz"):
+            text = _parse_string(rest.strip(), lineno)
+            words: list[object] = [ord(ch) for ch in text]
+            if name == ".asciiz":
+                words.append(0)
+            item = _Item(line=lineno, data=words)
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", lineno)
+
+        self._attach_labels(pending_labels[current], sections[current], item)
+        sections[current].append(item)
+        return current
+
+    def _instruction(self, line: str, lineno: int) -> list[_Item]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = tuple(
+            tok.strip() for tok in _TOKEN_SPLIT_RE.split(operand_text)
+            if tok.strip()) if operand_text else ()
+
+        if mnemonic in _PSEUDOS:
+            return self._expand_pseudo(mnemonic, operands, lineno)
+        if mnemonic not in MNEMONICS:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno)
+        return [_Item(line=lineno, op=MNEMONICS[mnemonic], operands=operands)]
+
+    def _expand_pseudo(self, mnemonic: str, operands: tuple[str, ...],
+                       lineno: int) -> list[_Item]:
+        expected = _PSEUDOS[mnemonic]
+        if len(operands) != expected:
+            raise AssemblerError(
+                f"{mnemonic} expects {expected} operand(s), "
+                f"got {len(operands)}", lineno)
+        if mnemonic == "mov":
+            ops = (operands[0], operands[1], "0")
+            return [_Item(line=lineno, op=Op.ADDI, operands=ops)]
+        if mnemonic == "la":
+            return [_Item(line=lineno, op=Op.LI, operands=operands)]
+        if mnemonic == "neg":
+            ops = (operands[0], "zero", operands[1])
+            return [_Item(line=lineno, op=Op.SUB, operands=ops)]
+        if mnemonic == "not":
+            ops = (operands[0], operands[1], "-1")
+            return [_Item(line=lineno, op=Op.XORI, operands=ops)]
+        if mnemonic == "inc":
+            ops = (operands[0], operands[0], "1")
+            return [_Item(line=lineno, op=Op.ADDI, operands=ops)]
+        if mnemonic == "dec":
+            ops = (operands[0], operands[0], "-1")
+            return [_Item(line=lineno, op=Op.ADDI, operands=ops)]
+        if mnemonic == "b":
+            return [_Item(line=lineno, op=Op.J, operands=operands)]
+        if mnemonic in _SWAPPED_BRANCH:
+            ops = (operands[1], operands[0], operands[2])
+            return [_Item(line=lineno, op=_SWAPPED_BRANCH[mnemonic],
+                          operands=ops)]
+        if mnemonic in ("beqz", "bnez"):
+            op = Op.BEQ if mnemonic == "beqz" else Op.BNE
+            ops = (operands[0], "zero", operands[1])
+            return [_Item(line=lineno, op=op, operands=ops)]
+        raise AssemblerError(f"unhandled pseudo {mnemonic!r}", lineno)
+
+    # -- layout -------------------------------------------------------------
+
+    def _layout(self, text_items: list[_Item],
+                data_items: list[_Item]) -> None:
+        addr = self.text_base
+        for item in text_items:
+            item.address = addr
+            self._define_labels(item)
+            addr += item.size
+        text_end = addr
+        addr = self.data_base if self.data_base is not None else text_end
+        for item in data_items:
+            item.address = addr
+            self._define_labels(item)
+            addr += item.size
+        self._text_end = text_end
+        self._data_end = addr
+
+    def _define_labels(self, item: _Item) -> None:
+        for label in getattr(item, "pending_labels", ()):
+            self.symbols[label] = item.address
+
+    # -- pass two: resolve & encode -----------------------------------------
+
+    def _emit(self, text_items: list[_Item], data_items: list[_Item],
+              name: str) -> Program:
+        program = Program(source_name=name)
+        program.symbols = dict(self.symbols)
+        program.text_base = self.text_base
+        program.text_end = self._text_end
+
+        text_words = []
+        for item in text_items:
+            if item.data is not None:
+                text_words.extend(
+                    self._resolve(value, item.line) for value in item.data)
+            else:
+                text_words.append(self._encode_item(item))
+        data_words = []
+        for item in data_items:
+            assert item.data is not None
+            data_words.extend(
+                self._resolve(value, item.line) for value in item.data)
+
+        if text_words:
+            program.add_segment(
+                Segment(self.text_base, tuple(text_words), name=".text"))
+        if data_words:
+            data_base = (self.data_base if self.data_base is not None
+                         else self._text_end)
+            program.add_segment(
+                Segment(data_base, tuple(data_words), name=".data"))
+
+        if self._entry_symbol is not None:
+            if self._entry_symbol not in self.symbols:
+                raise AssemblerError(
+                    f".entry symbol {self._entry_symbol!r} is undefined")
+            program.entry = self.symbols[self._entry_symbol]
+        elif "main" in self.symbols:
+            program.entry = self.symbols["main"]
+        else:
+            program.entry = self.text_base
+        return program
+
+    def _encode_item(self, item: _Item) -> int:
+        assert item.op is not None
+        info = INFO[item.op]
+        ops = item.operands
+        line = item.line
+        try:
+            if info.format is Format.NONE:
+                self._expect(ops, 0, item)
+                return encode(item.op)
+            if info.format is Format.RRR:
+                self._expect(ops, 3, item)
+                return encode(item.op, rd=self._reg(ops[0], line),
+                              rs=self._reg(ops[1], line),
+                              rt=self._reg(ops[2], line))
+            if info.format is Format.RRI:
+                self._expect(ops, 3, item)
+                return encode(item.op, rd=self._reg(ops[0], line),
+                              rs=self._reg(ops[1], line),
+                              imm=self._resolve(ops[2], line))
+            if info.format is Format.RI:
+                self._expect(ops, 2, item)
+                return encode(item.op, rd=self._reg(ops[0], line),
+                              imm=self._resolve(ops[1], line))
+            if info.format is Format.MEM_L:
+                self._expect(ops, 2, item)
+                base, offset = self._mem_operand(ops[1], line)
+                return encode(item.op, rd=self._reg(ops[0], line),
+                              rs=base, imm=offset)
+            if info.format is Format.MEM_S:
+                self._expect(ops, 2, item)
+                base, offset = self._mem_operand(ops[1], line)
+                return encode(item.op, rt=self._reg(ops[0], line),
+                              rs=base, imm=offset)
+            if info.format is Format.R:
+                self._expect(ops, 1, item)
+                return encode(item.op, rs=self._reg(ops[0], line))
+            if info.format is Format.RD:
+                self._expect(ops, 1, item)
+                return encode(item.op, rd=self._reg(ops[0], line))
+            if info.format is Format.BRANCH:
+                self._expect(ops, 3, item)
+                return encode(item.op, rs=self._reg(ops[0], line),
+                              rt=self._reg(ops[1], line),
+                              imm=self._resolve(ops[2], line))
+            if info.format is Format.I:
+                self._expect(ops, 1, item)
+                return encode(item.op, imm=self._resolve(ops[0], line))
+        except EncodingError as exc:
+            raise AssemblerError(str(exc), line) from exc
+        raise AssemblerError(f"unhandled format {info.format}", line)
+
+    def _expect(self, ops: tuple[str, ...], count: int, item: _Item) -> None:
+        if len(ops) != count:
+            assert item.op is not None
+            raise AssemblerError(
+                f"{item.op.name.lower()} expects {count} operand(s), "
+                f"got {len(ops)}", item.line)
+
+    def _reg(self, token: str, line: int) -> int:
+        try:
+            return ALIASES[token.lower()]
+        except KeyError:
+            raise AssemblerError(f"unknown register {token!r}", line) \
+                from None
+
+    def _mem_operand(self, token: str, line: int) -> tuple[int, int]:
+        """Parse ``imm(base)`` into (base register, offset)."""
+        match = _MEM_OPERAND_RE.match(token)
+        if not match:
+            raise AssemblerError(
+                f"expected 'offset(base)' memory operand, got {token!r}",
+                line)
+        offset_text = match.group(1).strip()
+        offset = self._resolve(offset_text, line) if offset_text else 0
+        return self._reg(match.group(2), line), offset
+
+    def _resolve(self, value: object, line: int) -> int:
+        """Resolve an immediate expression to an integer."""
+        if isinstance(value, int):
+            return value
+        token = str(value).strip()
+        # symbol+offset / symbol-offset expressions.
+        for sep in ("+", "-"):
+            idx = token.rfind(sep)
+            if idx > 0:
+                head, tail = token[:idx].strip(), token[idx + 1:].strip()
+                if _looks_symbolic(head) and tail:
+                    base = self._resolve(head, line)
+                    offset = self._int_literal(tail, line)
+                    return base + offset if sep == "+" else base - offset
+        if token in self.symbols:
+            return self.symbols[token]
+        if token in self.equates:
+            return self.equates[token]
+        return self._int_literal(token, line)
+
+    def _int_literal(self, token: str, line: int) -> int:
+        if len(token) >= 3 and token[0] == "'" and token[-1] == "'":
+            body = token[1:-1]
+            unescaped = _unescape(body, line)
+            if len(unescaped) != 1:
+                raise AssemblerError(
+                    f"character literal {token!r} must be one char", line)
+            return ord(unescaped)
+        if token in self.equates:
+            return self.equates[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblerError(
+                f"cannot resolve immediate {token!r}", line) from None
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ';' / '#' comments, respecting string and char literals."""
+    in_string = False
+    in_char = False
+    for i, ch in enumerate(line):
+        if ch == '"' and not in_char and (i == 0 or line[i - 1] != "\\"):
+            in_string = not in_string
+        elif ch == "'" and not in_string and (i == 0 or line[i - 1] != "\\"):
+            in_char = not in_char
+        elif ch in ";#" and not in_string and not in_char:
+            return line[:i]
+    return line
+
+
+def _parse_string(token: str, line: int) -> str:
+    if len(token) < 2 or token[0] != '"' or token[-1] != '"':
+        raise AssemblerError(f"expected quoted string, got {token!r}", line)
+    return _unescape(token[1:-1], line)
+
+
+def _unescape(body: str, line: int) -> str:
+    out = []
+    i = 0
+    escapes = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\",
+               '"': '"', "'": "'"}
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            if i + 1 >= len(body):
+                raise AssemblerError("dangling escape in string", line)
+            nxt = body[i + 1]
+            if nxt not in escapes:
+                raise AssemblerError(f"unknown escape '\\{nxt}'", line)
+            out.append(escapes[nxt])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _looks_symbolic(token: str) -> bool:
+    return bool(token) and (token[0].isalpha() or token[0] in "_.$")
+
+
+def assemble(source: str, name: str = "<asm>", **kwargs) -> Program:
+    """Convenience wrapper: assemble ``source`` with a fresh assembler."""
+    return Assembler(**kwargs).assemble(source, name=name)

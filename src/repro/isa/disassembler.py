@@ -1,0 +1,76 @@
+"""Disassembler: decoded words back to assembly text.
+
+Round-trip property: for every instruction the assembler emits,
+``assemble(disassemble(word))`` reproduces the same word (tested with
+hypothesis in ``tests/test_isa/test_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from .encoding import decode
+from .instructions import Format, INFO, Op
+from .registers import register_name
+
+
+def disassemble_word(word: int, address: int | None = None,
+                     symbols: dict[int, str] | None = None) -> str:
+    """Render one encoded instruction word as assembly text.
+
+    ``symbols`` maps addresses to names; when provided, immediate branch
+    targets are shown symbolically (``call fact`` instead of ``call 4102``).
+    """
+    opnum, rd, rs, rt, imm = decode(word, pc=address)
+    op = Op(opnum)
+    info = INFO[op]
+    mnemonic = op.name.lower()
+
+    def target(value: int) -> str:
+        if symbols and value in symbols:
+            return symbols[value]
+        return str(value)
+
+    fmt = info.format
+    if fmt is Format.NONE:
+        return mnemonic
+    if fmt is Format.RRR:
+        return (f"{mnemonic} {register_name(rd)}, {register_name(rs)}, "
+                f"{register_name(rt)}")
+    if fmt is Format.RRI:
+        return f"{mnemonic} {register_name(rd)}, {register_name(rs)}, {imm}"
+    if fmt is Format.RI:
+        return f"{mnemonic} {register_name(rd)}, {target(imm)}"
+    if fmt is Format.MEM_L:
+        return f"{mnemonic} {register_name(rd)}, {imm}({register_name(rs)})"
+    if fmt is Format.MEM_S:
+        return f"{mnemonic} {register_name(rt)}, {imm}({register_name(rs)})"
+    if fmt is Format.R:
+        return f"{mnemonic} {register_name(rs)}"
+    if fmt is Format.RD:
+        return f"{mnemonic} {register_name(rd)}"
+    if fmt is Format.BRANCH:
+        return (f"{mnemonic} {register_name(rs)}, {register_name(rt)}, "
+                f"{target(imm)}")
+    if fmt is Format.I:
+        return f"{mnemonic} {target(imm)}"
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+def disassemble_range(words: list[int], base: int,
+                      symbols: dict[str, int] | None = None) -> str:
+    """Disassemble a contiguous run of ``words`` starting at ``base``.
+
+    Produces one line per word with address prefixes and label lines for
+    any symbol that points into the range.
+    """
+    by_addr = {addr: name for name, addr in (symbols or {}).items()}
+    lines = []
+    for offset, word in enumerate(words):
+        addr = base + offset
+        if addr in by_addr:
+            lines.append(f"{by_addr[addr]}:")
+        try:
+            text = disassemble_word(word, address=addr, symbols=by_addr)
+        except Exception:
+            text = f".word {word:#x}"
+        lines.append(f"  {addr:#08x}:  {text}")
+    return "\n".join(lines)

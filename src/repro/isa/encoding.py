@@ -1,0 +1,78 @@
+"""Binary instruction encoding.
+
+Each instruction packs into one unsigned 64-bit word:
+
+====== ======== ==========================================
+Bits   Field    Notes
+====== ======== ==========================================
+0-7    opcode   :class:`~repro.isa.instructions.Op` value
+8-13   rd       destination register
+14-19  rs       first source register
+20-25  rt       second source register
+26-63  imm      38-bit two's-complement immediate
+====== ======== ==========================================
+
+The 38-bit immediate covers the whole address space used by generated
+programs (code, data, heap, stack and the SuperPin code-cache bubble all sit
+below 2**37), so absolute branch targets always encode.
+"""
+
+from __future__ import annotations
+
+from ..errors import EncodingError, IllegalInstruction
+from .instructions import INFO, Op
+
+IMM_BITS = 38
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+IMM_MIN = -(1 << (IMM_BITS - 1))
+_IMM_MASK = (1 << IMM_BITS) - 1
+_IMM_SIGN = 1 << (IMM_BITS - 1)
+
+_OP_MASK = 0xFF
+_REG_MASK = 0x3F
+
+#: Decoded instruction tuple: ``(op_value, rd, rs, rt, imm)``.
+Decoded = tuple[int, int, int, int, int]
+
+
+def encode(op: Op, rd: int = 0, rs: int = 0, rt: int = 0, imm: int = 0) -> int:
+    """Encode one instruction into its 64-bit word.
+
+    Raises :class:`EncodingError` if the immediate does not fit in 38 signed
+    bits or a register number is out of range.
+    """
+    if not IMM_MIN <= imm <= IMM_MAX:
+        raise EncodingError(
+            f"immediate {imm} out of range for {op.name} "
+            f"([{IMM_MIN}, {IMM_MAX}])")
+    for name, reg in (("rd", rd), ("rs", rs), ("rt", rt)):
+        if not 0 <= reg <= _REG_MASK:
+            raise EncodingError(f"{name}={reg} out of range for {op.name}")
+    return (int(op) | (rd << 8) | (rs << 14) | (rt << 20)
+            | ((imm & _IMM_MASK) << 26))
+
+
+def decode(word: int, pc: int | None = None) -> Decoded:
+    """Decode a 64-bit ``word`` into ``(op, rd, rs, rt, imm)``.
+
+    ``op`` is returned as a plain int (cheap for the interpreter hot loop);
+    use ``Op(op)`` for the enum.  Raises :class:`IllegalInstruction` for an
+    unknown opcode.
+    """
+    opnum = word & _OP_MASK
+    if opnum not in _VALID_OPS:
+        raise IllegalInstruction(f"invalid opcode {opnum} in word {word:#x}",
+                                 pc=pc)
+    imm = (word >> 26) & _IMM_MASK
+    if imm & _IMM_SIGN:
+        imm -= 1 << IMM_BITS
+    return (opnum, (word >> 8) & _REG_MASK, (word >> 14) & _REG_MASK,
+            (word >> 20) & _REG_MASK, imm)
+
+
+_VALID_OPS = frozenset(int(op) for op in INFO)
+
+
+def is_valid_opcode(word: int) -> bool:
+    """Return True if ``word``'s opcode field names a defined instruction."""
+    return (word & _OP_MASK) in _VALID_OPS

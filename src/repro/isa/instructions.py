@@ -1,0 +1,184 @@
+"""Instruction set definition.
+
+Every instruction occupies exactly one 64-bit memory word.  The operand
+*format* of each opcode determines both its assembly syntax and which
+encoded fields are meaningful:
+
+========= =========================== ===========================
+Format    Assembly syntax             Fields used
+========= =========================== ===========================
+``RRR``   ``op rd, rs, rt``           rd, rs, rt
+``RRI``   ``op rd, rs, imm``          rd, rs, imm
+``RI``    ``op rd, imm``              rd, imm
+``MEM_L`` ``op rd, imm(rs)``          rd, rs, imm
+``MEM_S`` ``op rt, imm(rs)``          rt, rs, imm
+``R``     ``op rs``                   rs
+``RD``    ``op rd``                   rd
+``BRANCH`` ``op rs, rt, imm``         rs, rt, imm
+``I``     ``op imm``                  imm
+``NONE``  ``op``                      (none)
+========= =========================== ===========================
+
+Branch and jump targets are *absolute word addresses* resolved by the
+assembler; there is no PC-relative addressing, which keeps the decoder and
+the JIT trivially relocatable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Format(enum.Enum):
+    """Operand format of an opcode (see module docstring)."""
+
+    RRR = "rrr"
+    RRI = "rri"
+    RI = "ri"
+    MEM_L = "mem_l"
+    MEM_S = "mem_s"
+    R = "r"
+    RD = "rd"
+    BRANCH = "branch"
+    I = "i"  # noqa: E741 - matches the ISA manual's name
+    NONE = "none"
+
+
+class Op(enum.IntEnum):
+    """Opcode numbers.  The numeric values are part of the binary format."""
+
+    NOP = 0
+    HALT = 1
+    SYSCALL = 2
+
+    # Three-register ALU.
+    ADD = 10
+    SUB = 11
+    MUL = 12
+    DIV = 13
+    MOD = 14
+    AND = 15
+    OR = 16
+    XOR = 17
+    SHL = 18
+    SHR = 19
+    SAR = 20
+    SLT = 21
+    SLTU = 22
+
+    # Register-immediate ALU.
+    ADDI = 30
+    MULI = 31
+    ANDI = 32
+    ORI = 33
+    XORI = 34
+    SHLI = 35
+    SHRI = 36
+    SARI = 37
+    SLTI = 38
+
+    # Constants and data movement.
+    LI = 45
+    LD = 46
+    ST = 47
+    PUSH = 48
+    POP = 49
+
+    # Control transfer (absolute targets).
+    J = 60
+    JR = 61
+    BEQ = 62
+    BNE = 63
+    BLT = 64
+    BGE = 65
+    BLTU = 66
+    BGEU = 67
+    CALL = 68
+    CALLR = 69
+    RET = 70
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    op: "Op"
+    format: Format
+    #: Ends a basic block (any control transfer, syscall, or halt).
+    is_control: bool = False
+    #: Conditional branch (may fall through).
+    is_cond_branch: bool = False
+    #: Unconditional jump/call/return.
+    is_uncond: bool = False
+    is_call: bool = False
+    is_ret: bool = False
+    is_syscall: bool = False
+    is_halt: bool = False
+    #: Reads a data-memory word.
+    is_mem_read: bool = False
+    #: Writes a data-memory word.
+    is_mem_write: bool = False
+
+
+def _info(op: Op, fmt: Format, **flags: bool) -> OpInfo:
+    return OpInfo(op, fmt, **flags)
+
+
+_ALU_RRR = (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR,
+            Op.SHL, Op.SHR, Op.SAR, Op.SLT, Op.SLTU)
+_ALU_RRI = (Op.ADDI, Op.MULI, Op.ANDI, Op.ORI, Op.XORI, Op.SHLI, Op.SHRI,
+            Op.SARI, Op.SLTI)
+_COND_BRANCHES = (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU)
+
+#: Opcode -> :class:`OpInfo`, the single source of truth for instruction
+#: classification used by the assembler, disassembler, interpreter and JIT.
+INFO: dict[Op, OpInfo] = {}
+
+for _op in _ALU_RRR:
+    INFO[_op] = _info(_op, Format.RRR)
+for _op in _ALU_RRI:
+    INFO[_op] = _info(_op, Format.RRI)
+for _op in _COND_BRANCHES:
+    INFO[_op] = _info(_op, Format.BRANCH, is_control=True, is_cond_branch=True)
+
+INFO[Op.NOP] = _info(Op.NOP, Format.NONE)
+INFO[Op.HALT] = _info(Op.HALT, Format.NONE, is_control=True, is_halt=True)
+INFO[Op.SYSCALL] = _info(Op.SYSCALL, Format.NONE, is_control=True,
+                         is_syscall=True)
+INFO[Op.LI] = _info(Op.LI, Format.RI)
+INFO[Op.LD] = _info(Op.LD, Format.MEM_L, is_mem_read=True)
+INFO[Op.ST] = _info(Op.ST, Format.MEM_S, is_mem_write=True)
+INFO[Op.PUSH] = _info(Op.PUSH, Format.R, is_mem_write=True)
+INFO[Op.POP] = _info(Op.POP, Format.RD, is_mem_read=True)
+INFO[Op.J] = _info(Op.J, Format.I, is_control=True, is_uncond=True)
+INFO[Op.JR] = _info(Op.JR, Format.R, is_control=True, is_uncond=True)
+INFO[Op.CALL] = _info(Op.CALL, Format.I, is_control=True, is_uncond=True,
+                      is_call=True)
+INFO[Op.CALLR] = _info(Op.CALLR, Format.R, is_control=True, is_uncond=True,
+                       is_call=True)
+INFO[Op.RET] = _info(Op.RET, Format.NONE, is_control=True, is_uncond=True,
+                     is_ret=True)
+
+#: Lowercase mnemonic -> opcode, for the assembler.
+MNEMONICS: dict[str, Op] = {op.name.lower(): op for op in INFO}
+
+#: Opcodes that write ``rd``.
+WRITES_RD = frozenset(
+    op for op, info in INFO.items()
+    if info.format in (Format.RRR, Format.RRI, Format.RI, Format.MEM_L,
+                       Format.RD)
+)
+
+MASK64 = (1 << 64) - 1
+SIGN64 = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret an unsigned 64-bit ``value`` as two's-complement signed."""
+    return value - (1 << 64) if value & SIGN64 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int into the unsigned 64-bit register domain."""
+    return value & MASK64

@@ -1,0 +1,67 @@
+"""Program images.
+
+A :class:`Program` is the output of the assembler and the input of the
+loader: a set of non-overlapping word segments plus an entry point and a
+symbol table.  It is the moral equivalent of a statically linked ELF image
+for the toy machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LoaderError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous run of initialized words at ``base``."""
+
+    base: int
+    words: tuple[int, ...]
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        """One past the last word of the segment."""
+        return self.base + len(self.words)
+
+    def overlaps(self, other: "Segment") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+@dataclass
+class Program:
+    """An assembled, loadable program image."""
+
+    segments: list[Segment] = field(default_factory=list)
+    entry: int = 0
+    #: Symbol name -> word address.
+    symbols: dict[str, int] = field(default_factory=dict)
+    #: Address range [text_base, text_end) holding code, for tooling.
+    text_base: int = 0
+    text_end: int = 0
+    source_name: str = "<asm>"
+
+    def add_segment(self, segment: Segment) -> None:
+        """Append ``segment``, rejecting overlap with existing segments."""
+        for existing in self.segments:
+            if segment.overlaps(existing):
+                raise LoaderError(
+                    f"segment {segment.name!r} [{segment.base:#x}, "
+                    f"{segment.end:#x}) overlaps {existing.name!r} "
+                    f"[{existing.base:#x}, {existing.end:#x})")
+        self.segments.append(segment)
+
+    @property
+    def load_end(self) -> int:
+        """Highest address used by any segment (heap starts here)."""
+        return max((seg.end for seg in self.segments), default=0)
+
+    def symbol(self, name: str) -> int:
+        """Look up a symbol address, raising :class:`KeyError` if missing."""
+        return self.symbols[name]
+
+    def word_count(self) -> int:
+        """Total number of initialized words across all segments."""
+        return sum(len(seg.words) for seg in self.segments)

@@ -1,0 +1,71 @@
+"""Register file definition and calling conventions.
+
+The machine has 32 general-purpose 64-bit registers.  ``r0`` is hardwired to
+zero: writes to it are silently discarded, mirroring MIPS/RISC-V.
+
+Software conventions (enforced only by the assembler's alias table and the
+generated workloads, never by hardware):
+
+====== ========= ============================================
+Alias  Register  Role
+====== ========= ============================================
+zero   r0        constant zero
+rv     r1        return value
+a0-a5  r2-r7     arguments; ``a0`` holds the syscall number
+t0-t7  r8-r15    caller-saved temporaries
+s0-s11 r16-r27   callee-saved
+fp     r28       frame pointer
+sp     r29       stack pointer (full-descending, word granular)
+gp     r30       global pointer
+ra     r31       return address
+====== ========= ============================================
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+# Canonical numeric names.
+ZERO = 0
+RV = 1
+A0, A1, A2, A3, A4, A5 = 2, 3, 4, 5, 6, 7
+T0, T1, T2, T3, T4, T5, T6, T7 = 8, 9, 10, 11, 12, 13, 14, 15
+S_BASE = 16  # s0..s11 -> r16..r27
+FP = 28
+SP = 29
+GP = 30
+RA = 31
+
+#: Alias name -> register number, as accepted by the assembler.
+ALIASES: dict[str, int] = {
+    "zero": ZERO,
+    "rv": RV,
+    "fp": FP,
+    "sp": SP,
+    "gp": GP,
+    "ra": RA,
+}
+ALIASES.update({f"a{i}": A0 + i for i in range(6)})
+ALIASES.update({f"t{i}": T0 + i for i in range(8)})
+ALIASES.update({f"s{i}": S_BASE + i for i in range(12)})
+ALIASES.update({f"r{i}": i for i in range(NUM_REGS)})
+
+#: Register number -> preferred display name for the disassembler.
+DISPLAY_NAMES: list[str] = ["r{}".format(i) for i in range(NUM_REGS)]
+for _name, _num in ALIASES.items():
+    if not _name.startswith("r"):
+        DISPLAY_NAMES[_num] = _name
+
+
+def parse_register(token: str) -> int:
+    """Return the register number for ``token`` (e.g. ``"sp"`` or ``"r7"``).
+
+    Raises :class:`KeyError` if the token is not a register name; callers
+    translate that into an :class:`~repro.errors.AssemblerError`.
+    """
+    return ALIASES[token.lower()]
+
+
+def register_name(num: int) -> str:
+    """Return the preferred display name for register ``num``."""
+    return DISPLAY_NAMES[num]

@@ -1,0 +1,21 @@
+"""Machine substrate: memory, CPU, kernel, processes, native interpreter."""
+
+from .cpu import CpuState
+from .interpreter import Interpreter, run_to_completion, StepResult, \
+    StopReason
+from .kernel import (EMULATE, FORCE_SLICE, Kernel, MemLayout, REPLAY,
+                     syscall_class, SyscallOutcome, SyscallRecord)
+from .kernel import THREAD
+from .memory import Memory, PAGE_WORDS
+from .process import load_program, Process, SyscallHandler
+from .threads import (EXIT_TRAMPOLINE, THREAD_SYSCALLS, ThreadAwareHandler,
+                      ThreadManager, ThreadRecord, ThreadStatus)
+
+__all__ = [
+    "CpuState", "Interpreter", "run_to_completion", "StepResult",
+    "StopReason", "EMULATE", "FORCE_SLICE", "Kernel", "MemLayout", "REPLAY",
+    "syscall_class", "SyscallOutcome", "SyscallRecord", "Memory",
+    "PAGE_WORDS", "load_program", "Process", "SyscallHandler", "THREAD",
+    "EXIT_TRAMPOLINE", "THREAD_SYSCALLS", "ThreadAwareHandler",
+    "ThreadManager", "ThreadRecord", "ThreadStatus",
+]

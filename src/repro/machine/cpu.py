@@ -1,0 +1,63 @@
+"""Architectural CPU state: 32 registers and a program counter.
+
+``regs`` is a plain list so the interpreter and JIT can index it directly;
+``r0`` is kept at zero by convention — every writer must either skip writes
+to register 0 or call :meth:`CpuState.set_reg`, which enforces it.
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import NUM_REGS, SP
+
+
+class CpuState:
+    """Registers + program counter for one hardware context."""
+
+    __slots__ = ("regs", "pc")
+
+    def __init__(self, pc: int = 0):
+        self.regs: list[int] = [0] * NUM_REGS
+        self.pc = pc
+
+    def set_reg(self, num: int, value: int) -> None:
+        """Write a register, preserving the hardwired-zero register."""
+        if num != 0:
+            self.regs[num] = value
+
+    def get_reg(self, num: int) -> int:
+        return self.regs[num]
+
+    @property
+    def sp(self) -> int:
+        return self.regs[SP]
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.regs[SP] = value
+
+    def copy(self) -> "CpuState":
+        """Return an independent snapshot of this context."""
+        clone = CpuState(self.pc)
+        clone.regs = self.regs[:]
+        return clone
+
+    def snapshot(self) -> tuple[int, tuple[int, ...]]:
+        """Return an immutable ``(pc, regs)`` snapshot, hashable/comparable."""
+        return (self.pc, tuple(self.regs))
+
+    def restore(self, snap: tuple[int, tuple[int, ...]]) -> None:
+        """Restore a snapshot produced by :meth:`snapshot`.
+
+        Assigns in place so the identity of ``regs`` is preserved — JIT
+        closures capture the list object directly.
+        """
+        self.pc = snap[0]
+        self.regs[:] = snap[1]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CpuState):
+            return NotImplemented
+        return self.pc == other.pc and self.regs == other.regs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CpuState(pc={self.pc:#x})"

@@ -1,0 +1,303 @@
+"""Kernel emulator: system calls, memory layout, in-memory filesystem.
+
+The kernel is deliberately Linux-flavoured because SuperPin's system-call
+taxonomy (§4.2 of the paper) is about *classes* of calls:
+
+``EMULATE``
+    Deterministic given the same layout state — ``brk``, anonymous ``mmap``
+    and ``munmap``.  The paper duplicates these in each slice; we fork the
+    kernel's :class:`MemLayout` into the slice and re-execute them there.
+
+``REPLAY``
+    Calls whose effects the control process records and the slices play
+    back: ``write``/``read`` (output must not be emitted twice), ``time``
+    and ``getrandom`` (globally stateful, hence *nondeterministic* on
+    re-execution — these are what make record/playback load-bearing),
+    ``getpid``, ``exit``.
+
+``FORCE_SLICE``
+    Calls the paper is "unsure about": SuperPin forks a fresh slice right
+    after them instead of recording.  We put ``open``/``close`` here.
+
+Every syscall produces a :class:`SyscallRecord` capturing its register
+result and memory writes, which is exactly the payload SuperPin's
+record-and-playback mechanism needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import SyscallError
+from ..isa import abi
+from ..isa.instructions import MASK64
+from ..isa.registers import A0, A1, A2, A3, RV
+from .cpu import CpuState
+from .memory import Memory, PAGE_WORDS
+
+# System-call classes (paper §4.2).
+REPLAY = "replay"
+EMULATE = "emulate"
+FORCE_SLICE = "force_slice"
+#: Thread operations: deterministic process-local state changes handled
+#: by the ThreadManager layer, re-executed (never replayed) in slices.
+THREAD = "thread"
+
+_CLASSIFICATION: dict[int, str] = {
+    abi.SYS_EXIT: REPLAY,
+    abi.SYS_WRITE: REPLAY,
+    abi.SYS_READ: REPLAY,
+    abi.SYS_TIME: REPLAY,
+    abi.SYS_GETPID: REPLAY,
+    abi.SYS_GETRANDOM: REPLAY,
+    abi.SYS_BRK: EMULATE,
+    abi.SYS_MMAP: EMULATE,
+    abi.SYS_MUNMAP: EMULATE,
+    abi.SYS_OPEN: FORCE_SLICE,
+    abi.SYS_CLOSE: FORCE_SLICE,
+    abi.SYS_THREAD_CREATE: THREAD,
+    abi.SYS_THREAD_EXIT: THREAD,
+    abi.SYS_THREAD_JOIN: THREAD,
+    abi.SYS_YIELD: THREAD,
+}
+
+
+def syscall_class(number: int) -> str:
+    """Return the SuperPin handling class for syscall ``number``."""
+    return _CLASSIFICATION.get(number, FORCE_SLICE)
+
+
+@dataclass
+class SyscallRecord:
+    """Everything needed to play a syscall back in a slice."""
+
+    number: int
+    args: tuple[int, ...]
+    retval: int
+    #: Guest-memory words written by the kernel: (address, new value).
+    mem_writes: tuple[tuple[int, int], ...] = ()
+    klass: str = REPLAY
+
+    @property
+    def name(self) -> str:
+        return abi.SYSCALL_NAMES.get(self.number, f"sys_{self.number}")
+
+
+@dataclass
+class SyscallOutcome:
+    """Result of dispatching one syscall."""
+
+    record: SyscallRecord
+    exited: bool = False
+    exit_code: int = 0
+
+
+@dataclass
+class MemLayout:
+    """Forkable address-space layout state (brk pointer, mmap arena).
+
+    Slices fork this at their start point so EMULATE-class calls
+    re-executed inside a slice produce byte-identical addresses — the
+    paper's "the anonymous mmap call can be repeated given the same
+    address".
+    """
+
+    brk: int = 0
+    mmap_cursor: int = abi.MMAP_BASE
+    #: Active anonymous mappings: base -> length.
+    mappings: dict[int, int] = field(default_factory=dict)
+
+    def fork(self) -> "MemLayout":
+        return MemLayout(self.brk, self.mmap_cursor, dict(self.mappings))
+
+    def do_brk(self, new_brk: int) -> int:
+        if new_brk:
+            self.brk = new_brk
+        return self.brk
+
+    def do_mmap(self, hint: int, length: int) -> int:
+        if length <= 0:
+            raise SyscallError(f"mmap length {length} must be positive")
+        if hint and not self._collides(hint, length):
+            base = hint
+        else:
+            base = _page_align(self.mmap_cursor)
+            while self._collides(base, length):
+                base = _page_align(base + length)
+        self.mappings[base] = length
+        if base + length > self.mmap_cursor:
+            self.mmap_cursor = _page_align(base + length)
+        return base
+
+    def do_munmap(self, base: int, length: int) -> int:
+        existing = self.mappings.get(base)
+        if existing is None or existing != length:
+            raise SyscallError(
+                f"munmap({base:#x}, {length}) does not match a mapping")
+        del self.mappings[base]
+        return 0
+
+    def _collides(self, base: int, length: int) -> bool:
+        end = base + length
+        return any(base < mb + ml and mb < end
+                   for mb, ml in self.mappings.items())
+
+
+def _page_align(addr: int) -> int:
+    return (addr + PAGE_WORDS - 1) & ~(PAGE_WORDS - 1)
+
+
+class Kernel:
+    """The live kernel, used by native runs and by the SuperPin master.
+
+    Globally stateful pieces (the monotonic clock, the seeded RNG, file
+    positions) are what force SuperPin to record REPLAY-class calls: a
+    slice naively re-executing ``time`` or ``getrandom`` would observe a
+    *later* kernel state and diverge from the master.
+    """
+
+    def __init__(self, seed: int = 0, stdin: str = "",
+                 files: dict[str, str] | None = None, pid: int = 1000):
+        self.layout = MemLayout()
+        self.pid = pid
+        self._rng = random.Random(seed)
+        #: Monotonic virtual clock, advanced on every syscall.
+        self._clock_ns = 1_000_000
+        self.stdout: list[int] = []
+        self.stderr: list[int] = []
+        self._stdin = [ord(ch) for ch in stdin]
+        self._stdin_pos = 0
+        #: path -> file content (one char code per word).
+        self.files: dict[str, list[int]] = {
+            path: [ord(ch) for ch in data]
+            for path, data in (files or {}).items()}
+        #: fd -> (path, position); fds 0-2 are std streams.
+        self._fds: dict[int, list] = {}
+        self._next_fd = 3
+        self.syscall_count = 0
+
+    # -- public helpers ------------------------------------------------------
+
+    def stdout_text(self) -> str:
+        """Decode the stdout word stream as text."""
+        return "".join(chr(w & 0x10FFFF) for w in self.stdout)
+
+    def stderr_text(self) -> str:
+        return "".join(chr(w & 0x10FFFF) for w in self.stderr)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def do_syscall(self, cpu: CpuState, mem: Memory) -> SyscallOutcome:
+        """Execute the syscall described by the current register state.
+
+        Sets ``rv`` and applies memory effects directly, and returns the
+        :class:`SyscallOutcome` whose record makes the call replayable.
+        """
+        self.syscall_count += 1
+        self._clock_ns += 7_919  # advance the clock on every kernel entry
+        number = cpu.regs[A0]
+        args = (cpu.regs[A1], cpu.regs[A2], cpu.regs[A3])
+        klass = syscall_class(number)
+        mem_writes: list[tuple[int, int]] = []
+        exited = False
+        exit_code = 0
+
+        if number == abi.SYS_EXIT:
+            retval = 0
+            exited = True
+            exit_code = args[0]
+        elif number == abi.SYS_WRITE:
+            retval = self._do_write(mem, *args)
+        elif number == abi.SYS_READ:
+            retval = self._do_read(mem, mem_writes, *args)
+        elif number == abi.SYS_BRK:
+            retval = self.layout.do_brk(args[0])
+        elif number == abi.SYS_MMAP:
+            retval = self.layout.do_mmap(args[0], args[1])
+        elif number == abi.SYS_MUNMAP:
+            retval = self.layout.do_munmap(args[0], args[1])
+        elif number == abi.SYS_OPEN:
+            retval = self._do_open(mem, *args)
+        elif number == abi.SYS_CLOSE:
+            retval = self._do_close(args[0])
+        elif number == abi.SYS_TIME:
+            retval = self._clock_ns
+        elif number == abi.SYS_GETPID:
+            retval = self.pid
+        elif number == abi.SYS_GETRANDOM:
+            retval = self._do_getrandom(mem, mem_writes, args[0], args[1])
+        elif klass == THREAD:
+            raise SyscallError(
+                f"{abi.SYSCALL_NAMES[number]} reached the kernel; thread "
+                f"operations are handled by the ThreadManager layer",
+                pc=cpu.pc)
+        else:
+            raise SyscallError(f"unknown syscall number {number}", pc=cpu.pc)
+
+        retval &= MASK64
+        cpu.regs[RV] = retval
+        record = SyscallRecord(number=number, args=args, retval=retval,
+                               mem_writes=tuple(mem_writes), klass=klass)
+        return SyscallOutcome(record=record, exited=exited,
+                              exit_code=exit_code)
+
+    # -- individual calls ----------------------------------------------------
+
+    def _do_write(self, mem: Memory, fd: int, buf: int, length: int) -> int:
+        data = mem.read_block(buf, length)
+        if fd == abi.FD_STDOUT:
+            self.stdout.extend(data)
+        elif fd == abi.FD_STDERR:
+            self.stderr.extend(data)
+        else:
+            entry = self._fds.get(fd)
+            if entry is None:
+                raise SyscallError(f"write to bad fd {fd}")
+            self.files[entry[0]].extend(data)
+        return length
+
+    def _do_read(self, mem: Memory, mem_writes: list[tuple[int, int]],
+                 fd: int, buf: int, length: int) -> int:
+        if fd == abi.FD_STDIN:
+            avail = self._stdin[self._stdin_pos:self._stdin_pos + length]
+            self._stdin_pos += len(avail)
+        else:
+            entry = self._fds.get(fd)
+            if entry is None:
+                raise SyscallError(f"read from bad fd {fd}")
+            path, pos = entry
+            avail = self.files[path][pos:pos + length]
+            entry[1] = pos + len(avail)
+        for i, word in enumerate(avail):
+            mem.write(buf + i, word)
+            mem_writes.append((buf + i, word))
+        return len(avail)
+
+    def _do_open(self, mem: Memory, path_buf: int, path_len: int,
+                 flags: int) -> int:
+        path = "".join(chr(w & 0x10FFFF)
+                       for w in mem.read_block(path_buf, path_len))
+        create = bool(flags & 1)
+        if path not in self.files:
+            if not create:
+                return MASK64  # -1: ENOENT
+            self.files[path] = []
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = [path, 0]
+        return fd
+
+    def _do_close(self, fd: int) -> int:
+        if fd in self._fds:
+            del self._fds[fd]
+            return 0
+        return MASK64  # -1: EBADF
+
+    def _do_getrandom(self, mem: Memory, mem_writes: list[tuple[int, int]],
+                      buf: int, length: int) -> int:
+        for i in range(length):
+            word = self._rng.getrandbits(64)
+            mem.write(buf + i, word)
+            mem_writes.append((buf + i, word))
+        return length

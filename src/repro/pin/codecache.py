@@ -1,0 +1,88 @@
+"""Code cache: compiled traces plus the memory-bubble accounting.
+
+Pin stores generated code in a cache allocated inside the guest address
+space.  SuperPin reserves a large anonymous "bubble" at startup and
+releases it in each slice right after the fork so cache allocations land
+there, away from application memory (paper §4.1).  We mirror that with a
+bump allocator over the bubble region: every compiled trace consumes a
+deterministic number of bubble words, and exhausting the bubble flushes
+the cache (as a real code cache would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import abi
+
+#: Symbolic code-expansion factor: one guest instruction compiles into
+#: this many cache words (call-saving stubs, inlined checks, links).
+WORDS_PER_COMPILED_INS = 4
+TRACE_HEADER_WORDS = 16
+
+
+@dataclass
+class CacheStats:
+    """Counters consumed by the timing model and the benchmarks."""
+
+    compiles: int = 0
+    compiled_ins: int = 0
+    lookups: int = 0
+    hits: int = 0
+    flushes: int = 0
+    allocated_words: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CodeCache:
+    """Maps trace start address -> compiled trace, with bubble accounting."""
+
+    def __init__(self, bubble_base: int = abi.BUBBLE_BASE,
+                 bubble_words: int = abi.BUBBLE_WORDS):
+        self.bubble_base = bubble_base
+        self.bubble_words = bubble_words
+        self._traces: dict[int, object] = {}
+        self._cursor = bubble_base
+        self.stats = CacheStats()
+        #: Every insert as (address, num_ins) — consumed by the shared
+        #: code-cache directory to attribute compile costs.
+        self.insert_log: list[tuple[int, int]] = []
+
+    def lookup(self, address: int):
+        """Return the compiled trace at ``address`` or None (counted)."""
+        self.stats.lookups += 1
+        trace = self._traces.get(address)
+        if trace is not None:
+            self.stats.hits += 1
+        return trace
+
+    def insert(self, address: int, trace, num_ins: int) -> None:
+        """Store a compiled trace, charging bubble space; flush if full."""
+        need = TRACE_HEADER_WORDS + num_ins * WORDS_PER_COMPILED_INS
+        if self._cursor + need > self.bubble_base + self.bubble_words:
+            self.flush()
+        self._cursor += need
+        self.stats.allocated_words += need
+        self.stats.compiles += 1
+        self.stats.compiled_ins += num_ins
+        self.insert_log.append((address, num_ins))
+        self._traces[address] = trace
+
+    def flush(self) -> None:
+        """Drop every compiled trace (bubble exhausted or invalidation)."""
+        self._traces.clear()
+        self._cursor = self.bubble_base
+        self.stats.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._traces

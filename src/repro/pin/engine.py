@@ -1,0 +1,224 @@
+"""The Pin virtual machine: dispatcher + code cache + JIT + emulator.
+
+One :class:`PinVM` instruments one guest process.  The structure mirrors
+the paper's description of Pin (§2.2): a dispatcher decides whether the
+next region is already in the code cache or must be compiled; the JIT
+compiles and instruments traces; system calls are emulated through the
+process's syscall handler (the seam SuperPin's record/playback plugs
+into).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import GuestFault
+from ..machine.kernel import SyscallOutcome
+from ..machine.process import Process
+from .codecache import CodeCache
+from .jit import CompiledTrace, EXIT_GUEST, Jit, StopRun
+from .trace import MAX_TRACE_INS
+
+
+class RunState(enum.Enum):
+    """Why :meth:`PinVM.run` returned."""
+
+    EXIT = "exit"        # guest exited normally
+    STOPPED = "stopped"  # an analysis routine raised StopRun
+    BUDGET = "budget"    # instruction budget exhausted (runaway guard)
+
+
+@dataclass
+class PinRunResult:
+    """Execution statistics for one :meth:`PinVM.run` call."""
+
+    state: RunState
+    instructions: int
+    traces_executed: int
+    analysis_calls: int
+    inline_checks: int
+    syscalls: int
+    exit_code: int = 0
+    #: Payload attached by the StopRun raiser (e.g. the signature detector).
+    stop_token: object | None = None
+
+
+class PinVM:
+    """Dynamic instrumentation engine for one guest process."""
+
+    def __init__(self, process: Process,
+                 max_trace_ins: int = MAX_TRACE_INS,
+                 forced_boundaries: frozenset[int] | None = None,
+                 code_cache: CodeCache | None = None,
+                 jit_backend: str = "closure"):
+        self.process = process
+        self.cpu = process.cpu
+        self.mem = process.mem
+        self.max_trace_ins = max_trace_ins
+        self.forced_boundaries = forced_boundaries or frozenset()
+        # Note: an empty CodeCache is falsy (it has __len__), so test
+        # identity rather than truth.
+        self.cache = code_cache if code_cache is not None else CodeCache()
+        if jit_backend == "closure":
+            self.jit = Jit(self)
+        elif jit_backend == "source":
+            from .pyjit import SourceJit
+            self.jit = SourceJit(self)
+        else:
+            from ..errors import ConfigError
+            raise ConfigError(
+                f"unknown jit_backend {jit_backend!r}; "
+                f"choose 'closure' or 'source'")
+        self.jit_backend = jit_backend
+        #: Unwind markers maintained by generated code (source backend).
+        self._stop_pc = 0
+        self._stop_count = 0
+        #: (callback, value) pairs called for every newly compiled trace.
+        self.trace_callbacks: list[tuple[object, object]] = []
+        #: Called with each SyscallOutcome right after a syscall executes.
+        self.syscall_observers: list[object] = []
+        #: [analysis_calls, inline_checks] — mutated by compiled steps.
+        self.counters = [0, 0]
+        self.exited = False
+        self.exit_code = 0
+        self.total_instructions = 0
+        self.total_traces_executed = 0
+        self.total_syscalls = 0
+
+    # -- instrumentation registration ---------------------------------------
+
+    def add_trace_callback(self, callback, value: object = None) -> None:
+        """Register ``callback(trace, value)`` (TRACE_AddInstrumentFunction).
+
+        Adding a callback invalidates previously compiled code, exactly as
+        late instrumentation does in Pin.
+        """
+        self.trace_callbacks.append((callback, value))
+        if len(self.cache):
+            self.cache.flush()
+
+    def add_syscall_observer(self, observer) -> None:
+        """Register ``observer(outcome)`` called after every syscall."""
+        self.syscall_observers.append(observer)
+
+    # -- syscall plumbing ----------------------------------------------------
+
+    def dispatch_syscall(self) -> SyscallOutcome:
+        """Route a guest syscall through the process's handler."""
+        outcome = self.process.syscall_handler.do_syscall(self.cpu, self.mem)
+        self.total_syscalls += 1
+        if outcome.exited:
+            self.exited = True
+            self.exit_code = outcome.exit_code
+            self.process.exited = True
+            self.process.exit_code = outcome.exit_code
+        for observer in self.syscall_observers:
+            observer(outcome)
+        return outcome
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_instructions: int | None = None) -> PinRunResult:
+        """Execute the guest under instrumentation.
+
+        Runs until the guest exits, an analysis routine raises
+        :class:`StopRun`, or ``max_instructions`` is exceeded (checked at
+        trace granularity — it is a runaway guard, not a precise budget).
+        """
+        cpu = self.cpu
+        cache = self.cache
+        jit = self.jit
+        counters = self.counters
+        start_calls, start_checks = counters
+        start_syscalls = self.total_syscalls
+        executed = 0
+        traces_executed = 0
+        budget = max_instructions if max_instructions is not None else -1
+        state = RunState.EXIT
+        stop_token: object | None = None
+
+        pc = cpu.pc
+        while not self.exited:
+            if budget >= 0 and executed >= budget:
+                state = RunState.BUDGET
+                break
+            trace: CompiledTrace | None = cache.lookup(pc)
+            if trace is None:
+                trace = jit.compile(pc)
+                cache.insert(pc, trace, trace.num_ins)
+            traces_executed += 1
+
+            if trace.is_source:
+                # Generated-code backend: one call runs the whole trace.
+                try:
+                    result, completed = trace.fn()
+                except StopRun as stop:
+                    executed += self._stop_count
+                    cpu.pc = self._stop_pc
+                    state = RunState.STOPPED
+                    stop_token = stop.args[0] if stop.args else None
+                    break
+                except GuestFault:
+                    self.total_instructions += executed + self._stop_count
+                    self.total_traces_executed += traces_executed
+                    raise
+                executed += completed
+                if result is None:
+                    assert trace.fall_address is not None
+                    pc = trace.fall_address
+                elif result == EXIT_GUEST:
+                    break
+                else:
+                    pc = result
+                cpu.pc = pc
+                continue
+
+            steps = trace.steps
+            n = trace.num_ins
+            i = 0
+            result: int | None = None
+            try:
+                while i < n:
+                    result = steps[i]()
+                    if result is None:
+                        i += 1
+                        continue
+                    break
+            except StopRun as stop:
+                executed += i
+                cpu.pc = trace.addresses[i]
+                state = RunState.STOPPED
+                stop_token = stop.args[0] if stop.args else None
+                break
+            except GuestFault:
+                self.total_instructions += executed + i
+                self.total_traces_executed += traces_executed
+                raise
+
+            if result is None:  # fell off the end of the trace
+                executed += n
+                assert trace.fall_address is not None
+                pc = trace.fall_address
+            elif result == EXIT_GUEST:
+                executed += i + 1
+                break
+            else:
+                executed += i + 1
+                pc = result
+            cpu.pc = pc
+
+        if self.exited:
+            state = RunState.EXIT
+        self.total_instructions += executed
+        self.total_traces_executed += traces_executed
+        return PinRunResult(
+            state=state,
+            instructions=executed,
+            traces_executed=traces_executed,
+            analysis_calls=counters[0] - start_calls,
+            inline_checks=counters[1] - start_checks,
+            syscalls=self.total_syscalls - start_syscalls,
+            exit_code=self.exit_code,
+            stop_token=stop_token,
+        )

@@ -1,0 +1,100 @@
+"""Pintool base class and run helpers.
+
+A Pintool is an object that instruments a guest program and accumulates
+analysis state.  The lifecycle mirrors a real Pintool's ``main``:
+
+1. :meth:`Pintool.setup` runs once before the program starts.  This is
+   where a SuperPin-aware tool calls ``sp.SP_Init``, creates shared areas
+   and registers merge functions (paper Figure 2) through the ``sp``
+   handle it receives — a live SuperPin control object in SuperPin mode,
+   a null implementation otherwise, so the *same tool source* runs in
+   both modes just like the paper's tools do.
+2. :meth:`Pintool.instrument_trace` is registered as a trace callback and
+   attaches analysis calls.
+3. :meth:`Pintool.fini` runs after the program (and, under SuperPin, all
+   slices) complete.
+
+Tool instances are deep-copied into every slice — the in-simulation
+equivalent of ``fork`` duplicating the tool's address space.  Shared
+areas opt out of the copy (see :mod:`repro.superpin.sharedmem`).
+"""
+
+from __future__ import annotations
+
+from ..machine.kernel import Kernel
+from ..machine.process import load_program
+from .engine import PinRunResult, PinVM, RunState
+
+
+class NullSuperPin:
+    """The ``sp`` handle handed to tools when SuperPin is disabled.
+
+    Matches the paper's API contract: ``SP_Init`` returns False and
+    ``SP_CreateSharedArea`` hands back the tool's local data.
+    """
+
+    is_superpin = False
+
+    def SP_Init(self, reset_fun=None) -> bool:
+        return False
+
+    def SP_CreateSharedArea(self, local_data, size: int = 0,
+                            auto_merge=None):
+        return local_data
+
+    def SP_AddSliceBeginFunction(self, fun, value=None) -> None:
+        pass
+
+    def SP_AddSliceEndFunction(self, fun, value=None) -> None:
+        pass
+
+    def SP_EndSlice(self) -> None:
+        pass
+
+
+class Pintool:
+    """Base class for analysis tools."""
+
+    name = "pintool"
+
+    def setup(self, sp) -> None:
+        """One-time initialization; ``sp`` is the SuperPin API handle."""
+
+    def instrument_trace(self, trace, vm: PinVM) -> None:
+        """Attach analysis calls to a freshly built trace."""
+        raise NotImplementedError
+
+    def fini(self) -> None:
+        """Called once after the program completes."""
+
+    # -- convenience ---------------------------------------------------------
+
+    def activate(self, vm: PinVM) -> None:
+        """Register this tool's instrumentation on ``vm``."""
+        vm.add_trace_callback(
+            lambda trace, value, _vm=vm: self.instrument_trace(trace, _vm))
+
+    def report(self) -> dict:
+        """Machine-readable results; tools override for their own schema."""
+        return {}
+
+
+def run_with_pin(program, tool: Pintool, kernel: Kernel | None = None,
+                 max_instructions: int | None = None,
+                 jit_backend: str = "closure"
+                 ) -> tuple[PinRunResult, PinVM, Kernel]:
+    """Classic (serial) Pin execution: the paper's baseline mode.
+
+    Loads ``program``, instruments it with ``tool`` and runs it to
+    completion under the Pin VM.  Returns the run result, the VM (for its
+    statistics) and the kernel (for guest output).
+    """
+    kernel = kernel if kernel is not None else Kernel()
+    process = load_program(program, kernel)
+    vm = PinVM(process, jit_backend=jit_backend)
+    tool.setup(NullSuperPin())
+    tool.activate(vm)
+    result = vm.run(max_instructions=max_instructions)
+    if result.state is RunState.EXIT:
+        tool.fini()
+    return result, vm, kernel

@@ -1,0 +1,243 @@
+"""Trace / basic-block / instruction inspection objects.
+
+When the JIT compiles a code region it materializes a :class:`TraceObj`
+made of :class:`Bbl` basic blocks made of :class:`Ins` instructions, and
+hands it to every registered trace-instrumentation callback — exactly
+Pin's ``TRACE``/``BBL``/``INS`` object model.  Callbacks attach analysis
+calls to individual instructions; the JIT then lowers the annotated trace
+into executable steps.
+
+Trace-building rules (a faithful simplification of Pin's):
+
+* a trace starts at the requested address and extends over straight-line
+  and conditional-fall-through code;
+* a conditional branch ends the current *basic block* but not the trace;
+* an unconditional transfer (``j``/``jr``/``call``/``callr``/``ret``), a
+  ``syscall``, a ``halt``, the instruction-count cap, or a *forced
+  boundary* (used by SuperPin's signature detection, §4.4) ends the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InstrumentationError
+from ..isa.disassembler import disassemble_word
+from ..isa.encoding import decode
+from ..isa.instructions import INFO, Op, OpInfo
+from .args import IPoint, parse_iargs
+
+#: Maximum instructions per trace (mirrors Pin's trace length cap).
+MAX_TRACE_INS = 64
+
+
+@dataclass
+class _Call:
+    """One analysis call attached to an instruction."""
+
+    fn: object
+    specs: list
+    ipoint: IPoint
+
+
+class Ins:
+    """One decoded instruction inside a trace being instrumented."""
+
+    __slots__ = ("address", "raw", "op", "rd", "rs", "rt", "imm", "info",
+                 "before_calls", "after_calls", "taken_calls", "if_then",
+                 "_pending_if", "_next")
+
+    def __init__(self, address: int, raw: int):
+        self.address = address
+        self.raw = raw
+        opnum, self.rd, self.rs, self.rt, self.imm = decode(raw, pc=address)
+        self.op: Op = Op(opnum)
+        self.info: OpInfo = INFO[self.op]
+        self.before_calls: list[_Call] = []
+        self.after_calls: list[_Call] = []
+        self.taken_calls: list[_Call] = []
+        #: (if_call, then_call) pairs, paper §4.4's quick/full check shape.
+        self.if_then: list[tuple[_Call, _Call]] = []
+        self._pending_if: _Call | None = None
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_branch(self) -> bool:
+        return self.info.is_cond_branch or self.info.is_uncond
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.info.is_cond_branch
+
+    @property
+    def is_call(self) -> bool:
+        return self.info.is_call
+
+    @property
+    def is_ret(self) -> bool:
+        return self.info.is_ret
+
+    @property
+    def is_syscall(self) -> bool:
+        return self.info.is_syscall
+
+    @property
+    def is_memory_read(self) -> bool:
+        return self.info.is_mem_read
+
+    @property
+    def is_memory_write(self) -> bool:
+        return self.info.is_mem_write
+
+    @property
+    def mnemonic(self) -> str:
+        return self.op.name.lower()
+
+    def disassemble(self) -> str:
+        return disassemble_word(self.raw, address=self.address)
+
+    # -- instrumentation attachment ------------------------------------------
+
+    def insert_call(self, ipoint: IPoint, fn, *iargs) -> None:
+        """Attach an analysis call (``INS_InsertCall``)."""
+        specs = parse_iargs(iargs)
+        call = _Call(fn, specs, ipoint)
+        if ipoint is IPoint.BEFORE:
+            self.before_calls.append(call)
+        elif ipoint is IPoint.AFTER:
+            if self.info.is_control:
+                raise InstrumentationError(
+                    f"IPOINT_AFTER is invalid on control instruction "
+                    f"{self.disassemble()!r}; use IPOINT_TAKEN_BRANCH")
+            self.after_calls.append(call)
+        elif ipoint is IPoint.TAKEN_BRANCH:
+            if not self.is_branch:
+                raise InstrumentationError(
+                    f"IPOINT_TAKEN_BRANCH on non-branch "
+                    f"{self.disassemble()!r}")
+            self.taken_calls.append(call)
+        else:  # pragma: no cover
+            raise InstrumentationError(f"unknown ipoint {ipoint}")
+
+    def insert_if_call(self, ipoint: IPoint, fn, *iargs) -> None:
+        """Attach the predicate half of an if/then pair.
+
+        The JIT inlines the predicate (it is the cheap quick check of the
+        paper's signature detection); the paired ``insert_then_call`` runs
+        only when the predicate returns non-zero.
+        """
+        if ipoint is not IPoint.BEFORE:
+            raise InstrumentationError("if/then calls support IPOINT_BEFORE")
+        if self._pending_if is not None:
+            raise InstrumentationError(
+                "insert_if_call called twice without insert_then_call")
+        self._pending_if = _Call(fn, parse_iargs(iargs), ipoint)
+
+    def insert_then_call(self, ipoint: IPoint, fn, *iargs) -> None:
+        """Attach the expensive half of an if/then pair."""
+        if ipoint is not IPoint.BEFORE:
+            raise InstrumentationError("if/then calls support IPOINT_BEFORE")
+        if self._pending_if is None:
+            raise InstrumentationError(
+                "insert_then_call without a preceding insert_if_call")
+        self.if_then.append(
+            (self._pending_if, _Call(fn, parse_iargs(iargs), ipoint)))
+        self._pending_if = None
+
+    def __repr__(self) -> str:
+        return f"Ins({self.address:#x}: {self.disassemble()})"
+
+
+@dataclass
+class Bbl:
+    """A single-entry straight-line run of instructions."""
+
+    instructions: list[Ins] = field(default_factory=list)
+    #: Next block in the trace, linked lazily by the C-style API.
+    _next: "Bbl | None" = None
+
+    @property
+    def address(self) -> int:
+        return self.instructions[0].address
+
+    @property
+    def head(self) -> Ins:
+        return self.instructions[0]
+
+    @property
+    def tail(self) -> Ins:
+        return self.instructions[-1]
+
+    @property
+    def num_ins(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"Bbl({self.address:#x}, {self.num_ins} ins)"
+
+
+class TraceObj:
+    """A compiled-unit-to-be: the object handed to trace callbacks."""
+
+    def __init__(self, address: int, bbls: list[Bbl],
+                 fall_address: int | None):
+        self.address = address
+        self.bbls = bbls
+        #: Address executed next when the trace falls off its end (None
+        #: when the trace ends in an unconditional transfer).
+        self.fall_address = fall_address
+
+    @property
+    def instructions(self) -> list[Ins]:
+        return [ins for bbl in self.bbls for ins in bbl.instructions]
+
+    @property
+    def num_ins(self) -> int:
+        return sum(bbl.num_ins for bbl in self.bbls)
+
+    def __repr__(self) -> str:
+        return (f"TraceObj({self.address:#x}, {len(self.bbls)} bbls, "
+                f"{self.num_ins} ins)")
+
+
+def build_trace(mem, start: int, forced_boundaries: frozenset[int] | None
+                = None, max_ins: int = MAX_TRACE_INS) -> TraceObj:
+    """Decode a trace from guest memory starting at ``start``.
+
+    ``forced_boundaries`` are addresses that must begin their own trace —
+    SuperPin registers its signature-detection address here so detection
+    always sits at a trace head and per-BBL tools (icount2) stay exact
+    when a slice stops there.
+    """
+    bbls: list[Bbl] = []
+    current = Bbl()
+    pc = start
+    total = 0
+    fall_address: int | None = None
+
+    while True:
+        if total >= max_ins or (forced_boundaries and pc != start
+                                and pc in forced_boundaries):
+            fall_address = pc
+            break
+        ins = Ins(pc, mem.read(pc))
+        current.instructions.append(ins)
+        total += 1
+        pc += 1
+        info = ins.info
+        if info.is_control:
+            bbls.append(current)
+            current = Bbl()
+            if info.is_cond_branch:
+                continue  # fall-through extends the trace
+            if info.is_syscall:
+                fall_address = pc
+            break
+
+    if current.instructions:
+        bbls.append(current)
+    return TraceObj(start, bbls, fall_address)

@@ -1,0 +1,79 @@
+"""Machine model: CPUs, hyperthreading, SMP scalability.
+
+The paper's testbed is an 8-way 2.2 GHz Xeon MP with hyperthreading
+(16 virtual processors).  We model the two throughput effects the paper
+calls out in §6.3:
+
+* **Hyperthreading** — when more tasks are active than physical cores,
+  pairs share a core; each member of a sharing pair runs at
+  ``ht_efficiency`` of a dedicated core (so a shared core delivers
+  ``2 * ht_efficiency`` total, > 1 but < 2).
+* **SMP scalability** — loading many cores taxes the memory system;
+  every active task slows by a factor growing with busy cores (the
+  paper verified this by loading the machine with native instances).
+
+Tasks are scheduled with uniform processor sharing: all active tasks
+progress simultaneously at :meth:`MachineModel.task_rate`.  This
+deterministic fluid model captures exactly the regimes Figure 7 sweeps:
+under-committed (rate 1), HT-committed (rate ~``ht_efficiency``) and the
+master's own slowdown when it must share its core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """An SMP with optional 2-way hyperthreading."""
+
+    physical_cpus: int = 8
+    hyperthreading: bool = True
+    #: Per-thread throughput when two threads share one core.
+    ht_efficiency: float = 0.65
+    #: Per-extra-busy-core SMP slowdown coefficient.
+    smp_alpha: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.physical_cpus < 1:
+            raise ConfigError("physical_cpus must be >= 1")
+        if not 0.5 <= self.ht_efficiency <= 1.0:
+            raise ConfigError("ht_efficiency must be in [0.5, 1.0]")
+        if self.smp_alpha < 0:
+            raise ConfigError("smp_alpha must be >= 0")
+
+    @property
+    def virtual_cpus(self) -> int:
+        return self.physical_cpus * (2 if self.hyperthreading else 1)
+
+    def capacity(self, active_tasks: int) -> float:
+        """Total throughput (in dedicated-core units) for ``n`` tasks."""
+        n = active_tasks
+        p = self.physical_cpus
+        if n <= 0:
+            return 0.0
+        if n <= p:
+            return float(n)
+        if not self.hyperthreading:
+            return float(p)
+        shared_pairs = min(n - p, p)
+        alone = p - shared_pairs
+        cap = alone + shared_pairs * 2 * self.ht_efficiency
+        return cap
+
+    def task_rate(self, active_tasks: int) -> float:
+        """Per-task progress rate (cycles of work per cycle of time)."""
+        n = active_tasks
+        if n <= 0:
+            return 1.0
+        rate = self.capacity(n) / n
+        busy_cores = min(n, self.physical_cpus)
+        rate /= 1.0 + self.smp_alpha * (busy_cores - 1)
+        return rate
+
+
+#: The paper's testbed.
+PAPER_MACHINE = MachineModel(physical_cpus=8, hyperthreading=True)

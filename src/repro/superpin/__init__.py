@@ -1,0 +1,37 @@
+"""SuperPin: fork-parallelized dynamic instrumentation (the paper's core).
+
+Public surface:
+
+* :func:`run_superpin` — end-to-end SuperPin execution of a program+tool;
+* :class:`SuperPinConfig` / :func:`parse_switches` — the ``-sp*`` switches;
+* :class:`SPControl` — the tool-facing SP API;
+* :class:`SharedArea` / :class:`AutoMerge` — cross-slice result memory;
+* the lower-level phases (control process, signatures, slices, merge) for
+  tests, ablations and extensions.
+"""
+
+from .api import END_SLICE_TOKEN, SliceToolContext, SPControl
+from .control import (Boundary, BoundaryReason, ControlProcess, Interval,
+                      MasterTimeline)
+from .merge import merge_slices
+from .runtime import run_superpin, SuperPinReport
+from .sharedcache import SharedCacheStats, SharedCodeCacheDirectory
+from .sharedmem import AutoMerge, SharedArea
+from .signature import (DEFAULT_QUICK_REGS, DetectionStats,
+                        record_signature, select_quick_registers, Signature,
+                        SignatureDetector)
+from .slices import run_slice, SliceEnd, SliceResult
+from .switches import DEFAULT_CLOCK_HZ, parse_switches, SuperPinConfig
+from .sysrecord import PlaybackHandler, RecordedSyscall
+
+__all__ = [
+    "END_SLICE_TOKEN", "SliceToolContext", "SPControl", "Boundary",
+    "BoundaryReason", "ControlProcess", "Interval", "MasterTimeline",
+    "merge_slices", "run_superpin", "SuperPinReport",
+    "SharedCacheStats", "SharedCodeCacheDirectory", "AutoMerge",
+    "SharedArea", "DEFAULT_QUICK_REGS", "DetectionStats",
+    "record_signature", "select_quick_registers", "Signature",
+    "SignatureDetector", "run_slice", "SliceEnd", "SliceResult",
+    "DEFAULT_CLOCK_HZ", "parse_switches", "SuperPinConfig",
+    "PlaybackHandler", "RecordedSyscall",
+]

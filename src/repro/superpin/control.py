@@ -1,0 +1,256 @@
+"""The control process: master supervision and slice-boundary policy.
+
+SuperPin runs the original application at full speed under a monitor (the
+paper uses ptrace; we use the interpreter's stop-after-syscall mode).
+After every system call the control process either records the call for
+playback or forces a new timeslice; independently, a timer bounds each
+timeslice (paper §4.2–§4.3).  At every boundary it captures a slice
+snapshot: a copy-on-write fork of the master's address space, the
+register file, and a fork of the kernel's layout state.
+
+The control phase is purely *functional*: it produces a
+:class:`MasterTimeline` describing what happened and when (in instruction
+time).  The discrete-event scheduler later replays this timeline against
+a machine model to produce wall-clock figures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..isa import abi
+from ..machine.interpreter import Interpreter, StopReason
+from ..machine.kernel import (EMULATE, FORCE_SLICE, Kernel, MemLayout,
+                              REPLAY, SyscallRecord, THREAD)
+from ..machine.threads import ThreadManager
+from ..machine.memory import Memory
+from ..machine.process import load_program, Process
+from ..isa.program import Program
+from .switches import SuperPinConfig
+from .sysrecord import RecordedSyscall
+
+
+class BoundaryReason(enum.Enum):
+    """Why a slice boundary was created."""
+
+    START = "start"              # program entry (first slice)
+    TIMEOUT = "timeout"          # timeslice timer expired (§4.3)
+    SYSCALL_FORCE = "syscall"    # unsure-effects syscall forced a slice
+    SYSREC_FULL = "sysrec_full"  # -spsysrecs record budget exhausted
+
+
+@dataclass
+class Boundary:
+    """A snapshot of the master at a slice boundary."""
+
+    index: int
+    reason: BoundaryReason
+    cpu_snapshot: tuple[int, tuple[int, ...]]
+    mem_fork: Memory
+    layout_fork: MemLayout
+    #: Forked thread-scheduler state (all thread contexts).
+    thread_fork: "ThreadManager | None"
+    #: Master instructions retired when this boundary was taken.
+    master_instructions: int
+    #: Master memory pages resident at fork time (fork-cost model input).
+    resident_pages: int
+
+
+@dataclass
+class Interval:
+    """The master's execution between boundary ``index`` and the next.
+
+    Slice ``index`` re-executes exactly this span under instrumentation.
+    """
+
+    index: int
+    records: list[RecordedSyscall] = field(default_factory=list)
+    instructions: int = 0
+    syscalls: int = 0
+    replay_records: int = 0
+    emulate_records: int = 0
+    #: COW page copies charged to the master during this interval.
+    master_cow_faults: int = 0
+    end_reason: BoundaryReason | None = None
+    #: True for the final interval (ends at program exit).
+    is_last: bool = False
+
+
+@dataclass
+class MasterTimeline:
+    """Everything the control process observed about the master run."""
+
+    boundaries: list[Boundary]
+    intervals: list[Interval]
+    exit_code: int
+    total_instructions: int
+    total_syscalls: int
+    kernel: Kernel
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.intervals)
+
+
+class ControlProcess:
+    """Supervises the uninstrumented master and cuts it into timeslices."""
+
+    def __init__(self, program: Program, config: SuperPinConfig,
+                 kernel: Kernel | None = None):
+        self.program = program
+        self.config = config
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.process: Process = load_program(self.program, self.kernel)
+        self._reserve_bubble()
+        self._record_counter = 0
+
+    def _reserve_bubble(self) -> None:
+        """Reserve the code-cache bubble before the application runs (§4.1).
+
+        The reservation keeps application ``mmap`` results identical
+        between master and slices even though slices later release the
+        bubble for their own code caches.
+        """
+        base = self.kernel.layout.do_mmap(abi.BUBBLE_BASE, abi.BUBBLE_WORDS)
+        if base != abi.BUBBLE_BASE:
+            raise ReproError(
+                f"bubble reservation landed at {base:#x}, expected "
+                f"{abi.BUBBLE_BASE:#x}")
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> MasterTimeline:
+        """Run the master to completion, producing the timeline."""
+        config = self.config
+        process = self.process
+        interp = Interpreter(process, stop_after_syscall=True)
+
+        boundaries: list[Boundary] = []
+        intervals: list[Interval] = []
+        boundaries.append(self._take_boundary(0, BoundaryReason.START, 0))
+        current = Interval(index=0)
+        budget = self._next_budget(0)
+        cow_mark = process.mem.cow_faults
+        exit_code = 0
+
+        while True:
+            result = interp.run(max_instructions=budget)
+            current.instructions += result.instructions
+            budget -= result.instructions
+
+            if result.reason is StopReason.EXIT:
+                if result.outcome is not None:
+                    # The exit syscall: the final slice replays it to stop.
+                    current.syscalls += 1
+                    self._append_record(current, result.outcome.record)
+                exit_code = process.exit_code
+                current.is_last = True
+                current.master_cow_faults = (process.mem.cow_faults
+                                             - cow_mark)
+                intervals.append(current)
+                break
+
+            if result.reason is StopReason.SYSCALL:
+                assert result.outcome is not None
+                record = result.outcome.record
+                current.syscalls += 1
+                boundary_reason = self._record_or_force(current, record)
+                if boundary_reason is None:
+                    continue
+            else:  # BUDGET: the timeslice timer fired
+                boundary_reason = BoundaryReason.TIMEOUT
+
+            # Cut a new timeslice at the current master state.
+            current.end_reason = boundary_reason
+            current.master_cow_faults = process.mem.cow_faults - cow_mark
+            cow_mark = process.mem.cow_faults
+            intervals.append(current)
+            boundaries.append(self._take_boundary(
+                len(boundaries), boundary_reason,
+                interp.total_instructions))
+            current = Interval(index=len(intervals))
+            budget = self._next_budget(interp.total_instructions)
+
+        return MasterTimeline(
+            boundaries=boundaries,
+            intervals=intervals,
+            exit_code=exit_code,
+            total_instructions=interp.total_instructions,
+            total_syscalls=interp.total_syscalls,
+            kernel=self.kernel,
+        )
+
+    def _next_budget(self, executed_instructions: int) -> int:
+        """Instruction budget for the next timeslice.
+
+        With adaptive throttling (paper §8's future-work proposal, here
+        approximated with a profile-guided expected duration) the
+        timeslice shrinks as the application nears its expected end:
+        the remaining work is spread over ``spmp + 1`` slices, which
+        geometrically shrinks the final slices and with them the
+        pipeline delay.  A wrong estimate degrades gracefully: past the
+        expected end the standard interval is used again.
+        """
+        config = self.config
+        standard = config.timeslice_instructions
+        if not (config.spadaptive and config.expected_duration_msec):
+            return standard
+        expected_total = (config.expected_duration_msec * config.clock_hz
+                          // 1000)
+        remaining = expected_total - executed_instructions
+        if remaining <= 0:
+            return standard
+        floor = max(1, config.min_timeslice_msec * config.clock_hz // 1000)
+        throttled = remaining // (config.spmp + 1)
+        return max(floor, min(standard, throttled))
+
+    # -- policy ---------------------------------------------------------------
+
+    def _record_or_force(self, interval: Interval,
+                         record: SyscallRecord) -> BoundaryReason | None:
+        """Apply §4.2's per-syscall policy.
+
+        Returns a boundary reason when the call must end the timeslice,
+        or None when the master simply continues.  The boundary-causing
+        call is always appended to the interval's records so the covering
+        slice can execute through its own final instruction.
+        """
+        config = self.config
+        if record.klass in (EMULATE, THREAD):
+            self._append_record(interval, record)
+            interval.emulate_records += 1
+            return None
+        if record.klass == FORCE_SLICE:
+            self._append_record(interval, record)
+            return BoundaryReason.SYSCALL_FORCE
+        # REPLAY class.
+        self._append_record(interval, record)
+        interval.replay_records += 1
+        if config.spsysrecs == 0:
+            return BoundaryReason.SYSCALL_FORCE
+        if interval.replay_records >= config.spsysrecs:
+            return BoundaryReason.SYSREC_FULL
+        return None
+
+    def _append_record(self, interval: Interval,
+                       record: SyscallRecord) -> None:
+        interval.records.append(
+            RecordedSyscall(record=record, global_index=self._record_counter))
+        self._record_counter += 1
+
+    def _take_boundary(self, index: int, reason: BoundaryReason,
+                       master_instructions: int) -> Boundary:
+        process = self.process
+        manager = process.thread_manager
+        return Boundary(
+            index=index,
+            reason=reason,
+            cpu_snapshot=process.cpu.snapshot(),
+            mem_fork=process.mem.fork(),
+            layout_fork=self.kernel.layout.fork(),
+            thread_fork=manager.fork() if manager is not None else None,
+            master_instructions=master_instructions,
+            resident_pages=process.mem.resident_pages,
+        )

@@ -1,0 +1,33 @@
+"""Result merging (paper §4.5).
+
+Merging is *slice ordered* to aid determinism: slice k's results are
+folded into the shared areas before slice k+1's, regardless of the order
+the slices (conceptually) finished in.  Two mechanisms compose:
+
+1. auto-merged shared areas absorb each slice's copy of the registered
+   local data according to their :class:`AutoMerge` mode;
+2. registered slice-end functions run in the slice's own tool context,
+   performing any manual merging (Figure 2's ``Merge``).
+"""
+
+from __future__ import annotations
+
+from .api import SPControl
+from .sharedmem import AutoMerge
+from .slices import SliceResult
+
+
+def merge_slices(sp: SPControl, results: list[SliceResult]) -> None:
+    """Fold every slice's results into the shared state, in slice order."""
+    ordered = sorted(results, key=lambda r: r.index)
+    for result in ordered:
+        _merge_one(sp, result)
+
+
+def _merge_one(sp: SPControl, result: SliceResult) -> None:
+    ctx = result.tool_ctx
+    for area, local in zip(sp.areas, ctx.area_locals):
+        if area.auto_merge is not AutoMerge.NONE and local is not None:
+            area.merge_from(local)
+    for fun, value in ctx.end_functions:
+        fun(result.index, value)

@@ -1,0 +1,174 @@
+"""SuperPin runtime: the top-level orchestrator.
+
+``run_superpin(program, tool, config)`` performs the full pipeline:
+
+1. **Setup** — the tool registers itself through the SP API (§5).
+2. **Control phase** — the master runs uninstrumented under the control
+   process, which records syscalls and cuts timeslices (§4.1–§4.3).
+3. **Signature phase** — each boundary's signature is recorded from its
+   snapshot, with the adaptive quick-register lookahead (§4.4).
+4. **Slice phase** — every timeslice re-executes under instrumentation
+   from its fork snapshot until it detects the next signature (§3).
+5. **Merge phase** — slice results fold into the shared areas in slice
+   order; the master tool's ``fini`` runs last (§4.5).
+6. **Timing phase** — the discrete-event scheduler replays the run
+   against the machine model to produce wall-clock figures (§6).
+
+Functionally the pipeline is sequential; the *timing* phase is where the
+paper's parallelism lives.  This is sound because slice contents are
+fully determined at fork time (record/playback removes every kernel
+dependence), so execution order cannot change any result — the property
+SuperPin itself relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..isa.program import Program
+from ..machine.cpu import CpuState
+from ..machine.kernel import Kernel
+from ..pin.pintool import Pintool
+from ..sched.events import simulate
+from ..sched.machine_model import MachineModel, PAPER_MACHINE
+from ..sched.stats import TimingReport
+from ..sched.timing import CostModel, DEFAULT_COST_MODEL
+from .api import SliceToolContext, SPControl
+from .control import ControlProcess, MasterTimeline
+from .merge import merge_slices
+from .signature import (DEFAULT_QUICK_REGS, record_signature,
+                        select_quick_registers, Signature)
+from .slices import run_slice, SliceResult
+from .switches import SuperPinConfig
+
+
+@dataclass
+class SuperPinReport:
+    """Everything a caller might want to know about one SuperPin run."""
+
+    config: SuperPinConfig
+    timeline: MasterTimeline
+    slices: list[SliceResult]
+    signatures: list[Signature]
+    tool: Pintool
+    timing: TimingReport | None
+    exit_code: int
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.slices)
+
+    @property
+    def total_slice_instructions(self) -> int:
+        return sum(s.instructions for s in self.slices)
+
+    @property
+    def all_exact(self) -> bool:
+        """True when every slice covered exactly its master interval."""
+        return all(s.exact for s in self.slices)
+
+    @property
+    def stdout(self) -> str:
+        return self.timeline.kernel.stdout_text()
+
+    def detection_summary(self) -> dict[str, float]:
+        """Aggregate §4.4 statistics across all detecting slices."""
+        quick = sum(s.detection.quick_checks for s in self.slices
+                    if s.detection)
+        full = sum(s.detection.full_checks for s in self.slices
+                   if s.detection)
+        stack = sum(s.detection.stack_checks for s in self.slices
+                    if s.detection)
+        return {
+            "quick_checks": quick,
+            "full_checks": full,
+            "stack_checks": stack,
+            "full_check_rate": (full / quick) if quick else 0.0,
+        }
+
+
+def run_superpin(program: Program, tool: Pintool,
+                 config: SuperPinConfig | None = None,
+                 kernel: Kernel | None = None,
+                 machine: MachineModel = PAPER_MACHINE,
+                 cost: CostModel = DEFAULT_COST_MODEL,
+                 compute_timing: bool = True) -> SuperPinReport:
+    """Run ``program`` with ``tool`` under SuperPin end to end."""
+    config = config or SuperPinConfig()
+    if not config.sp:
+        raise ConfigError("run_superpin called with sp disabled; "
+                          "use repro.pin.run_with_pin instead")
+
+    # 1. Tool setup through the SP API.
+    sp = SPControl(config)
+    tool.setup(sp)
+    if not sp.initialized:
+        raise ConfigError(
+            f"tool {tool.name!r} did not call SP_Init; SuperPin requires "
+            f"tools written against the SP API (paper §5)")
+    template = SliceToolContext.from_control(tool, sp)
+
+    # 2. Control phase: run the master, cut timeslices.
+    control = ControlProcess(program, config, kernel=kernel)
+    timeline = control.run()
+
+    # 3+4. Signatures and slices.  Slice k needs boundary k+1's signature,
+    # which must be captured before slice k+1 mutates its fork snapshot —
+    # running in slice order satisfies both.
+    signatures: list[Signature] = []
+    results: list[SliceResult] = []
+    boundaries = timeline.boundaries
+    shared_directory = None
+    if config.spsharedcache:
+        from .sharedcache import SharedCodeCacheDirectory
+        shared_directory = SharedCodeCacheDirectory()
+    for k, interval in enumerate(timeline.intervals):
+        end_signature: Signature | None = None
+        if k + 1 < len(boundaries):
+            end_signature = _record_boundary_signature(
+                boundaries[k + 1], config)
+            signatures.append(end_signature)
+        results.append(run_slice(boundaries[k], interval, end_signature,
+                                 template, sp, config,
+                                 shared_directory=shared_directory))
+
+    # 5. Merge in slice order, then fini on the master tool.
+    merge_slices(sp, results)
+    tool.fini()
+
+    # 6. Timing.
+    timing = (simulate(timeline, results, config, machine=machine,
+                       cost=cost) if compute_timing else None)
+    return SuperPinReport(
+        config=config,
+        timeline=timeline,
+        slices=results,
+        signatures=signatures,
+        tool=tool,
+        timing=timing,
+        exit_code=timeline.exit_code,
+    )
+
+
+def _record_boundary_signature(boundary, config: SuperPinConfig
+                               ) -> Signature:
+    """Record the signature of a boundary snapshot (recording mode).
+
+    Runs the quick-register lookahead on a scratch fork of the boundary
+    snapshot, then captures registers and top-of-stack words.
+    """
+    cpu = CpuState()
+    cpu.restore(boundary.cpu_snapshot)
+    quick = None
+    adaptive = False
+    if config.quickreg_adaptive:
+        from ..machine.process import Process
+        from .sysrecord import PlaybackHandler
+        scratch_proc = Process(cpu.copy(), boundary.mem_fork,
+                               syscall_handler=None)
+        quick = select_quick_registers(scratch_proc, config)
+        adaptive = quick is not None
+    return record_signature(cpu, boundary.mem_fork, config,
+                            quick_regs=quick or DEFAULT_QUICK_REGS,
+                            adaptive=adaptive)

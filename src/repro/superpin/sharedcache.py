@@ -1,0 +1,59 @@
+"""Shared code cache across timeslices (paper §8, future work).
+
+    "The best approach for dramatically reducing the compilation
+    overhead may be to share the code cache across all timeslices via
+    shared memory.  This may add a little extra overhead by performing
+    extra consistency checks from other slices, but we feel that the
+    reduction in overhead will outweigh the costs."
+
+The reproduction models exactly that trade: a
+:class:`SharedCodeCacheDirectory` records which traces have already been
+compiled by *some* slice.  The first slice to need a trace pays the full
+JIT cost; every later slice pays only a per-trace consistency check.
+Entries are keyed by ``(address, length)`` so the per-slice
+detection-boundary splits (which change a trace's shape near the
+signature pc) never alias with the shared body of the application.
+
+Enabled with ``-spsharedcache 1``; the ablation benchmark quantifies the
+win on the gcc workload, whose per-slice recompilation is the paper's
+compilation-slowdown poster child.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SharedCacheStats:
+    first_compiles: int = 0
+    first_compiled_ins: int = 0
+    reuses: int = 0
+    reused_ins: int = 0
+
+
+class SharedCodeCacheDirectory:
+    """Tracks globally-compiled traces for one SuperPin run."""
+
+    def __init__(self):
+        self._compiled: set[tuple[int, int]] = set()
+        self.stats = SharedCacheStats()
+
+    def charge(self, address: int, num_ins: int) -> bool:
+        """Return True if the calling slice pays the compile cost.
+
+        The first request for a given trace claims it; subsequent
+        requests are reuses that pay only the consistency check.
+        """
+        key = (address, num_ins)
+        if key in self._compiled:
+            self.stats.reuses += 1
+            self.stats.reused_ins += num_ins
+            return False
+        self._compiled.add(key)
+        self.stats.first_compiles += 1
+        self.stats.first_compiled_ins += num_ins
+        return True
+
+    def __len__(self) -> int:
+        return len(self._compiled)

@@ -1,0 +1,216 @@
+"""Signature recording and detection (paper §4.4).
+
+A *signature* uniquely identifies a timeslice boundary: the architectural
+register state plus the top 100 words of the stack, recorded by each new
+slice at its start point.  The *previous* slice instruments only the
+signature's instruction pointer with a two-stage check:
+
+1. an inlined **quick check** (``INS_InsertIfCall``) comparing the two
+   registers the recorder judged most likely to change;
+2. a **full check** (``INS_InsertThenCall``) comparing the entire register
+   file and then the recorded stack words.
+
+On a full match the slice terminates at that instruction boundary.
+
+The recorder picks the quick-check registers by running the first few
+basic blocks of the new slice *under instrumentation in recording mode*
+on a scratch copy-on-write fork, counting register writes; if no clear
+candidate emerges within the block budget it falls back to the default
+registers (``sp``, ``ra``) — exactly the paper's fallback story.
+
+The mechanism is deliberately not foolproof: a loop whose iteration state
+lives only in memory (all registers and stack unchanged) can trigger a
+false-positive match on an earlier iteration.  The test suite constructs
+that adversarial program rather than "fixing" the limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import abi
+from ..isa.registers import RA, SP, ZERO
+from ..machine.cpu import CpuState
+from ..machine.memory import Memory
+from ..machine.process import Process
+from ..pin.args import IARG_END, IARG_REG_VALUE, IPOINT_BEFORE
+from ..pin.engine import PinVM
+from ..pin.jit import StopRun
+from .switches import SuperPinConfig
+
+#: Default quick-check registers when the recorder finds no candidate.
+DEFAULT_QUICK_REGS = (SP, RA)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Recorded state at a timeslice boundary."""
+
+    pc: int
+    regs: tuple[int, ...]
+    #: (base address, recorded words) for the top-of-stack check.
+    stack_base: int
+    stack: tuple[int, ...]
+    #: The two registers compared by the inlined quick check.
+    quick_regs: tuple[int, int] = DEFAULT_QUICK_REGS
+    #: Whether the quick registers came from the adaptive recorder.
+    adaptive: bool = False
+
+    @property
+    def quick_values(self) -> tuple[int, int]:
+        return (self.regs[self.quick_regs[0]], self.regs[self.quick_regs[1]])
+
+
+@dataclass
+class DetectionStats:
+    """Counters behind the paper's "~2% trigger a full check" statistic."""
+
+    quick_checks: int = 0
+    full_checks: int = 0
+    stack_checks: int = 0
+    stack_mismatches: int = 0
+    matched: bool = False
+
+    @property
+    def full_check_rate(self) -> float:
+        """Fraction of quick checks that escalated to a full check."""
+        if self.quick_checks == 0:
+            return 0.0
+        return self.full_checks / self.quick_checks
+
+
+def record_signature(cpu: CpuState, mem: Memory, config: SuperPinConfig,
+                     quick_regs: tuple[int, int] | None = None,
+                     adaptive: bool = False) -> Signature:
+    """Capture the signature of the state ``(cpu, mem)``.
+
+    Records the register file and up to ``signature_stack_words`` live
+    words above the stack pointer, clamped at ``STACK_TOP``.
+    """
+    sp = cpu.regs[SP]
+    count = config.signature_stack_words
+    if sp >= abi.STACK_TOP:
+        count = 0
+    else:
+        count = min(count, abi.STACK_TOP - sp)
+    stack = tuple(mem.read_block(sp, count)) if count else ()
+    return Signature(pc=cpu.pc, regs=tuple(cpu.regs), stack_base=sp,
+                     stack=stack,
+                     quick_regs=quick_regs or DEFAULT_QUICK_REGS,
+                     adaptive=adaptive)
+
+
+class _LookaheadDone(StopRun):
+    """Internal: ends the recording-mode lookahead run."""
+
+
+class _LookaheadSyscallBarrier:
+    """Syscall handler for the scratch fork: never execute, just stop."""
+
+    def do_syscall(self, cpu, mem):
+        raise _LookaheadDone("lookahead-syscall")
+
+
+def select_quick_registers(snapshot_process: Process,
+                           config: SuperPinConfig) -> tuple[int, int] | None:
+    """Recording mode: find the two most-written registers.
+
+    Runs the first ``quickreg_block_count`` basic blocks of the new
+    slice's code on a scratch COW fork under write-counting
+    instrumentation.  Returns None when no register was written (the
+    caller falls back to :data:`DEFAULT_QUICK_REGS`).
+    """
+    scratch = snapshot_process.fork(
+        syscall_handler=_LookaheadSyscallBarrier())
+    writes = [0] * 32
+    blocks_left = [config.quickreg_block_count]
+
+    def count_block() -> None:
+        blocks_left[0] -= 1
+        if blocks_left[0] < 0:
+            raise _LookaheadDone("lookahead-blocks")
+
+    def instrument(trace, value) -> None:
+        for bbl in trace.bbls:
+            bbl.head.insert_call(IPOINT_BEFORE, count_block, IARG_END)
+            for ins in bbl.instructions:
+                if ins.rd != ZERO and ins.op.name.lower() != "st":
+                    # Static destination register; count at execution time.
+                    dest = ins.rd
+                    if ins.info.format.name in ("RRR", "RRI", "RI", "MEM_L",
+                                                "RD"):
+                        ins.insert_call(
+                            IPOINT_BEFORE,
+                            lambda d=dest: writes.__setitem__(
+                                d, writes[d] + 1),
+                            IARG_END)
+
+    vm = PinVM(scratch)
+    vm.add_trace_callback(instrument)
+    # Bounded run: the block counter or the syscall barrier stops it; the
+    # budget is a backstop for straight-line code.
+    vm.run(max_instructions=config.quickreg_block_count * 64 + 64)
+
+    ranked = sorted(range(1, 32), key=lambda r: (-writes[r], r))
+    top = [r for r in ranked if writes[r] > 0][:2]
+    if not top:
+        return None
+    if len(top) == 1:
+        fallback = DEFAULT_QUICK_REGS[0] if top[0] != DEFAULT_QUICK_REGS[0] \
+            else DEFAULT_QUICK_REGS[1]
+        top.append(fallback)
+    return (top[0], top[1])
+
+
+class SignatureDetector:
+    """Per-slice detection-mode instrumentation for one signature."""
+
+    def __init__(self, signature: Signature, vm: PinVM):
+        self.signature = signature
+        self.vm = vm
+        self.stats = DetectionStats()
+        self._regs = vm.cpu.regs
+        self._mem = vm.mem
+        quick = signature.quick_values
+        self._qv0, self._qv1 = quick
+
+    # -- instrumentation -----------------------------------------------------
+
+    def attach(self) -> None:
+        """Register the detection trace callback on the slice's VM."""
+        self.vm.add_trace_callback(self._instrument)
+
+    def _instrument(self, trace, value) -> None:
+        target = self.signature.pc
+        q0, q1 = self.signature.quick_regs
+        for ins in trace.instructions:
+            if ins.address == target:
+                ins.insert_if_call(IPOINT_BEFORE, self._quick_check,
+                                   IARG_REG_VALUE, q0,
+                                   IARG_REG_VALUE, q1, IARG_END)
+                ins.insert_then_call(IPOINT_BEFORE, self._full_check,
+                                     IARG_END)
+
+    # -- analysis routines ----------------------------------------------------
+
+    def _quick_check(self, v0: int, v1: int) -> int:
+        """Inlined check of the two likely-to-change registers."""
+        self.stats.quick_checks += 1
+        return 1 if (v0 == self._qv0 and v1 == self._qv1) else 0
+
+    def _full_check(self) -> None:
+        """Architectural-state compare, then top-of-stack compare."""
+        self.stats.full_checks += 1
+        sig = self.signature
+        if tuple(self._regs) != sig.regs:
+            return
+        if sig.stack:
+            self.stats.stack_checks += 1
+            mem = self._mem
+            base = sig.stack_base
+            for i, expected in enumerate(sig.stack):
+                if mem.read(base + i) != expected:
+                    self.stats.stack_mismatches += 1
+                    return
+        self.stats.matched = True
+        raise StopRun(self)

@@ -1,0 +1,184 @@
+"""Slice execution: instrumented re-execution of one timeslice.
+
+A slice is born from a boundary snapshot (COW memory fork + register
+snapshot + kernel-layout fork), releases the code-cache bubble, replays
+the master's recorded system calls, and runs under full instrumentation
+until it detects the next boundary's signature (or program exit, for the
+final slice).
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import DivergenceError, RunawaySliceError
+from ..isa import abi
+from ..machine.cpu import CpuState
+from ..machine.process import Process
+from ..pin.codecache import CodeCache
+from ..pin.engine import PinVM, RunState
+from .api import END_SLICE_TOKEN, SliceToolContext, SPControl
+from .control import Boundary, Interval
+from .signature import (DetectionStats, Signature, SignatureDetector)
+from .switches import SuperPinConfig
+from .sysrecord import PlaybackHandler
+
+
+class SliceEnd(enum.Enum):
+    """How a slice terminated."""
+
+    MATCHED = "matched"    # signature detection fired (the normal case)
+    EXIT = "exit"          # program exit (normal only for the last slice)
+    TOOL_END = "tool_end"  # the tool called SP_EndSlice
+    DIVERGED = "diverged"  # reached exit/mismatch where it should not
+    RUNAWAY = "runaway"    # never found its signature within budget
+
+
+@dataclass
+class SliceResult:
+    """Functional and statistical outcome of one slice."""
+
+    index: int
+    reason: SliceEnd
+    instructions: int
+    expected_instructions: int
+    traces_executed: int
+    analysis_calls: int
+    inline_checks: int
+    compiles: int
+    compiled_ins: int
+    cache_hit_rate: float
+    cache_allocated_words: int
+    replayed_syscalls: int
+    emulated_syscalls: int
+    cow_faults: int
+    detection: DetectionStats | None
+    tool_ctx: SliceToolContext
+    exit_code: int = 0
+    #: Traces this slice reused from the shared code cache (§8 extension);
+    #: ``compiles``/``compiled_ins`` then count only first-compilations.
+    shared_cache_reuses: int = 0
+
+    @property
+    def exact(self) -> bool:
+        """True when the slice covered exactly the master's interval."""
+        return (self.instructions == self.expected_instructions
+                and self.reason in (SliceEnd.MATCHED, SliceEnd.EXIT))
+
+
+def run_slice(boundary: Boundary, interval: Interval,
+              end_signature: Signature | None,
+              template: SliceToolContext, sp: SPControl,
+              config: SuperPinConfig,
+              shared_directory=None) -> SliceResult:
+    """Execute slice ``interval.index`` and return its result.
+
+    ``end_signature`` is the next boundary's signature (None for the
+    final slice, which runs to program exit instead).  When
+    ``shared_directory`` is given (the §8 shared-code-cache extension),
+    compile costs are attributed to the first slice that compiled each
+    trace; later slices record reuses instead.
+    """
+    index = interval.index
+
+    # 1. Fork state: registers, COW memory, kernel layout.
+    cpu = CpuState()
+    cpu.restore(boundary.cpu_snapshot)
+    layout = boundary.layout_fork.fork()
+    # Release the bubble so code-cache allocations land there (§4.1).
+    layout.do_munmap(abi.BUBBLE_BASE, abi.BUBBLE_WORDS)
+    manager = (boundary.thread_fork.fork()
+               if boundary.thread_fork is not None else None)
+    handler = PlaybackHandler(interval.records, layout, index,
+                              thread_manager=manager)
+    process = Process(cpu, boundary.mem_fork, handler)
+    cow_mark = process.mem.cow_faults
+
+    # 2. Build the slice VM with its own cold code cache in the bubble.
+    cache = CodeCache(abi.BUBBLE_BASE, abi.BUBBLE_WORDS)
+    forced = frozenset({end_signature.pc}) if end_signature else frozenset()
+    vm = PinVM(process, forced_boundaries=forced, code_cache=cache,
+               jit_backend=config.jit_backend)
+
+    # 3. Fork the tool context and attach instrumentation.
+    ctx: SliceToolContext = copy.deepcopy(template)
+    ctx.tool.activate(vm)
+    detector: SignatureDetector | None = None
+    if end_signature is not None:
+        detector = SignatureDetector(end_signature, vm)
+        detector.attach()
+
+    # 4. Slice-begin callbacks (reset local statistics; paper Figure 2).
+    if ctx.reset_fun is not None:
+        ctx.reset_fun(index)
+    for fun, value in ctx.begin_functions:
+        fun(index, value)
+
+    # 5. Run.
+    budget = int(interval.instructions * config.slice_runaway_factor
+                 + config.slice_runaway_slack)
+    sp._in_slice = True
+    try:
+        result = vm.run(max_instructions=budget)
+    finally:
+        sp._in_slice = False
+
+    # 6. Classify the ending.
+    reason = _classify(result, detector, end_signature, index)
+    if reason is SliceEnd.RUNAWAY:
+        raise RunawaySliceError(
+            f"slice {index} executed {result.instructions} instructions "
+            f"(master interval was {interval.instructions}) without "
+            f"detecting its signature at pc={end_signature.pc:#x}"
+            if end_signature else
+            f"slice {index} exceeded its budget before program exit")
+
+    # Attribute compile costs through the shared directory, if any.
+    compiles = cache.stats.compiles
+    compiled_ins = cache.stats.compiled_ins
+    shared_reuses = 0
+    if shared_directory is not None:
+        compiles = compiled_ins = 0
+        for address, num_ins in cache.insert_log:
+            if shared_directory.charge(address, num_ins):
+                compiles += 1
+                compiled_ins += num_ins
+            else:
+                shared_reuses += 1
+
+    return SliceResult(
+        index=index,
+        reason=reason,
+        instructions=result.instructions,
+        expected_instructions=interval.instructions,
+        traces_executed=result.traces_executed,
+        analysis_calls=result.analysis_calls,
+        inline_checks=result.inline_checks,
+        compiles=compiles,
+        compiled_ins=compiled_ins,
+        cache_hit_rate=cache.stats.hit_rate,
+        cache_allocated_words=cache.stats.allocated_words,
+        replayed_syscalls=handler.replayed,
+        emulated_syscalls=handler.emulated,
+        cow_faults=process.mem.cow_faults - cow_mark,
+        detection=detector.stats if detector else None,
+        tool_ctx=ctx,
+        exit_code=result.exit_code,
+        shared_cache_reuses=shared_reuses,
+    )
+
+
+def _classify(result, detector, end_signature, index: int) -> SliceEnd:
+    if result.state is RunState.STOPPED:
+        if result.stop_token is detector:
+            return SliceEnd.MATCHED
+        if result.stop_token == END_SLICE_TOKEN:
+            return SliceEnd.TOOL_END
+        raise DivergenceError(
+            f"slice {index} stopped with unexpected token "
+            f"{result.stop_token!r}")
+    if result.state is RunState.EXIT:
+        return SliceEnd.EXIT if end_signature is None else SliceEnd.DIVERGED
+    return SliceEnd.RUNAWAY

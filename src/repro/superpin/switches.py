@@ -1,0 +1,139 @@
+"""SuperPin configuration switches.
+
+Mirrors the paper's command-line interface (§5):
+
+======================= ==================================================
+Switch                  Meaning
+======================= ==================================================
+``-sp 1``               enable SuperPin
+``-spmsec <value>``     timeslice length in (virtual) milliseconds
+``-spmp <value>``       maximum number of *running* slices
+``-spsysrecs <value>``  max syscall records per slice; 0 disables
+                        recording (every replayable call then forces a
+                        new slice)
+======================= ==================================================
+
+The reproduction adds knobs the paper fixes implicitly: the virtual clock
+rate that converts milliseconds to simulated cycles, and the signature
+parameters of §4.4 (stack words recorded, quick-register lookahead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+#: Virtual cycles per virtual second.  The paper ran a 2.2 GHz Xeon; we
+#: compress time so whole-suite experiments are tractable in pure Python.
+#: Only ratios of times are reported, which clock scaling preserves.
+DEFAULT_CLOCK_HZ = 10_000
+
+
+@dataclass
+class SuperPinConfig:
+    """All SuperPin tunables; defaults match the paper's."""
+
+    sp: bool = True
+    #: Timeslice interval in virtual milliseconds (paper default 1000).
+    spmsec: int = 1000
+    #: Maximum simultaneously *running* slices (paper default 8).
+    spmp: int = 8
+    #: Max syscall records per slice; 0 disables recording (paper: 1000).
+    spsysrecs: int = 1000
+    clock_hz: int = DEFAULT_CLOCK_HZ
+    #: Stack words captured in a signature (paper: "top 100 words").
+    signature_stack_words: int = 100
+    #: Basic blocks the recorder may observe when choosing the two
+    #: quick-check registers (paper: "a specified block count").
+    quickreg_block_count: int = 20
+    #: Disable the adaptive quick-register selection (ablation switch).
+    quickreg_adaptive: bool = True
+    #: Runaway guard: a slice may execute at most this multiple of the
+    #: master's instruction count for its interval before being declared
+    #: runaway.
+    slice_runaway_factor: float = 4.0
+    slice_runaway_slack: int = 10_000
+    # --- §8 future-work extensions (off by default) -----------------------
+    #: Adaptive timeslice throttling: shrink timeslices toward the end of
+    #: execution to cut the pipeline delay.  Requires an expected
+    #: duration (profile-guided, e.g. from a prior run).
+    spadaptive: bool = False
+    expected_duration_msec: int = 0
+    min_timeslice_msec: int = 50
+    #: Share the code cache across timeslices: each trace is compiled by
+    #: the first slice to need it; later slices pay only a small
+    #: consistency check (paper §8's proposed compilation-overhead fix).
+    spsharedcache: bool = False
+    #: JIT backend used by slices: "closure" (threaded code) or
+    #: "source" (generated Python, see repro.pin.pyjit).
+    jit_backend: str = "closure"
+
+    def __post_init__(self) -> None:
+        if self.spmsec <= 0:
+            raise ConfigError(f"-spmsec must be positive, got {self.spmsec}")
+        if self.spmp < 1:
+            raise ConfigError(f"-spmp must be >= 1, got {self.spmp}")
+        if self.spsysrecs < 0:
+            raise ConfigError(
+                f"-spsysrecs must be >= 0, got {self.spsysrecs}")
+        if self.clock_hz <= 0:
+            raise ConfigError(f"clock_hz must be positive")
+        if self.signature_stack_words < 0:
+            raise ConfigError("signature_stack_words must be >= 0")
+        if self.jit_backend not in ("closure", "source"):
+            raise ConfigError(
+                f"jit_backend must be 'closure' or 'source', "
+                f"got {self.jit_backend!r}")
+
+    @property
+    def timeslice_cycles(self) -> int:
+        """Timeslice interval in virtual cycles."""
+        return max(1, self.spmsec * self.clock_hz // 1000)
+
+    @property
+    def timeslice_instructions(self) -> int:
+        """Master instruction budget per timeslice (native CPI is 1)."""
+        return self.timeslice_cycles
+
+    def seconds(self, cycles: float) -> float:
+        """Convert virtual cycles to virtual seconds."""
+        return cycles / self.clock_hz
+
+
+_FLAG_PARSERS = {
+    "-sp": ("sp", lambda v: bool(int(v))),
+    "-spmsec": ("spmsec", int),
+    "-spmp": ("spmp", int),
+    "-spsysrecs": ("spsysrecs", int),
+    "-spclock": ("clock_hz", int),
+    "-spadaptive": ("spadaptive", lambda v: bool(int(v))),
+    "-spexpected": ("expected_duration_msec", int),
+    "-spsharedcache": ("spsharedcache", lambda v: bool(int(v))),
+    "-spjit": ("jit_backend", str),
+}
+
+
+def parse_switches(argv: list[str], **overrides) -> SuperPinConfig:
+    """Parse paper-style switches (``['-sp', '1', '-spmsec', '500']``).
+
+    Unknown switches raise :class:`ConfigError`; keyword ``overrides``
+    win over parsed values (used by the test harness).
+    """
+    values: dict[str, object] = {}
+    i = 0
+    while i < len(argv):
+        flag = argv[i]
+        if flag not in _FLAG_PARSERS:
+            raise ConfigError(f"unknown SuperPin switch {flag!r}")
+        if i + 1 >= len(argv):
+            raise ConfigError(f"switch {flag!r} requires a value")
+        name, parser = _FLAG_PARSERS[flag]
+        try:
+            values[name] = parser(argv[i + 1])
+        except ValueError as exc:
+            raise ConfigError(
+                f"bad value {argv[i + 1]!r} for {flag!r}") from exc
+        i += 2
+    values.update(overrides)
+    return SuperPinConfig(**values)  # type: ignore[arg-type]

@@ -1,0 +1,136 @@
+"""System-call record-and-playback (paper §4.2).
+
+The control process records every system call the master performs inside
+a timeslice.  The slice covering that timeslice plays the calls back in
+order instead of re-entering the kernel:
+
+* ``REPLAY`` records restore the recorded return value and re-apply the
+  recorded guest-memory writes (a replayed ``write`` emits nothing —
+  output must not happen twice; a replayed ``time``/``getrandom``
+  reproduces the master's observed values, which naive re-execution
+  could not).
+* ``EMULATE`` records (``brk``/anonymous ``mmap``/``munmap``) are
+  *re-executed* against the slice's forked :class:`MemLayout` — the
+  paper's "can be duplicated without any adverse side effects" /
+  "repeated given the same address" — and cross-checked against the
+  recorded result.
+* ``FORCE_SLICE`` calls end the timeslice in the control process, so a
+  slice sees at most one of them, as its final recorded call.
+
+Any mismatch between what the slice asks for and what was recorded is a
+divergence — the replay net failed — and raises
+:class:`~repro.errors.DivergenceError` rather than silently corrupting
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DivergenceError
+from ..isa import abi
+from ..isa.registers import A0, A1, A2, A3, RV
+from ..machine.cpu import CpuState
+from ..machine.kernel import (EMULATE, MemLayout, REPLAY, SyscallOutcome,
+                              SyscallRecord, THREAD)
+from ..machine.memory import Memory
+
+
+@dataclass
+class RecordedSyscall:
+    """One entry in a slice's playback queue."""
+
+    record: SyscallRecord
+    #: Sequence number within the whole run (for diagnostics).
+    global_index: int
+
+
+class PlaybackHandler:
+    """Syscall handler installed in slice processes.
+
+    Pops the timeslice's recorded calls in order.  The handler is where
+    SuperPin's transparency story is enforced: a slice can never touch
+    the live kernel.
+    """
+
+    def __init__(self, records: list[RecordedSyscall], layout: MemLayout,
+                 slice_index: int, thread_manager=None):
+        self._records = records
+        self._pos = 0
+        self.layout = layout
+        self.slice_index = slice_index
+        self.thread_manager = thread_manager
+        self.replayed = 0
+        self.emulated = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._records) - self._pos
+
+    def do_syscall(self, cpu: CpuState, mem: Memory) -> SyscallOutcome:
+        number = cpu.regs[A0]
+        args = (cpu.regs[A1], cpu.regs[A2], cpu.regs[A3])
+        if self._pos >= len(self._records):
+            raise DivergenceError(
+                f"slice {self.slice_index}: guest invoked "
+                f"syscall {number} at pc={cpu.pc:#x} but the record "
+                f"queue is exhausted")
+        entry = self._records[self._pos]
+        self._pos += 1
+        record = entry.record
+        if record.number != number or record.args != args:
+            raise DivergenceError(
+                f"slice {self.slice_index}: replay mismatch at record "
+                f"#{entry.global_index}: recorded "
+                f"{record.name}{record.args}, guest invoked "
+                f"{abi.SYSCALL_NAMES.get(number, number)}{args}")
+
+        if record.klass == THREAD:
+            # Thread ops are deterministic process-local state changes:
+            # re-execute against the slice's forked scheduler, exactly
+            # like EMULATE-class layout calls (may context-switch cpu).
+            if self.thread_manager is None:
+                raise DivergenceError(
+                    f"slice {self.slice_index}: thread record "
+                    f"{record.name} but no thread manager")
+            outcome = self.thread_manager.handle(number, cpu, mem)
+            if outcome.record.retval != record.retval:
+                raise DivergenceError(
+                    f"slice {self.slice_index}: re-executed "
+                    f"{record.name} returned "
+                    f"{outcome.record.retval:#x}, master observed "
+                    f"{record.retval:#x} — scheduler fork diverged")
+            self.emulated += 1
+            return outcome
+        if record.klass == EMULATE:
+            retval = self._emulate(record)
+            self.emulated += 1
+        else:
+            for addr, value in record.mem_writes:
+                mem.write(addr, value)
+            retval = record.retval
+            self.replayed += 1
+
+        cpu.regs[RV] = retval
+        exited = record.number == abi.SYS_EXIT
+        return SyscallOutcome(record=record, exited=exited,
+                              exit_code=record.args[0] if exited else 0)
+
+    def _emulate(self, record: SyscallRecord) -> int:
+        """Re-execute a deterministic layout call on the forked layout."""
+        if record.number == abi.SYS_BRK:
+            result = self.layout.do_brk(record.args[0])
+        elif record.number == abi.SYS_MMAP:
+            result = self.layout.do_mmap(record.args[0], record.args[1])
+        elif record.number == abi.SYS_MUNMAP:
+            result = self.layout.do_munmap(record.args[0], record.args[1])
+        else:  # pragma: no cover - classification is fixed in the kernel
+            raise DivergenceError(
+                f"slice {self.slice_index}: cannot emulate "
+                f"{record.name}")
+        if result != record.retval:
+            raise DivergenceError(
+                f"slice {self.slice_index}: emulated {record.name} "
+                f"returned {result:#x}, master observed "
+                f"{record.retval:#x} — layout fork diverged")
+        return result

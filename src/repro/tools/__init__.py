@@ -1,0 +1,45 @@
+"""Pintools shipped with the reproduction.
+
+============ ===================================================== =========
+Tool          What it measures                                      Merge
+============ ===================================================== =========
+icount1       instructions (per-instruction calls; Figures 3/4)    manual
+icount2       instructions (per-BBL calls; Figure 2/5)             manual
+itrace        instruction address stream                           concat
+opcodemix     dynamic opcode histogram                             auto ADD
+branchprofile per-site branch executed/taken                       manual
+memtrace      data-access stream + footprint                       mixed
+dcache        direct-mapped cache hits/misses (§5.2)               reconcile
+dcache_assoc  set-associative LRU cache (reconciliation limits)    reconcile
+memcheck      loads from uninitialized memory                      reconcile
+sampler       Shadow-Profiler sampled profile (SP_EndSlice)        manual
+============ ===================================================== =========
+"""
+
+from .branchprofile import BranchProfile
+from .dcache import DCacheSim
+from .dcache_assoc import AssocDCacheSim
+from .icount import ICount1, ICount2
+from .itrace import ITrace
+from .memcheck import MemCheck
+from .memtrace import MemTrace
+from .opcodemix import OpcodeMix
+from .sampler import SampledProfiler
+
+#: CLI/harness registry: tool name -> zero-argument factory.
+TOOLS = {
+    "icount1": ICount1,
+    "icount2": ICount2,
+    "itrace": ITrace,
+    "opcodemix": OpcodeMix,
+    "branchprofile": BranchProfile,
+    "memcheck": MemCheck,
+    "memtrace": MemTrace,
+    "dcache": DCacheSim,
+    "dcache_assoc": AssocDCacheSim,
+    "sampler": SampledProfiler,
+}
+
+__all__ = ["AssocDCacheSim", "BranchProfile", "DCacheSim", "ICount1",
+           "ICount2", "ITrace", "MemCheck", "MemTrace", "OpcodeMix",
+           "SampledProfiler", "TOOLS"]

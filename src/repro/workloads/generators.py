@@ -1,0 +1,436 @@
+"""Synthetic workload generator.
+
+Builds deterministic assembly programs from composable kernels, tuned by
+a :class:`WorkloadSpec`.  The knobs map one-to-one onto the application
+characteristics the paper says drive SuperPin behaviour (§6):
+
+* **duration** — native run length; short programs cannot amortize the
+  pipeline delay (§3).
+* **code footprint / reuse** (``n_funcs``, ``rotate_calls``) — per-slice
+  JIT compilation cost; gcc's large, low-reuse footprint is why it
+  "best illustrates the effects of changing the timeslice interval".
+* **kernel mix** — arithmetic loops, strided memory streams, pointer
+  chases, data-dependent branches, call/stack traffic (which exercises
+  the signature stack check).
+* **system-call profile** — ``time``/``getrandom`` (REPLAY class,
+  exercising record/playback), ``brk``/``mmap`` churn (EMULATE class,
+  the gcc allocator story), ``open``/``close`` (FORCE class, forcing
+  slice boundaries), and ``write`` output.
+
+Generation is seeded and pure: the same spec always yields the same
+program, so every experiment is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+#: Kernel kinds in mix-weight order.
+KERNEL_KINDS = ("arith", "mem", "chase", "branchy", "callpair")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Full description of one synthetic benchmark."""
+
+    name: str
+    seed: int
+    #: Native duration in virtual seconds at scale=1.
+    duration: float
+    #: Number of generated work functions (power of two).
+    n_funcs: int = 8
+    calls_per_round: int = 4
+    #: Loop iterations inside each function body.
+    iters: int = 40
+    #: Mix weights over KERNEL_KINDS.
+    mix: tuple[float, ...] = (1.0, 1.0, 0.5, 1.0, 0.5)
+    #: Working-set size in words (power of two).
+    working_set: int = 4096
+    stride: int = 7
+    #: Low code reuse: rotate through the function table across rounds.
+    rotate_calls: bool = False
+    #: Syscall cadence, in rounds (0 = never).
+    time_every: int = 0
+    rng_every: int = 0
+    write_every: int = 0
+    alloc_every: int = 0
+    mmap_every: int = 0
+    openclose_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_funcs & (self.n_funcs - 1):
+            raise ValueError(f"n_funcs must be a power of two "
+                             f"({self.name}: {self.n_funcs})")
+        if self.working_set & (self.working_set - 1):
+            raise ValueError("working_set must be a power of two")
+        if len(self.mix) != len(KERNEL_KINDS):
+            raise ValueError(f"mix needs {len(KERNEL_KINDS)} weights")
+
+
+@dataclass
+class BuiltWorkload:
+    """A generated program plus its build-time metadata."""
+
+    spec: WorkloadSpec
+    program: Program
+    source: str
+    rounds: int
+    #: Analytic estimate of dynamic instructions (actual is within ~15%).
+    estimated_instructions: int
+    static_instructions: int
+
+
+class _Emitter:
+    """Tiny assembly-text builder with unique label allocation."""
+
+    def __init__(self):
+        self.text: list[str] = []
+        self.data: list[str] = []
+        self._label = 0
+
+    def label(self, stem: str) -> str:
+        self._label += 1
+        return f"{stem}_{self._label}"
+
+    def t(self, line: str) -> None:
+        self.text.append(f"    {line}")
+
+    def tl(self, label: str) -> None:
+        self.text.append(f"{label}:")
+
+    def d(self, line: str) -> None:
+        self.data.append(line)
+
+
+# --- kernel body generators -------------------------------------------------
+# Each emits a function body (without prologue/ret) and returns the
+# estimated dynamic instruction count for one invocation.  The working-set
+# base address arrives in a0.
+
+
+def _gen_arith(em: _Emitter, rng: random.Random, spec: WorkloadSpec) -> int:
+    width = rng.randint(3, 7)
+    loop = em.label("ar")
+    em.t("li t0, 0")
+    em.t(f"li t1, {spec.iters}")
+    em.t(f"li t2, {rng.randint(1, 1000)}")
+    em.tl(loop)
+    ops = 0
+    for _ in range(width):
+        op = rng.choice(("add", "xor", "mul", "sub", "or"))
+        a, b = rng.sample(("t2", "t3", "t4", "t5"), 2)
+        em.t(f"{op} {a}, {a}, {b}")
+        ops += 1
+    em.t("addi t0, t0, 1")
+    em.t(f"bne t0, t1, {loop}")
+    return spec.iters * (ops + 2) + 3
+
+
+def _gen_mem(em: _Emitter, rng: random.Random, spec: WorkloadSpec) -> int:
+    mask = spec.working_set - 1
+    stride = spec.stride | 1
+    loop = em.label("mm")
+    em.t("li t0, 0")
+    em.t(f"li t1, {spec.iters}")
+    em.t("li t2, 0")
+    em.tl(loop)
+    em.t(f"muli t3, t0, {stride}")
+    em.t(f"andi t3, t3, {mask}")
+    em.t("add t3, t3, a0")
+    em.t("ld t4, 0(t3)")
+    em.t("add t2, t2, t4")
+    em.t("st t2, 0(t3)")
+    em.t("addi t0, t0, 1")
+    em.t(f"bne t0, t1, {loop}")
+    return spec.iters * 8 + 3
+
+
+def _gen_chase(em: _Emitter, rng: random.Random, spec: WorkloadSpec) -> int:
+    ring_len = rng.choice((16, 32, 64))
+    ring = em.label("ring")
+    # A random single-cycle permutation stored as absolute pointers.
+    order = list(range(ring_len))
+    rng.shuffle(order)
+    links = [0] * ring_len
+    for i in range(ring_len):
+        links[order[i]] = order[(i + 1) % ring_len]
+    em.d(f"{ring}: .word " + ", ".join(
+        f"{ring}+{next_i}" for next_i in links))
+    loop = em.label("ch")
+    em.t(f"la t6, {ring}")
+    em.t("mov t7, t6")
+    em.t("li t0, 0")
+    em.t(f"li t1, {spec.iters}")
+    em.tl(loop)
+    em.t("ld t7, 0(t7)")
+    em.t("addi t0, t0, 1")
+    em.t(f"bne t0, t1, {loop}")
+    return spec.iters * 3 + 4
+
+
+def _gen_branchy(em: _Emitter, rng: random.Random, spec: WorkloadSpec) -> int:
+    loop = em.label("br")
+    odd = em.label("odd")
+    join = em.label("join")
+    high = em.label("high")
+    join2 = em.label("join2")
+    em.t("li t0, 0")
+    em.t(f"li t1, {spec.iters}")
+    em.t(f"li t2, {rng.randint(1, 1 << 20)}")
+    em.tl(loop)
+    em.t("muli t2, t2, 1103515245")
+    em.t("addi t2, t2, 12345")
+    em.t("andi t2, t2, 0x7fffffff")
+    em.t("andi t3, t2, 1")
+    em.t(f"bnez t3, {odd}")
+    em.t("addi t4, t4, 1")
+    em.t(f"j {join}")
+    em.tl(odd)
+    em.t("addi t5, t5, 3")
+    em.tl(join)
+    em.t("andi t3, t2, 64")
+    em.t(f"bnez t3, {high}")
+    em.t("xor t4, t4, t5")
+    em.tl(high)
+    em.t("addi t0, t0, 1")
+    em.t(f"blt t0, t1, {loop}")
+    return spec.iters * 12 + 3
+
+
+def _gen_callpair(em: _Emitter, rng: random.Random,
+                  spec: WorkloadSpec) -> int:
+    leaf = em.label("leaf")
+    loop = em.label("cp")
+    skip = em.label("skip")
+    em.t("li t0, 0")
+    em.t(f"li t1, {max(4, spec.iters // 4)}")
+    em.tl(loop)
+    em.t("push t0")
+    em.t("push t1")
+    em.t(f"call {leaf}")
+    em.t("pop t1")
+    em.t("pop t0")
+    em.t("addi t0, t0, 1")
+    em.t(f"bne t0, t1, {loop}")
+    em.t(f"j {skip}")
+    em.tl(leaf)
+    em.t("push fp")
+    em.t("mov fp, sp")
+    em.t("add t2, t2, t0")
+    em.t("xor t3, t3, t2")
+    em.t("pop fp")
+    em.t("ret")
+    em.tl(skip)
+    iters = max(4, spec.iters // 4)
+    return iters * 13 + 4
+
+
+_KERNEL_GENERATORS = {
+    "arith": _gen_arith,
+    "mem": _gen_mem,
+    "chase": _gen_chase,
+    "branchy": _gen_branchy,
+    "callpair": _gen_callpair,
+}
+
+
+# --- syscall snippets --------------------------------------------------------
+
+
+def _emit_guarded(em: _Emitter, every: int, body) -> int:
+    """Emit ``body`` guarded by ``(round % every) == 0``; returns cost/round.
+
+    ``every`` must be a power of two so the guard is a cheap mask.
+    """
+    every = _next_pow2(every)
+    skip = em.label("sk")
+    em.t(f"andi t0, s0, {every - 1}")
+    em.t(f"bnez t0, {skip}")
+    body_cost = body()
+    em.tl(skip)
+    return 2 + body_cost / every
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+class _SyscallSnippets:
+    def __init__(self, em: _Emitter):
+        self.em = em
+
+    def time(self) -> int:
+        em = self.em
+        em.t("li a0, SYS_TIME")
+        em.t("syscall")
+        return 2
+
+    def rng(self) -> int:
+        em = self.em
+        em.t("li a0, SYS_GETRANDOM")
+        em.t("la a1, rngbuf")
+        em.t("li a2, 1")
+        em.t("syscall")
+        em.t("ld t2, rngbuf(zero)")
+        em.t("andi t2, t2, 1023")
+        return 6
+
+    def write(self) -> int:
+        em = self.em
+        em.t("li a0, SYS_WRITE")
+        em.t("li a1, FD_STDOUT")
+        em.t("la a2, tick")
+        em.t("li a3, 1")
+        em.t("syscall")
+        return 5
+
+    def alloc(self) -> int:
+        em = self.em
+        em.t("li a0, SYS_BRK")
+        em.t("li a1, 0")
+        em.t("syscall")
+        em.t("mov a1, rv")
+        em.t("addi a1, a1, 1024")
+        em.t("li a0, SYS_BRK")
+        em.t("syscall")
+        return 7
+
+    def mmap(self) -> int:
+        em = self.em
+        em.t("li a0, SYS_MMAP")
+        em.t("li a1, 0")
+        em.t("li a2, 2048")
+        em.t("syscall")
+        em.t("mov a1, rv")
+        em.t("li a0, SYS_MUNMAP")
+        em.t("li a2, 2048")
+        em.t("syscall")
+        return 8
+
+    def openclose(self) -> int:
+        em = self.em
+        em.t("li a0, SYS_OPEN")
+        em.t("la a1, path")
+        em.t("li a2, 4")
+        em.t("li a3, 1")
+        em.t("syscall")
+        em.t("mov s3, rv")
+        em.t("li a0, SYS_WRITE")
+        em.t("mov a1, s3")
+        em.t("la a2, tick")
+        em.t("li a3, 1")
+        em.t("syscall")
+        em.t("li a0, SYS_CLOSE")
+        em.t("mov a1, s3")
+        em.t("syscall")
+        return 14
+
+
+# --- top-level builder -------------------------------------------------------
+
+
+def build_workload(spec: WorkloadSpec, clock_hz: int = 10_000,
+                   scale: float = 1.0) -> BuiltWorkload:
+    """Generate the program for ``spec`` at the given duration scale."""
+    rng = random.Random(spec.seed)
+    em = _Emitter()
+    weights = spec.mix
+
+    # 1. Work functions.  ra is saved around the body because callpair
+    # kernels make nested calls.
+    func_costs: list[int] = []
+    for i in range(spec.n_funcs):
+        kind = rng.choices(KERNEL_KINDS, weights=weights)[0]
+        em.tl(f"func{i}")
+        em.t("push ra")
+        cost = _KERNEL_GENERATORS[kind](em, rng, spec)
+        em.t("pop ra")
+        em.t("ret")
+        func_costs.append(cost + 3)
+
+    # 2. Estimate per-round cost to hit the duration target.
+    mean_cost = sum(func_costs) / len(func_costs)
+    dispatch_cost = 8 if spec.rotate_calls else 1
+    per_round = spec.calls_per_round * (mean_cost + dispatch_cost + 1) + 4
+    sys_em = _Emitter()  # throwaway: estimate only
+    snippets = _SyscallSnippets(sys_em)
+    for every, snip in ((spec.time_every, snippets.time),
+                        (spec.rng_every, snippets.rng),
+                        (spec.write_every, snippets.write),
+                        (spec.alloc_every, snippets.alloc),
+                        (spec.mmap_every, snippets.mmap),
+                        (spec.openclose_every, snippets.openclose)):
+        if every:
+            per_round += 2 + snip() / _next_pow2(every)
+    target = spec.duration * clock_hz * scale
+    rounds = max(1, int(target / per_round))
+
+    # 3. Main driver.
+    main = _Emitter()
+    main.tl("main")
+    main.t("li a0, SYS_BRK")
+    main.t("li a1, 0")
+    main.t("syscall")
+    main.t("mov s4, rv")
+    main.t("mov a1, rv")
+    main.t(f"addi a1, a1, {spec.working_set}")
+    main.t("li a0, SYS_BRK")
+    main.t("syscall")
+    main.t("li s0, 0")
+    main.t(f"li s1, {rounds}")
+    main.tl("round_loop")
+    for j in range(spec.calls_per_round):
+        main.t("mov a0, s4")
+        if spec.rotate_calls:
+            # Stride by calls_per_round so every round touches a fresh
+            # window of the function table: low code reuse, large
+            # per-timeslice compile footprint (the gcc characteristic).
+            main.t(f"muli t3, s0, {spec.calls_per_round}")
+            main.t(f"addi t3, t3, {j}")
+            main.t(f"andi t3, t3, {spec.n_funcs - 1}")
+            main.t("la t4, functable")
+            main.t("add t4, t4, t3")
+            main.t("ld t4, 0(t4)")
+            main.t("callr t4")
+        else:
+            main.t(f"call func{(spec.seed + j) % spec.n_funcs}")
+    live_snips = _SyscallSnippets(main)
+    for every, snip in ((spec.time_every, live_snips.time),
+                        (spec.rng_every, live_snips.rng),
+                        (spec.write_every, live_snips.write),
+                        (spec.alloc_every, live_snips.alloc),
+                        (spec.mmap_every, live_snips.mmap),
+                        (spec.openclose_every, live_snips.openclose)):
+        if every:
+            _emit_guarded(main, every, snip)
+    main.t("inc s0")
+    main.t("blt s0, s1, round_loop")
+    main.t("li a0, SYS_EXIT")
+    main.t("li a1, 0")
+    main.t("syscall")
+
+    # 4. Assemble.
+    data_lines = [
+        "rngbuf: .space 2",
+        'tick: .ascii "."',
+        'path: .ascii "sink"',
+        "functable: .word " + ", ".join(
+            f"func{i}" for i in range(spec.n_funcs)),
+    ] + em.data
+    source = "\n".join(
+        [f"; workload {spec.name} (seed {spec.seed}, rounds {rounds})",
+         ".entry main", ".text"]
+        + main.text + em.text + [".data"] + data_lines) + "\n"
+    program = assemble(source, name=spec.name)
+    static = program.text_end - program.text_base
+    return BuiltWorkload(spec=spec, program=program, source=source,
+                         rounds=rounds,
+                         estimated_instructions=int(per_round * rounds),
+                         static_instructions=static)

@@ -1,0 +1,201 @@
+"""Shared fixtures and program-generation helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Kernel, load_program
+from repro.machine.interpreter import Interpreter
+
+
+# --- canned programs -----------------------------------------------------------
+
+LOOP_SUM = """
+.entry main
+main:
+    li   t0, 0
+    li   t1, 100
+    li   t2, 0
+loop:
+    add  t2, t2, t0
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    li   a0, SYS_EXIT
+    mov  a1, t2
+    syscall
+"""
+
+FACT = """
+.entry main
+main:
+    li   a0, 10
+    call fact
+    li   a0, SYS_EXIT
+    mov  a1, rv
+    syscall
+fact:
+    li   rv, 1
+floop:
+    beqz a0, fdone
+    mul  rv, rv, a0
+    dec  a0
+    j    floop
+fdone:
+    ret
+"""
+
+HELLO = """
+.entry main
+main:
+    li   a0, SYS_WRITE
+    li   a1, FD_STDOUT
+    la   a2, msg
+    li   a3, 5
+    syscall
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+.data
+msg: .ascii "hello"
+"""
+
+#: A multi-timeslice program with memory traffic, calls and syscalls —
+#: the workhorse for SuperPin integration tests.
+MULTISLICE = """
+.entry main
+main:
+    li   s0, 0
+    li   s1, 40
+outer:
+    li   t0, 0
+    li   t1, 300
+    call work
+    li   a0, SYS_TIME
+    syscall
+    li   a0, SYS_GETRANDOM
+    la   a1, buf
+    li   a2, 1
+    syscall
+    inc  s0
+    blt  s0, s1, outer
+    li   a0, SYS_WRITE
+    li   a1, FD_STDOUT
+    la   a2, done_msg
+    li   a3, 4
+    syscall
+    li   a0, SYS_EXIT
+    mov  a1, s0
+    syscall
+work:
+    push ra
+    push s2
+    li   s2, 0
+wl:
+    add  s2, s2, t0
+    st   s2, 0x9000(t0)
+    ld   t2, 0x9000(t0)
+    addi t0, t0, 2
+    blt  t0, t1, wl
+    pop  s2
+    pop  ra
+    ret
+.data
+buf: .space 2
+done_msg: .ascii "done"
+"""
+
+
+@pytest.fixture
+def loop_program():
+    return assemble(LOOP_SUM)
+
+
+@pytest.fixture
+def fact_program():
+    return assemble(FACT)
+
+
+@pytest.fixture
+def hello_program():
+    return assemble(HELLO)
+
+
+@pytest.fixture
+def multislice_program():
+    return assemble(MULTISLICE)
+
+
+def run_native(program, seed: int = 42, max_instructions: int = 50_000_000):
+    """Run a program natively; return (process, interpreter, kernel)."""
+    kernel = Kernel(seed=seed)
+    process = load_program(program, kernel)
+    interp = Interpreter(process)
+    interp.run(max_instructions=max_instructions)
+    assert process.exited, "program did not exit"
+    return process, interp, kernel
+
+
+# --- random terminating program generator ---------------------------------------
+
+_ALU_RRR = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr", "sar",
+            "slt", "sltu")
+_ALU_RRI = ("addi", "muli", "andi", "ori", "xori", "slti")
+_TEMPS = ("t0", "t1", "t2", "t3", "t4", "t5")
+
+
+def random_program(seed: int, blocks: int = 6, block_len: int = 8,
+                   loop_iters: int = 9) -> str:
+    """Generate a random but always-terminating program.
+
+    Structure: a chain of basic blocks, each a bounded counted loop of
+    random ALU and memory operations over a private scratch region.
+    Used for differential testing (interpreter vs JIT) and SuperPin
+    exactness properties.
+    """
+    rng = random.Random(seed)
+    lines = [".entry main", "main:"]
+    lines.append(f"    li s4, {rng.randint(1, 1 << 30)}")
+    for b in range(blocks):
+        counter = "s0"
+        lines.append(f"    li {counter}, 0")
+        lines.append(f"blk{b}:")
+        for _ in range(block_len):
+            kind = rng.random()
+            if kind < 0.45:
+                op = rng.choice(_ALU_RRR)
+                rd, rs, rt = (rng.choice(_TEMPS) for _ in range(3))
+                lines.append(f"    {op} {rd}, {rs}, {rt}")
+            elif kind < 0.7:
+                op = rng.choice(_ALU_RRI)
+                rd, rs = rng.choice(_TEMPS), rng.choice(_TEMPS)
+                imm = rng.randint(-1000, 1000)
+                lines.append(f"    {op} {rd}, {rs}, {imm}")
+            elif kind < 0.8:
+                rd = rng.choice(_TEMPS)
+                base = 0x8000 + rng.randint(0, 63)
+                lines.append(f"    st {rd}, {base}(s0)")
+            elif kind < 0.9:
+                rd = rng.choice(_TEMPS)
+                base = 0x8000 + rng.randint(0, 63)
+                lines.append(f"    ld {rd}, {base}(s0)")
+            else:
+                rd = rng.choice(_TEMPS)
+                lines.append(f"    push {rd}")
+                lines.append(f"    pop {rd}")
+        # Occasional data-dependent (but loop-bounded) inner branch.
+        if rng.random() < 0.5:
+            skip = f"skip{b}"
+            lines.append(f"    andi t6, t0, 1")
+            lines.append(f"    beqz t6, {skip}")
+            lines.append(f"    addi t7, t7, 1")
+            lines.append(f"{skip}:")
+        lines.append(f"    addi {counter}, {counter}, 1")
+        lines.append(f"    li s1, {loop_iters}")
+        lines.append(f"    blt {counter}, s1, blk{b}")
+    lines.append("    li a0, SYS_EXIT")
+    lines.append("    mov a1, t2")
+    lines.append("    syscall")
+    return "\n".join(lines) + "\n"

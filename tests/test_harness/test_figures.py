@@ -1,0 +1,127 @@
+"""Figure regeneration: shape properties at reduced scale.
+
+These assert the paper's *qualitative* claims on small inputs so the
+suite stays fast; the benchmarks regenerate the figures at full scale.
+"""
+
+import pytest
+
+from repro.harness import (figure3, figure4, figure5, figure6, figure7,
+                           run_benchmark, signature_stats)
+from repro.superpin import SuperPinConfig
+
+SCALE = 0.15
+SUBSET = ["gzip", "gcc", "swim"]
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return figure3(scale=SCALE, benchmarks=SUBSET)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figure5(scale=SCALE, benchmarks=SUBSET)
+
+
+class TestFigure3:
+    def test_pin_slowdown_in_paper_band(self, fig3):
+        """icount1 under Pin: ~12X average in the paper."""
+        avg_pin = fig3.row("AVG")[1]
+        assert 800 <= avg_pin <= 1600  # percent of native
+
+    def test_superpin_beats_pin_everywhere(self, fig3):
+        for row in fig3.rows:
+            benchmark, pin_pct, sp_pct = row
+            assert sp_pct < pin_pct / 2, benchmark
+
+    def test_superpin_slower_than_native(self, fig3):
+        for row in fig3.rows:
+            assert row[2] > 100
+
+
+class TestFigure4:
+    def test_speedups_in_band(self):
+        fig = figure4(scale=SCALE, benchmarks=SUBSET)
+        for row in fig.rows:
+            assert 2.0 <= row[1] <= 12.0, row
+
+
+class TestFigure5:
+    def test_icount2_much_cheaper_than_icount1(self, fig3, fig5):
+        assert fig5.row("AVG")[1] < fig3.row("AVG")[1] / 2
+
+    def test_superpin_overhead_moderate(self, fig5):
+        # Short scaled runs pay relatively more pipeline delay than the
+        # paper's full runs; the band is accordingly wider here.
+        avg = fig5.row("AVG")[2]
+        assert 100 < avg < 250
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return figure6(scale=0.2, timeslices_sec=(0.5, 1.0, 2.0))
+
+    def test_fork_overhead_falls_with_timeslice(self, fig6):
+        forks = fig6.column("fork_others")
+        assert forks == sorted(forks, reverse=True)
+
+    def test_pipeline_grows_with_timeslice(self, fig6):
+        pipes = fig6.column("pipeline")
+        assert pipes == sorted(pipes)
+
+    def test_components_sum_to_total(self, fig6):
+        for row in fig6.rows:
+            _, native, fork, sleep, pipe, total = row
+            assert native + fork + sleep + pipe \
+                == pytest.approx(total, rel=0.01)
+
+    def test_gcc_is_instrumentation_limited(self, fig6):
+        """gcc + icount1 shows master sleep (the paper's gcc story)."""
+        assert max(fig6.column("sleep")) > 0
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return figure7(scale=0.2, max_slices=(1, 2, 4, 8, 16))
+
+    def test_monotone_improvement(self, fig7):
+        runtimes = fig7.column("runtime_s")
+        assert runtimes == sorted(runtimes, reverse=True)
+
+    def test_big_gains_to_8_modest_to_16(self, fig7):
+        runtimes = dict(zip(fig7.column("max_slices"),
+                            fig7.column("runtime_s")))
+        gain_to_8 = runtimes[1] / runtimes[8]
+        gain_8_to_16 = runtimes[8] / runtimes[16]
+        assert gain_to_8 > 3.0          # dramatic
+        assert 1.0 <= gain_8_to_16 < 1.6  # modest (hyperthreading)
+
+    def test_concurrency_tracks_spmp(self, fig7):
+        rows = {row[0]: row[3] for row in fig7.rows}
+        assert rows[1] <= 1
+        assert rows[8] <= 8
+
+
+class TestSignatureStats:
+    def test_escalation_rate_near_two_percent(self):
+        data = signature_stats(scale=0.25, benchmarks=["gzip", "crafty"])
+        total = data.row("TOTAL")
+        assert total[1] > 500          # plenty of quick checks
+        assert 0.0 < total[3] < 10.0   # escalation percent, paper ~2%
+
+
+class TestRunnerCache:
+    def test_cache_hit_returns_same_object(self):
+        a = run_benchmark("gzip", tool="icount2", scale=0.05)
+        b = run_benchmark("gzip", tool="icount2", scale=0.05)
+        assert a is b
+
+    def test_metrics_consistent(self):
+        run = run_benchmark("gzip", tool="icount2", scale=0.05)
+        assert run.pin_relative > 1.0
+        assert run.superpin_relative > 1.0
+        assert run.speedup == pytest.approx(
+            run.pin_relative / run.superpin_relative)

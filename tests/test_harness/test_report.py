@@ -1,0 +1,101 @@
+"""ASCII report rendering."""
+
+from repro.harness import bar_chart, format_table, render_figure, \
+    stacked_chart
+from repro.harness.figures import FigureData
+
+
+class TestTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "-" in lines[1]
+        assert "alpha" in lines[2]
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["n", "v"], [["x", 5], ["yy", 123]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  5".rstrip()) or "  5" in rows[0]
+        assert "123" in rows[1]
+
+    def test_duplicate_rows_do_not_crash(self):
+        text = format_table(["a"], [["x"], ["x"]])
+        assert text.count("x") == 2
+
+
+class TestCharts:
+    def test_bar_lengths_proportional(self):
+        text = bar_chart(["a", "b"], [10.0, 5.0], width=20)
+        bars = [line.count("#") for line in text.splitlines()]
+        assert bars[0] == 20 and bars[1] == 10
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart(["a", "b"], [0.0, 4.0])
+        assert "#" not in text.splitlines()[0]
+
+    def test_stacked_chart_has_legend(self):
+        text = stacked_chart(
+            ["0.5s"], {"native": [10.0], "pipeline": [5.0]})
+        assert "legend" in text.splitlines()[0]
+        assert "=" in text and "p" in text
+
+
+class TestRenderFigure:
+    def test_full_rendering(self):
+        data = FigureData(
+            figure="4", title="demo",
+            headers=["benchmark", "speedup_x"],
+            rows=[["gzip", 5.0], ["AVG", 5.0]],
+            notes=["check"])
+        text = render_figure(data)
+        assert "Figure 4: demo" in text
+        assert "gzip" in text
+        assert "note: check" in text
+        assert "#" in text  # chart present
+
+    def test_unknown_figure_renders_table_only(self):
+        data = FigureData(figure="x", title="t", headers=["a"],
+                          rows=[["1"]])
+        text = render_figure(data)
+        assert "Figure x" in text
+
+
+class TestGantt:
+    @staticmethod
+    def _timing():
+        from repro.isa import assemble
+        from repro.machine import Kernel
+        from repro.superpin import run_superpin, SuperPinConfig
+        from repro.tools import ICount2
+        from tests.conftest import MULTISLICE
+        report = run_superpin(assemble(MULTISLICE), ICount2(),
+                              SuperPinConfig(spmsec=500, clock_hz=10_000),
+                              kernel=Kernel(seed=42))
+        return report.timing
+
+    def test_figure1_shape(self):
+        """The rendered schedule shows the paper's Figure 1 structure:
+        staggered forks, sleep-then-run slices, ordered merges."""
+        from repro.harness import gantt_chart
+        timing = self._timing()
+        text = gantt_chart(timing, width=60)
+        lines = text.splitlines()
+        assert "legend" in lines[0]
+        assert lines[1].strip().startswith("master")
+        slice_rows = [line for line in lines if "S" in line and "#" in line]
+        assert len(slice_rows) == len(timing.spans)
+        # Every slice sleeps before running (a '.' precedes the '#'s)
+        # except possibly ones forked right at a signature.
+        sleeping = sum(1 for row in slice_rows if "." in row)
+        assert sleeping >= len(slice_rows) - 1
+        # Merge markers appear and move rightward in slice order.
+        merge_cols = [row.index("|") for row in slice_rows if "|" in row]
+        assert merge_cols == sorted(merge_cols)
+
+    def test_gantt_width_respected(self):
+        from repro.harness import gantt_chart
+        text = gantt_chart(self._timing(), width=40)
+        for line in text.splitlines():
+            assert len(line) <= 40 + 12  # label + indent margin

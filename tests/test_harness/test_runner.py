@@ -1,0 +1,58 @@
+"""Experiment runner: caching, config sensitivity, metric consistency."""
+
+import pytest
+
+from repro.harness import clear_cache, run_benchmark
+from repro.sched import CostModel, MachineModel
+from repro.superpin import SuperPinConfig
+
+
+class TestCaching:
+    def test_different_config_different_entry(self):
+        a = run_benchmark("eon", tool="icount2", scale=0.05,
+                          config=SuperPinConfig(spmsec=1000))
+        b = run_benchmark("eon", tool="icount2", scale=0.05,
+                          config=SuperPinConfig(spmsec=500))
+        assert a is not b
+        assert a.superpin.num_slices < b.superpin.num_slices
+
+    def test_cache_bypass(self):
+        a = run_benchmark("eon", tool="icount2", scale=0.05)
+        b = run_benchmark("eon", tool="icount2", scale=0.05,
+                          use_cache=False)
+        assert a is not b
+        assert a.superpin_cycles == b.superpin_cycles  # deterministic
+
+    def test_clear_cache(self):
+        a = run_benchmark("eon", tool="icount2", scale=0.05)
+        clear_cache()
+        b = run_benchmark("eon", tool="icount2", scale=0.05)
+        assert a is not b
+
+
+class TestModelSensitivity:
+    def test_fewer_cpus_slower_superpin(self):
+        fast = run_benchmark("gzip", tool="icount1", scale=0.1,
+                             machine=MachineModel(physical_cpus=8))
+        slow = run_benchmark("gzip", tool="icount1", scale=0.1,
+                             machine=MachineModel(physical_cpus=2))
+        assert slow.superpin_cycles > fast.superpin_cycles
+        # The serial baselines are machine-independent.
+        assert slow.pin_cycles == fast.pin_cycles
+        assert slow.native_cycles == fast.native_cycles
+
+    def test_cost_model_scales_pin(self):
+        cheap = run_benchmark("gzip", tool="icount1", scale=0.1,
+                              cost=CostModel(analysis_call=5.0))
+        dear = run_benchmark("gzip", tool="icount1", scale=0.1,
+                             cost=CostModel(analysis_call=20.0))
+        assert dear.pin_cycles > cheap.pin_cycles
+
+    def test_functional_results_model_independent(self):
+        a = run_benchmark("gzip", tool="icount2", scale=0.1,
+                          machine=MachineModel(physical_cpus=2))
+        b = run_benchmark("gzip", tool="icount2", scale=0.1,
+                          machine=MachineModel(physical_cpus=16))
+        assert a.superpin.num_slices == b.superpin.num_slices
+        assert a.superpin.total_slice_instructions \
+            == b.superpin.total_slice_instructions

@@ -1,0 +1,189 @@
+"""Assembler: syntax, directives, pseudo-instructions, diagnostics."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import abi, assemble, decode, Op
+from repro.isa.assembler import Assembler
+
+
+def _words(program, section=".text"):
+    for segment in program.segments:
+        if segment.name == section:
+            return list(segment.words)
+    return []
+
+
+class TestBasics:
+    def test_text_placed_at_base(self):
+        program = assemble("main:\n    nop\n")
+        assert program.segments[0].base == abi.TEXT_BASE
+
+    def test_entry_directive(self):
+        program = assemble(".entry start\nfiller:\n    nop\nstart:\n    nop\n")
+        assert program.entry == program.symbols["start"]
+
+    def test_entry_defaults_to_main(self):
+        program = assemble("top:\n    nop\nmain:\n    nop\n")
+        assert program.entry == program.symbols["main"]
+
+    def test_entry_defaults_to_text_base_without_main(self):
+        program = assemble("start:\n    nop\n")
+        assert program.entry == abi.TEXT_BASE
+
+    def test_comments_stripped(self):
+        program = assemble("main:\n    nop ; trailing\n    # whole line\n")
+        assert len(_words(program)) == 1
+
+    def test_semicolon_inside_string_preserved(self):
+        program = assemble('main:\n    nop\n.data\ns: .ascii "a;b"\n')
+        data = _words(program, ".data")
+        assert data == [ord("a"), ord(";"), ord("b")]
+
+    def test_data_follows_text(self):
+        program = assemble("main:\n    nop\n.data\nv: .word 7\n")
+        text, data = program.segments
+        assert data.base == text.end
+        assert program.symbols["v"] == data.base
+
+
+class TestDirectives:
+    def test_word_with_symbols_and_ints(self):
+        program = assemble(
+            "main:\n    nop\n.data\nt: .word 1, main, t\n")
+        data = _words(program, ".data")
+        assert data[0] == 1
+        assert data[1] == program.symbols["main"]
+        assert data[2] == program.symbols["t"]
+
+    def test_space_zero_filled(self):
+        program = assemble("main:\n    nop\n.data\nb: .space 5\n")
+        assert _words(program, ".data") == [0] * 5
+
+    def test_asciiz_nul_terminated(self):
+        program = assemble('main:\n    nop\n.data\ns: .asciiz "ab"\n')
+        assert _words(program, ".data") == [97, 98, 0]
+
+    def test_ascii_escapes(self):
+        program = assemble('main:\n    nop\n.data\ns: .ascii "a\\n\\t\\0"\n')
+        assert _words(program, ".data") == [97, 10, 9, 0]
+
+    def test_equ_definitions(self):
+        program = assemble(".equ N, 42\nmain:\n    li t0, N\n")
+        assert decode(_words(program)[0])[4] == 42
+
+    def test_builtin_syscall_equates(self):
+        program = assemble("main:\n    li a0, SYS_WRITE\n")
+        assert decode(_words(program)[0])[4] == abi.SYS_WRITE
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble("main:\n.bogus 1\n")
+
+
+class TestOperands:
+    def test_memory_operand_forms(self):
+        program = assemble("main:\n    ld t0, 8(sp)\n    st t1, -4(fp)\n")
+        words = _words(program)
+        op, rd, rs, rt, imm = decode(words[0])
+        assert (op, imm) == (int(Op.LD), 8)
+        op, rd, rs, rt, imm = decode(words[1])
+        assert (op, imm) == (int(Op.ST), -4)
+
+    def test_memory_operand_empty_offset(self):
+        program = assemble("main:\n    ld t0, (sp)\n")
+        assert decode(_words(program)[0])[4] == 0
+
+    def test_char_literal_immediate(self):
+        program = assemble("main:\n    li t0, 'A'\n")
+        assert decode(_words(program)[0])[4] == 65
+
+    def test_symbol_plus_offset(self):
+        program = assemble(
+            "main:\n    li t0, buf+3\n    li t1, buf-1\n.data\nbuf: .space 4\n")
+        buf = program.symbols["buf"]
+        words = _words(program)
+        assert decode(words[0])[4] == buf + 3
+        assert decode(words[1])[4] == buf - 1
+
+    def test_branch_to_label(self):
+        program = assemble("main:\nl:\n    beq t0, t1, l\n")
+        assert decode(_words(program)[0])[4] == program.symbols["l"]
+
+    def test_unknown_register_diagnosed_with_line(self):
+        with pytest.raises(AssemblerError, match="line 2.*unknown register"):
+            assemble("main:\n    add t0, t1, t9\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 3 operand"):
+            assemble("main:\n    add t0, t1\n")
+
+    def test_unresolved_symbol(self):
+        with pytest.raises(AssemblerError, match="cannot resolve"):
+            assemble("main:\n    li t0, nowhere\n")
+
+    def test_immediate_overflow_diagnosed(self):
+        with pytest.raises(AssemblerError, match="out of range"):
+            assemble(f"main:\n    li t0, {1 << 40}\n")
+
+
+class TestPseudo:
+    @pytest.mark.parametrize("pseudo,expected_op", [
+        ("mov t0, t1", Op.ADDI),
+        ("la t0, main", Op.LI),
+        ("neg t0, t1", Op.SUB),
+        ("not t0, t1", Op.XORI),
+        ("inc t0", Op.ADDI),
+        ("dec t0", Op.ADDI),
+        ("b main", Op.J),
+        ("bgt t0, t1, main", Op.BLT),
+        ("ble t0, t1, main", Op.BGE),
+        ("beqz t0, main", Op.BEQ),
+        ("bnez t0, main", Op.BNE),
+    ])
+    def test_expansion_opcode(self, pseudo, expected_op):
+        program = assemble(f"main:\n    {pseudo}\n")
+        assert decode(_words(program)[0])[0] == int(expected_op)
+
+    def test_swapped_branch_operands(self):
+        # bgt a, b, L  ==  blt b, a, L
+        program = assemble("main:\n    bgt t0, t1, main\n")
+        _, _, rs, rt, _ = decode(_words(program)[0])
+        from repro.isa import parse_register
+        assert rs == parse_register("t1")
+        assert rt == parse_register("t0")
+
+    def test_pseudo_operand_count_checked(self):
+        with pytest.raises(AssemblerError, match="mov expects 2"):
+            assemble("main:\n    mov t0\n")
+
+
+class TestLabels:
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("main:\n    nop\nmain:\n    nop\n")
+
+    def test_label_at_section_end(self):
+        program = assemble("main:\n    nop\nend:\n")
+        assert program.symbols["end"] == abi.TEXT_BASE + 1
+
+    def test_stacked_labels(self):
+        program = assemble("a: b: c:\n    nop\n")
+        assert program.symbols["a"] == program.symbols["b"] \
+            == program.symbols["c"]
+
+    def test_undefined_entry_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble(".entry ghost\nmain:\n    nop\n")
+
+
+class TestAssemblerObject:
+    def test_custom_bases(self):
+        asm = Assembler(text_base=0x2000, data_base=0x9000)
+        program = asm.assemble("main:\n    nop\n.data\nv: .word 1\n")
+        assert program.segments[0].base == 0x2000
+        assert program.segments[1].base == 0x9000
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("main:\n    frobnicate t0\n")

@@ -1,0 +1,68 @@
+"""Binary encoding round trips and validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, IllegalInstruction
+from repro.isa import decode, encode, IMM_MAX, IMM_MIN, INFO, Op
+from repro.isa.encoding import is_valid_opcode
+
+
+class TestEncodeDecode:
+    def test_simple_roundtrip(self):
+        word = encode(Op.ADDI, rd=3, rs=4, imm=-17)
+        op, rd, rs, rt, imm = decode(word)
+        assert (op, rd, rs, rt, imm) == (int(Op.ADDI), 3, 4, 0, -17)
+
+    def test_nop_encodes_to_zero(self):
+        # Opcode 0 with zero operands: untouched memory decodes as NOP.
+        assert encode(Op.NOP) == 0
+        assert decode(0)[0] == int(Op.NOP)
+
+    def test_imm_extremes(self):
+        for imm in (IMM_MIN, IMM_MAX, 0, -1, 1):
+            word = encode(Op.LI, rd=1, imm=imm)
+            assert decode(word)[4] == imm
+
+    def test_imm_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Op.LI, rd=1, imm=IMM_MAX + 1)
+        with pytest.raises(EncodingError):
+            encode(Op.LI, rd=1, imm=IMM_MIN - 1)
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Op.ADD, rd=64)
+        with pytest.raises(EncodingError):
+            encode(Op.ADD, rs=-1)
+
+    def test_invalid_opcode_raises(self):
+        bogus = 0xFF  # opcode field 255 is not defined
+        assert not is_valid_opcode(bogus)
+        with pytest.raises(IllegalInstruction):
+            decode(bogus)
+
+    def test_decode_reports_pc(self):
+        with pytest.raises(IllegalInstruction) as exc:
+            decode(0xFF, pc=0x1234)
+        assert exc.value.pc == 0x1234
+
+
+@given(op=st.sampled_from(sorted(INFO)),
+       rd=st.integers(0, 31), rs=st.integers(0, 31), rt=st.integers(0, 31),
+       imm=st.integers(IMM_MIN, IMM_MAX))
+def test_roundtrip_property(op, rd, rs, rt, imm):
+    """decode(encode(x)) == x for every field combination."""
+    word = encode(op, rd=rd, rs=rs, rt=rt, imm=imm)
+    assert 0 <= word < (1 << 64)
+    assert decode(word) == (int(op), rd, rs, rt, imm)
+
+
+@given(op=st.sampled_from(sorted(INFO)),
+       rd=st.integers(0, 31), imm=st.integers(IMM_MIN, IMM_MAX))
+def test_encoding_is_injective_in_fields(op, rd, imm):
+    """Different immediates produce different words (no aliasing)."""
+    a = encode(op, rd=rd, imm=imm)
+    other = imm - 1 if imm > IMM_MIN else imm + 1
+    b = encode(op, rd=rd, imm=other)
+    assert a != b

@@ -1,0 +1,90 @@
+"""Binary object-file format round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LoaderError
+from repro.isa import assemble, objfile, Program, Segment
+from repro.machine import Kernel, load_program, run_to_completion
+from tests.conftest import FACT, MULTISLICE
+
+
+def _roundtrip(program: Program) -> Program:
+    return objfile.loads(objfile.dumps(program))
+
+
+class TestRoundTrip:
+    def test_assembled_program(self):
+        program = assemble(MULTISLICE)
+        clone = _roundtrip(program)
+        assert clone.entry == program.entry
+        assert clone.symbols == program.symbols
+        assert [(s.base, s.words, s.name) for s in clone.segments] \
+            == [(s.base, s.words, s.name) for s in program.segments]
+        assert clone.text_base == program.text_base
+        assert clone.text_end == program.text_end
+
+    def test_loaded_clone_runs_identically(self):
+        program = assemble(FACT)
+        clone = _roundtrip(program)
+        a = load_program(program, Kernel())
+        b = load_program(clone, Kernel())
+        run_to_completion(a)
+        run_to_completion(b)
+        assert a.exit_code == b.exit_code == 3628800
+
+    def test_file_save_load(self, tmp_path):
+        program = assemble(FACT)
+        path = tmp_path / "fact.bin"
+        objfile.save(program, str(path))
+        clone = objfile.load(str(path))
+        assert clone.symbols == program.symbols
+
+    def test_magic_detection(self):
+        program = assemble(FACT)
+        data = objfile.dumps(program)
+        assert objfile.is_object_file(data)
+        assert not objfile.is_object_file(b".entry main")
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(LoaderError, match="magic"):
+            objfile.loads(b"ELF!" + b"\x00" * 30)
+
+    def test_truncated(self):
+        program = assemble(FACT)
+        data = objfile.dumps(program)
+        with pytest.raises(LoaderError, match="truncated"):
+            objfile.loads(data[:-5])
+
+    def test_trailing_garbage(self):
+        program = assemble(FACT)
+        data = objfile.dumps(program)
+        with pytest.raises(LoaderError, match="trailing"):
+            objfile.loads(data + b"\x00")
+
+    def test_bad_version(self):
+        program = assemble(FACT)
+        data = bytearray(objfile.dumps(program))
+        data[4] = 99  # version field
+        with pytest.raises(LoaderError, match="version"):
+            objfile.loads(bytes(data))
+
+
+@settings(max_examples=25, deadline=None)
+@given(entry=st.integers(0, 2 ** 40),
+       symbols=st.dictionaries(
+           st.text(min_size=1, max_size=20).filter(str.isprintable),
+           st.integers(0, 2 ** 48), max_size=8),
+       words=st.lists(st.integers(0, 2 ** 64 - 1), min_size=1,
+                      max_size=64),
+       base=st.integers(0, 2 ** 32))
+def test_roundtrip_property(entry, symbols, words, base):
+    program = Program(entry=entry, symbols=dict(symbols))
+    program.add_segment(Segment(base, tuple(words), name=".text"))
+    clone = _roundtrip(program)
+    assert clone.entry == entry
+    assert clone.symbols == symbols
+    assert clone.segments[0].words == tuple(words)
+    assert clone.segments[0].base == base

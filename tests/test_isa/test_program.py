@@ -1,0 +1,51 @@
+"""Program image invariants."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.isa import Program, Segment
+from repro.isa.registers import (ALIASES, NUM_REGS, parse_register,
+                                 register_name)
+
+
+class TestSegments:
+    def test_overlap_rejected(self):
+        program = Program()
+        program.add_segment(Segment(100, (1, 2, 3), name="a"))
+        with pytest.raises(LoaderError, match="overlaps"):
+            program.add_segment(Segment(102, (9,), name="b"))
+
+    def test_adjacent_allowed(self):
+        program = Program()
+        program.add_segment(Segment(100, (1, 2, 3)))
+        program.add_segment(Segment(103, (4,)))
+        assert program.load_end == 104
+
+    def test_word_count(self):
+        program = Program()
+        program.add_segment(Segment(0, (1, 2)))
+        program.add_segment(Segment(10, (3,)))
+        assert program.word_count() == 3
+
+    def test_symbol_lookup(self):
+        program = Program(symbols={"x": 7})
+        assert program.symbol("x") == 7
+        with pytest.raises(KeyError):
+            program.symbol("y")
+
+
+class TestRegisters:
+    def test_alias_table_complete(self):
+        # All 32 plain names, plus the ABI aliases.
+        for i in range(NUM_REGS):
+            assert parse_register(f"r{i}") == i
+        assert parse_register("sp") == 29
+        assert parse_register("ZERO") == 0  # case-insensitive
+
+    def test_display_names_prefer_aliases(self):
+        assert register_name(29) == "sp"
+        assert register_name(8) == "t0"
+
+    def test_alias_count_consistent(self):
+        numbers = set(ALIASES.values())
+        assert numbers == set(range(NUM_REGS))

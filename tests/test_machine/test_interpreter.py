@@ -1,0 +1,224 @@
+"""Interpreter: per-opcode semantics, signed arithmetic, control, stops."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ArithmeticFault
+from repro.isa import abi, assemble, to_signed
+from repro.machine import (Kernel, load_program, run_to_completion,
+                           StopReason)
+from repro.machine.interpreter import Interpreter
+from tests.conftest import run_native
+
+
+def run_exit_code(body: str, seed: int = 0) -> int:
+    """Assemble a snippet that ends by exiting with a value in a1."""
+    source = f".entry main\nmain:\n{body}\n"
+    program = assemble(source)
+    kernel = Kernel(seed=seed)
+    process = load_program(program, kernel)
+    run_to_completion(process)
+    return process.exit_code
+
+
+def exit_with(value_setup: str) -> int:
+    return run_exit_code(
+        f"{value_setup}\n    li a0, SYS_EXIT\n    mov a1, t0\n    syscall")
+
+
+M64 = (1 << 64) - 1
+
+
+class TestAlu:
+    def test_add_wraps(self):
+        assert exit_with("    li t1, -1\n    li t2, 2\n"
+                        "    add t0, t1, t2") == 1
+
+    def test_sub_negative_wraps(self):
+        assert exit_with("    li t1, 1\n    li t2, 2\n"
+                        "    sub t0, t1, t2") == M64
+
+    def test_mul(self):
+        assert exit_with("    li t1, 1000000\n    li t2, 1000000\n"
+                        "    mul t0, t1, t2") == 10 ** 12
+
+    def test_div_truncates_toward_zero(self):
+        assert exit_with("    li t1, -7\n    li t2, 2\n"
+                        "    div t0, t1, t2") == (-3) & M64
+
+    def test_mod_sign_follows_dividend(self):
+        assert exit_with("    li t1, -7\n    li t2, 2\n"
+                        "    mod t0, t1, t2") == (-1) & M64
+
+    def test_div_by_zero_faults(self):
+        with pytest.raises(ArithmeticFault):
+            exit_with("    li t1, 1\n    li t2, 0\n    div t0, t1, t2")
+
+    def test_logic_ops(self):
+        assert exit_with("    li t1, 12\n    li t2, 10\n"
+                        "    and t0, t1, t2") == 8
+        assert exit_with("    li t1, 12\n    li t2, 10\n"
+                        "    or t0, t1, t2") == 14
+        assert exit_with("    li t1, 12\n    li t2, 10\n"
+                        "    xor t0, t1, t2") == 6
+
+    def test_shifts(self):
+        assert exit_with("    li t1, 1\n    li t2, 63\n"
+                        "    shl t0, t1, t2") == 1 << 63
+        assert exit_with("    li t1, -1\n    li t2, 60\n"
+                        "    shr t0, t1, t2") == 15
+        assert exit_with("    li t1, -16\n    li t2, 2\n"
+                        "    sar t0, t1, t2") == (-4) & M64
+
+    def test_shift_amount_masked_to_63(self):
+        assert exit_with("    li t1, 1\n    li t2, 64\n"
+                        "    shl t0, t1, t2") == 1  # 64 & 63 == 0
+
+    def test_slt_signed_vs_unsigned(self):
+        assert exit_with("    li t1, -1\n    li t2, 1\n"
+                        "    slt t0, t1, t2") == 1
+        assert exit_with("    li t1, -1\n    li t2, 1\n"
+                        "    sltu t0, t1, t2") == 0
+
+    def test_immediates(self):
+        assert exit_with("    li t1, 5\n    addi t0, t1, -3") == 2
+        assert exit_with("    li t1, 5\n    muli t0, t1, 7") == 35
+        assert exit_with("    li t1, 6\n    slti t0, t1, 7") == 1
+        assert exit_with("    li t1, -2\n    shri t0, t1, 62") == 3
+        assert exit_with("    li t1, -8\n    sari t0, t1, 1") == (-4) & M64
+
+    def test_r0_write_discarded(self):
+        assert exit_with("    li zero, 55\n    mov t0, zero") == 0
+
+
+class TestMemoryOps:
+    def test_ld_st(self):
+        assert exit_with("    li t1, 77\n    st t1, 0x8000(zero)\n"
+                        "    ld t0, 0x8000(zero)") == 77
+
+    def test_negative_offset(self):
+        assert exit_with("    li t2, 0x8010\n    li t1, 5\n"
+                        "    st t1, -16(t2)\n    ld t0, 0x8000(zero)") == 5
+
+    def test_push_pop_lifo(self):
+        assert exit_with("    li t1, 1\n    li t2, 2\n"
+                        "    push t1\n    push t2\n"
+                        "    pop t0\n    pop t3\n"
+                        "    shli t0, t0, 8\n    or t0, t0, t3") \
+            == (2 << 8) | 1
+
+    def test_pop_to_r0_discards_but_pops(self):
+        assert exit_with("    li t1, 9\n    push t1\n    li t2, 4\n"
+                        "    push t2\n    pop zero\n    pop t0") == 9
+
+    def test_sp_starts_at_stack_top(self):
+        assert exit_with("    mov t0, sp") == abi.STACK_TOP
+
+
+class TestControl:
+    def test_branches(self, loop_program):
+        process, interp, _ = run_native(loop_program)
+        assert process.exit_code == sum(range(100))
+
+    def test_call_ret(self, fact_program):
+        process, _, _ = run_native(fact_program)
+        assert process.exit_code == 3628800
+
+    def test_jr_indirect(self):
+        code = ("    la t1, target\n    jr t1\n    li t0, 1\n"
+                "target:\n    li t0, 42")
+        assert exit_with(code) == 42
+
+    def test_callr(self):
+        code = ("    la t1, fn\n    callr t1\n    mov t0, rv\n"
+                "    j done\nfn:\n    li rv, 9\n    ret\ndone:")
+        assert exit_with(code) == 9
+
+    def test_cond_branch_signed(self):
+        code = ("    li t1, -5\n    li t2, 3\n    li t0, 0\n"
+                "    bge t1, t2, no\n    li t0, 1\nno:")
+        assert exit_with(code) == 1
+
+    def test_cond_branch_unsigned(self):
+        code = ("    li t1, -5\n    li t2, 3\n    li t0, 0\n"
+                "    bltu t1, t2, no\n    li t0, 1\nno:")
+        assert exit_with(code) == 1  # -5 unsigned is huge
+
+    def test_halt_exits_with_rv(self):
+        program = assemble(".entry main\nmain:\n    li rv, 5\n    halt\n")
+        kernel = Kernel()
+        process = load_program(program, kernel)
+        run_to_completion(process)
+        assert process.exit_code == 5
+
+
+class TestStops:
+    def test_budget_stop_and_resume(self, loop_program):
+        kernel = Kernel()
+        process = load_program(loop_program, kernel)
+        interp = Interpreter(process)
+        r1 = interp.run(max_instructions=50)
+        assert r1.reason is StopReason.BUDGET and r1.instructions == 50
+        r2 = interp.run()
+        assert r2.reason is StopReason.EXIT
+        assert process.exit_code == sum(range(100))
+        assert interp.total_instructions == 50 + r2.instructions
+
+    def test_stop_after_syscall(self, hello_program):
+        kernel = Kernel()
+        process = load_program(hello_program, kernel)
+        interp = Interpreter(process, stop_after_syscall=True)
+        r1 = interp.run()
+        assert r1.reason is StopReason.SYSCALL
+        assert r1.outcome.record.number == abi.SYS_WRITE
+        r2 = interp.run()
+        assert r2.reason is StopReason.EXIT
+
+    def test_run_after_exit_is_noop(self, hello_program):
+        kernel = Kernel()
+        process = load_program(hello_program, kernel)
+        interp = Interpreter(process)
+        interp.run()
+        again = interp.run()
+        assert again.reason is StopReason.EXIT and again.instructions == 0
+
+    def test_instruction_count_exact(self, loop_program):
+        _, interp, _ = run_native(loop_program)
+        # li*3 + 100 iterations * 3 + exit li/mov/syscall.
+        assert interp.total_instructions == 3 + 100 * 3 + 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(0, M64), b=st.integers(0, M64))
+def test_signed_division_reference(a, b):
+    """DIV/MOD match C-style truncating semantics for all 64-bit inputs."""
+    if b == 0:
+        return
+    sa, sb = to_signed(a), to_signed(b)
+    expected_q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        expected_q = -expected_q
+    expected_r = sa - expected_q * sb
+    code = (f"    li t1, 0\n    ori t1, t1, {a & 0xffff}\n")
+    # Build the operands via memory to avoid immediate-width limits.
+    source = f"""
+.entry main
+main:
+    ld t1, 0x8000(zero)
+    ld t2, 0x8001(zero)
+    div t3, t1, t2
+    mod t4, t1, t2
+    st t3, 0x8002(zero)
+    st t4, 0x8003(zero)
+    li a0, SYS_EXIT
+    li a1, 0
+    syscall
+"""
+    program = assemble(source)
+    kernel = Kernel()
+    process = load_program(program, kernel)
+    process.mem.write(0x8000, a)
+    process.mem.write(0x8001, b)
+    run_to_completion(process)
+    assert process.mem.read(0x8002) == expected_q & M64
+    assert process.mem.read(0x8003) == expected_r & M64

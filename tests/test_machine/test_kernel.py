@@ -1,0 +1,216 @@
+"""Kernel emulator: syscalls, layout, nondeterminism sources, records."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.isa import abi
+from repro.isa.registers import A0, A1, A2, A3, RV
+from repro.machine import (EMULATE, FORCE_SLICE, Kernel, MemLayout, Memory,
+                           REPLAY, syscall_class)
+from repro.machine.cpu import CpuState
+
+
+def _call(kernel, mem, number, a1=0, a2=0, a3=0):
+    cpu = CpuState()
+    cpu.regs[A0] = number
+    cpu.regs[A1], cpu.regs[A2], cpu.regs[A3] = a1, a2, a3
+    outcome = kernel.do_syscall(cpu, mem)
+    return cpu, outcome
+
+
+class TestClassification:
+    def test_classes_match_paper_taxonomy(self):
+        assert syscall_class(abi.SYS_TIME) == REPLAY
+        assert syscall_class(abi.SYS_GETRANDOM) == REPLAY
+        assert syscall_class(abi.SYS_WRITE) == REPLAY
+        assert syscall_class(abi.SYS_BRK) == EMULATE
+        assert syscall_class(abi.SYS_MMAP) == EMULATE
+        assert syscall_class(abi.SYS_OPEN) == FORCE_SLICE
+        assert syscall_class(999) == FORCE_SLICE  # unknown: be conservative
+
+
+class TestBasicCalls:
+    def test_exit(self):
+        kernel = Kernel()
+        _, outcome = _call(kernel, Memory(), abi.SYS_EXIT, a1=3)
+        assert outcome.exited and outcome.exit_code == 3
+
+    def test_write_stdout(self):
+        kernel = Kernel()
+        mem = Memory()
+        mem.write_block(100, [ord(c) for c in "hi"])
+        cpu, outcome = _call(kernel, mem, abi.SYS_WRITE,
+                             a1=abi.FD_STDOUT, a2=100, a3=2)
+        assert cpu.regs[RV] == 2
+        assert kernel.stdout_text() == "hi"
+        assert outcome.record.mem_writes == ()
+
+    def test_write_stderr_separate(self):
+        kernel = Kernel()
+        mem = Memory()
+        mem.write(100, ord("x"))
+        _call(kernel, mem, abi.SYS_WRITE, a1=abi.FD_STDERR, a2=100, a3=1)
+        assert kernel.stderr_text() == "x"
+        assert kernel.stdout_text() == ""
+
+    def test_read_stdin_records_mem_writes(self):
+        kernel = Kernel(stdin="abc")
+        mem = Memory()
+        cpu, outcome = _call(kernel, mem, abi.SYS_READ,
+                             a1=abi.FD_STDIN, a2=50, a3=10)
+        assert cpu.regs[RV] == 3
+        assert mem.read_block(50, 3) == [97, 98, 99]
+        assert outcome.record.mem_writes == ((50, 97), (51, 98), (52, 99))
+
+    def test_read_stdin_advances(self):
+        kernel = Kernel(stdin="abcd")
+        mem = Memory()
+        _call(kernel, mem, abi.SYS_READ, a1=0, a2=50, a3=2)
+        cpu, _ = _call(kernel, mem, abi.SYS_READ, a1=0, a2=60, a3=10)
+        assert cpu.regs[RV] == 2
+        assert mem.read_block(60, 2) == [99, 100]
+
+    def test_getpid(self):
+        kernel = Kernel(pid=777)
+        cpu, _ = _call(kernel, Memory(), abi.SYS_GETPID)
+        assert cpu.regs[RV] == 777
+
+    def test_unknown_syscall_faults(self):
+        kernel = Kernel()
+        with pytest.raises(SyscallError):
+            _call(kernel, Memory(), 999)
+
+
+class TestNondeterminism:
+    def test_time_is_monotonic_and_stateful(self):
+        kernel = Kernel()
+        cpu1, _ = _call(kernel, Memory(), abi.SYS_TIME)
+        cpu2, _ = _call(kernel, Memory(), abi.SYS_TIME)
+        assert cpu2.regs[RV] > cpu1.regs[RV]
+
+    def test_time_advances_even_on_other_calls(self):
+        # Re-executing 'time' after other activity yields a different
+        # value: this is what makes naive slice re-execution diverge.
+        k1, k2 = Kernel(seed=5), Kernel(seed=5)
+        t1 = _call(k1, Memory(), abi.SYS_TIME)[0].regs[RV]
+        _call(k2, Memory(), abi.SYS_GETPID)
+        t2 = _call(k2, Memory(), abi.SYS_TIME)[0].regs[RV]
+        assert t1 != t2
+
+    def test_getrandom_seeded_deterministic(self):
+        out = []
+        for _ in range(2):
+            kernel = Kernel(seed=9)
+            mem = Memory()
+            _call(kernel, mem, abi.SYS_GETRANDOM, a1=10, a2=4)
+            out.append(mem.read_block(10, 4))
+        assert out[0] == out[1]
+
+    def test_getrandom_stateful_within_run(self):
+        kernel = Kernel(seed=9)
+        mem = Memory()
+        _call(kernel, mem, abi.SYS_GETRANDOM, a1=10, a2=2)
+        first = mem.read_block(10, 2)
+        _call(kernel, mem, abi.SYS_GETRANDOM, a1=10, a2=2)
+        assert mem.read_block(10, 2) != first
+
+
+class TestFiles:
+    def _open(self, kernel, mem, path, flags=1):
+        base = 200
+        mem.write_block(base, [ord(c) for c in path])
+        cpu, _ = _call(kernel, mem, abi.SYS_OPEN, a1=base, a2=len(path),
+                       a3=flags)
+        return cpu.regs[RV]
+
+    def test_open_create_write_read(self):
+        kernel = Kernel()
+        mem = Memory()
+        fd = self._open(kernel, mem, "out")
+        assert fd >= 3
+        mem.write_block(300, [1, 2, 3])
+        _call(kernel, mem, abi.SYS_WRITE, a1=fd, a2=300, a3=3)
+        _call(kernel, mem, abi.SYS_CLOSE, a1=fd)
+        fd2 = self._open(kernel, mem, "out", flags=0)
+        cpu, _ = _call(kernel, mem, abi.SYS_READ, a1=fd2, a2=400, a3=10)
+        assert cpu.regs[RV] == 3
+        assert mem.read_block(400, 3) == [1, 2, 3]
+
+    def test_open_missing_without_create(self):
+        kernel = Kernel()
+        mem = Memory()
+        fd = self._open(kernel, mem, "ghost", flags=0)
+        assert fd == (1 << 64) - 1  # -1
+
+    def test_close_bad_fd(self):
+        kernel = Kernel()
+        cpu, _ = _call(kernel, Memory(), abi.SYS_CLOSE, a1=55)
+        assert cpu.regs[RV] == (1 << 64) - 1
+
+    def test_preloaded_files(self):
+        kernel = Kernel(files={"input": "xy"})
+        mem = Memory()
+        fd = self._open(kernel, mem, "input", flags=0)
+        cpu, _ = _call(kernel, mem, abi.SYS_READ, a1=fd, a2=10, a3=5)
+        assert cpu.regs[RV] == 2
+
+
+class TestLayout:
+    def test_brk_query_and_set(self):
+        layout = MemLayout(brk=1000)
+        assert layout.do_brk(0) == 1000
+        assert layout.do_brk(2000) == 2000
+        assert layout.do_brk(0) == 2000
+
+    def test_mmap_uses_hint_when_free(self):
+        layout = MemLayout()
+        assert layout.do_mmap(0x50000, 100) == 0x50000
+
+    def test_mmap_skips_colliding_hint(self):
+        layout = MemLayout()
+        layout.do_mmap(0x50000, 1000)
+        second = layout.do_mmap(0x50000, 1000)
+        assert second != 0x50000
+
+    def test_mmap_cursor_advances(self):
+        layout = MemLayout()
+        a = layout.do_mmap(0, 100)
+        b = layout.do_mmap(0, 100)
+        assert b > a
+
+    def test_munmap_exact_match_required(self):
+        layout = MemLayout()
+        base = layout.do_mmap(0, 100)
+        with pytest.raises(SyscallError):
+            layout.do_munmap(base, 50)
+        assert layout.do_munmap(base, 100) == 0
+
+    def test_munmap_unknown_raises(self):
+        with pytest.raises(SyscallError):
+            MemLayout().do_munmap(0x1234, 10)
+
+    def test_fork_is_independent(self):
+        layout = MemLayout(brk=100)
+        child = layout.fork()
+        child.do_brk(500)
+        assert layout.do_brk(0) == 100
+
+    def test_fork_replays_identically(self):
+        """The paper's EMULATE-class guarantee: same ops -> same addresses."""
+        parent = MemLayout()
+        ops = [("mmap", 0, 256), ("brk", 5000, 0), ("mmap", 0, 128)]
+        child = parent.fork()
+
+        def run(layout):
+            results = []
+            for op, a, b in ops:
+                if op == "mmap":
+                    results.append(layout.do_mmap(a, b))
+                else:
+                    results.append(layout.do_brk(a))
+            return results
+        assert run(parent) == run(child)
+
+    def test_mmap_zero_length_rejected(self):
+        with pytest.raises(SyscallError):
+            MemLayout().do_mmap(0, 0)

@@ -1,0 +1,262 @@
+"""Cooperative threading: scheduler semantics and determinism."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.isa import abi, assemble
+from repro.machine import (EXIT_TRAMPOLINE, Kernel, load_program,
+                           ThreadManager, ThreadStatus)
+from repro.machine.interpreter import Interpreter
+from repro.pin import PinVM
+
+SPAWN_JOIN = """
+.entry main
+main:
+    li   a0, SYS_THREAD_CREATE
+    la   a1, worker
+    li   a2, 7
+    syscall
+    mov  s0, rv
+    li   a0, SYS_THREAD_JOIN
+    mov  a1, s0
+    syscall
+    li   a0, SYS_EXIT
+    mov  a1, rv
+    syscall
+worker:
+    muli rv, a0, 3
+    ret                 ; implicit thread_exit via the trampoline
+"""
+
+PINGPONG = """
+.entry main
+main:
+    li   a0, SYS_THREAD_CREATE
+    la   a1, pong
+    li   a2, 0
+    syscall
+    mov  s0, rv
+    li   s1, 0          ; main's counter
+    li   s2, 5
+pl: st   s1, 0x8000(zero)    ; publish
+    li   a0, SYS_YIELD
+    syscall
+    inc  s1
+    blt  s1, s2, pl
+    li   a0, SYS_THREAD_JOIN
+    mov  a1, s0
+    syscall
+    li   a0, SYS_EXIT
+    mov  a1, rv
+    syscall
+pong:
+    li   t0, 0
+    li   t1, 5
+    li   t3, 0
+ql: ld   t2, 0x8000(zero)    ; read main's latest value
+    add  t3, t3, t2
+    push t0
+    push t1
+    push t3
+    li   a0, SYS_YIELD
+    syscall
+    pop  t3
+    pop  t1
+    pop  t0
+    inc  t0
+    blt  t0, t1, ql
+    mov  rv, t3
+    ret
+"""
+
+
+def _run(source, seed=1):
+    program = assemble(source)
+    kernel = Kernel(seed=seed)
+    process = load_program(program, kernel)
+    interp = Interpreter(process)
+    interp.run(max_instructions=5_000_000)
+    assert process.exited
+    return process, interp
+
+
+class TestBasics:
+    def test_spawn_join_returns_value(self):
+        process, _ = _run(SPAWN_JOIN)
+        assert process.exit_code == 21
+
+    def test_trampoline_installed_by_loader(self):
+        program = assemble(SPAWN_JOIN)
+        process = load_program(program, Kernel())
+        assert process.thread_manager is not None
+        assert process.mem.read(EXIT_TRAMPOLINE) != 0
+
+    def test_interleaving_shares_memory(self):
+        """The pong thread observes main's published values: 0+1+2+3+4
+        shifted by the round-robin schedule."""
+        process, _ = _run(PINGPONG)
+        # Deterministic: the exact sum is fixed by the FIFO schedule.
+        assert process.exit_code == 10
+
+    def test_deterministic_across_runs(self):
+        a, _ = _run(PINGPONG, seed=1)
+        b, _ = _run(PINGPONG, seed=2)  # kernel seed does not matter here
+        assert a.exit_code == b.exit_code
+
+    def test_engines_agree(self):
+        program = assemble(PINGPONG)
+        results = []
+        for engine in ("interp", "closure", "source"):
+            kernel = Kernel(seed=1)
+            process = load_program(program, kernel)
+            if engine == "interp":
+                interp = Interpreter(process)
+                interp.run(max_instructions=5_000_000)
+                results.append((process.exit_code,
+                                interp.total_instructions))
+            else:
+                vm = PinVM(process, jit_backend=engine
+                           if engine == "source" else "closure")
+                r = vm.run()
+                results.append((r.exit_code, r.instructions))
+        assert results[0] == results[1] == results[2]
+
+
+class TestSchedulerRules:
+    def test_join_on_finished_thread_immediate(self):
+        source = """
+.entry main
+main:
+    li   a0, SYS_THREAD_CREATE
+    la   a1, quick
+    li   a2, 0
+    syscall
+    mov  s0, rv
+    li   a0, SYS_YIELD          ; let it run to completion
+    syscall
+    li   a0, SYS_YIELD
+    syscall
+    li   a0, SYS_THREAD_JOIN
+    mov  a1, s0
+    syscall
+    li   a0, SYS_EXIT
+    mov  a1, rv
+    syscall
+quick:
+    li   rv, 99
+    ret
+"""
+        process, _ = _run(source)
+        assert process.exit_code == 99
+
+    def test_yield_without_peers_is_noop(self):
+        source = """
+.entry main
+main:
+    li   a0, SYS_YIELD
+    syscall
+    li   a0, SYS_EXIT
+    li   a1, 1
+    syscall
+"""
+        process, _ = _run(source)
+        assert process.exit_code == 1
+
+    def test_join_unknown_thread_faults(self):
+        source = """
+.entry main
+main:
+    li   a0, SYS_THREAD_JOIN
+    li   a1, 42
+    syscall
+    li   a0, SYS_EXIT
+    syscall
+"""
+        with pytest.raises(SyscallError, match="unknown thread"):
+            _run(source)
+
+    def test_deadlock_detected(self):
+        source = """
+.entry main
+main:
+    li   a0, SYS_THREAD_CREATE
+    la   a1, sleeper
+    li   a2, 0
+    syscall
+    mov  s0, rv
+    li   a0, SYS_THREAD_JOIN    ; joins a thread that joins us -> cycle
+    mov  a1, s0
+    syscall
+    li   a0, SYS_EXIT
+    syscall
+sleeper:
+    li   a0, SYS_THREAD_JOIN
+    li   a1, 0                  ; join main, which is joining us
+    syscall
+    ret
+"""
+        with pytest.raises(SyscallError, match="deadlock"):
+            _run(source)
+
+    def test_thread_exit_from_main_rejected(self):
+        source = """
+.entry main
+main:
+    li   a0, SYS_THREAD_EXIT
+    li   a1, 0
+    syscall
+"""
+        with pytest.raises(SyscallError, match="main thread"):
+            _run(source)
+
+    def test_thread_stacks_disjoint(self):
+        """Each thread pushes deep; values never interfere."""
+        source = """
+.entry main
+main:
+    li   a0, SYS_THREAD_CREATE
+    la   a1, pusher
+    li   a2, 111
+    syscall
+    mov  s0, rv
+    li   t0, 222
+    push t0
+    li   a0, SYS_YIELD
+    syscall
+    pop  t0
+    li   a0, SYS_THREAD_JOIN
+    mov  a1, s0
+    syscall
+    add  t0, t0, rv
+    li   a0, SYS_EXIT
+    mov  a1, t0
+    syscall
+pusher:
+    push a0
+    li   a0, SYS_YIELD
+    syscall
+    pop  rv
+    ret
+"""
+        process, _ = _run(source)
+        assert process.exit_code == 333
+
+
+class TestManagerFork:
+    def test_fork_is_deep(self):
+        manager = ThreadManager()
+        from repro.machine import Memory
+        mem = Memory()
+        manager._create(0x2000, 5, mem)
+        clone = manager.fork()
+        clone.threads[1].regs[2] = 999
+        clone.ready.clear()
+        assert manager.threads[1].regs[2] == 5
+        assert len(manager.ready) == 1
+
+    def test_fork_replays_identically(self):
+        process, interp = _run(PINGPONG)
+        switches = process.thread_manager.context_switches
+        process2, interp2 = _run(PINGPONG)
+        assert process2.thread_manager.context_switches == switches
+        assert interp.total_instructions == interp2.total_instructions

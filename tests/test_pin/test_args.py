@@ -1,0 +1,123 @@
+"""IARG parsing and resolution."""
+
+import pytest
+
+from repro.errors import InstrumentationError
+from repro.isa import assemble
+from repro.machine import Kernel, load_program
+from repro.pin import (IARG_BRANCH_TAKEN, IARG_BRANCH_TARGET, IARG_CONTEXT,
+                       IARG_END, IARG_INST_PTR, IARG_MEMORYREAD_EA,
+                       IARG_MEMORYWRITE_EA, IARG_PTR, IARG_REG_VALUE,
+                       IARG_UINT64, IPOINT_BEFORE, PinVM)
+from repro.pin.args import parse_iargs
+
+
+class TestParse:
+    def test_basic(self):
+        specs = parse_iargs((IARG_UINT64, 5, IARG_INST_PTR, IARG_END))
+        assert [kind for kind, _ in specs] == [IARG_UINT64, IARG_INST_PTR]
+        assert specs[0][1] == 5
+
+    def test_missing_end(self):
+        with pytest.raises(InstrumentationError, match="IARG_END"):
+            parse_iargs((IARG_UINT64, 5))
+
+    def test_value_after_end(self):
+        with pytest.raises(InstrumentationError, match="after IARG_END"):
+            parse_iargs((IARG_END, 5))
+
+    def test_missing_value(self):
+        with pytest.raises(InstrumentationError, match="requires a value"):
+            parse_iargs((IARG_REG_VALUE, IARG_END)[:1])
+
+    def test_non_iarg_token(self):
+        with pytest.raises(InstrumentationError, match="specifier"):
+            parse_iargs((42, IARG_END))
+
+
+def _collect(source: str, pick, *iargs, seed=3):
+    """Run ``source`` collecting analysis-args at instructions where
+    ``pick(ins)`` is true."""
+    program = assemble(source)
+    process = load_program(program, Kernel(seed=seed))
+    vm = PinVM(process)
+    collected = []
+
+    def instrument(trace, value):
+        for ins in trace.instructions:
+            if pick(ins):
+                ins.insert_call(IPOINT_BEFORE,
+                                lambda *args: collected.append(args),
+                                *iargs, IARG_END)
+    vm.add_trace_callback(instrument)
+    vm.run()
+    return collected
+
+
+SRC = """
+.entry main
+main:
+    li   t0, 0x8000
+    li   t1, 42
+    st   t1, 4(t0)
+    ld   t2, 4(t0)
+    push t1
+    pop  t3
+    beq  t1, t2, eq
+    li   t4, 0
+eq:
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+"""
+
+
+class TestResolvers:
+    def test_memory_write_ea(self):
+        args = _collect(SRC, lambda i: i.mnemonic == "st",
+                        IARG_MEMORYWRITE_EA)
+        assert args == [(0x8004,)]
+
+    def test_memory_read_ea(self):
+        args = _collect(SRC, lambda i: i.mnemonic == "ld",
+                        IARG_MEMORYREAD_EA)
+        assert args == [(0x8004,)]
+
+    def test_push_pop_eas(self):
+        from repro.isa import abi
+        pushes = _collect(SRC, lambda i: i.mnemonic == "push",
+                          IARG_MEMORYWRITE_EA)
+        pops = _collect(SRC, lambda i: i.mnemonic == "pop",
+                        IARG_MEMORYREAD_EA)
+        assert pushes == [(abi.STACK_TOP - 1,)]
+        assert pops == [(abi.STACK_TOP - 1,)]
+
+    def test_branch_taken_predicate(self):
+        args = _collect(SRC, lambda i: i.is_cond_branch, IARG_BRANCH_TAKEN)
+        assert args == [(1,)]  # t1 == t2, branch taken
+
+    def test_branch_target(self):
+        program = assemble(SRC)
+        target = program.symbols["eq"]
+        args = _collect(SRC, lambda i: i.is_cond_branch, IARG_BRANCH_TARGET)
+        assert args == [(target,)]
+
+    def test_ptr_passes_object(self):
+        marker = object()
+        args = _collect(SRC, lambda i: i.mnemonic == "st",
+                        IARG_PTR, marker)
+        assert args[0][0] is marker
+
+    def test_context_is_cpu(self):
+        args = _collect(SRC, lambda i: i.mnemonic == "st", IARG_CONTEXT)
+        cpu = args[0][0]
+        assert hasattr(cpu, "regs") and hasattr(cpu, "pc")
+
+    def test_mem_ea_on_non_memory_ins_rejected(self):
+        with pytest.raises(InstrumentationError, match="does not read"):
+            _collect(SRC, lambda i: i.mnemonic == "li",
+                     IARG_MEMORYREAD_EA)
+
+    def test_branch_taken_on_non_branch_rejected(self):
+        with pytest.raises(InstrumentationError, match="not a branch"):
+            _collect(SRC, lambda i: i.mnemonic == "li", IARG_BRANCH_TAKEN)

@@ -1,0 +1,44 @@
+"""Code-cache pressure: correctness must survive flushes."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Kernel, load_program
+from repro.pin import CodeCache, PinVM, RunState
+from repro.pin.pintool import NullSuperPin
+from repro.tools import ICount2
+from tests.conftest import MULTISLICE, run_native
+
+
+@pytest.mark.parametrize("bubble_words", [200, 1000, 10_000])
+@pytest.mark.parametrize("backend", ["closure", "source"])
+def test_flushes_preserve_exact_counts(bubble_words, backend,
+                                       multislice_program):
+    """A bubble too small for the working set forces repeated flushes
+    and recompiles; results must not change."""
+    _, interp, _ = run_native(multislice_program)
+    cache = CodeCache(bubble_base=0, bubble_words=bubble_words)
+    process = load_program(multislice_program, Kernel(seed=42))
+    vm = PinVM(process, code_cache=cache, jit_backend=backend)
+    tool = ICount2()
+    tool.setup(NullSuperPin())
+    tool.activate(vm)
+    result = vm.run()
+    tool.fini()
+    assert result.state is RunState.EXIT
+    assert tool.total == interp.total_instructions
+    if bubble_words <= 200:
+        assert cache.stats.flushes > 0  # pressure actually happened
+
+
+def test_tiny_trace_cap_still_correct(multislice_program):
+    """max_trace_ins=1: every instruction is its own trace."""
+    _, interp, _ = run_native(multislice_program)
+    process = load_program(multislice_program, Kernel(seed=42))
+    vm = PinVM(process, max_trace_ins=1)
+    tool = ICount2()
+    tool.setup(NullSuperPin())
+    tool.activate(vm)
+    vm.run()
+    tool.fini()
+    assert tool.total == interp.total_instructions

@@ -1,0 +1,94 @@
+"""Trace building: BBL splitting, trace termination, forced boundaries."""
+
+from repro.isa import assemble, Op
+from repro.machine import Kernel, load_program
+from repro.pin.trace import build_trace, MAX_TRACE_INS
+
+
+def _mem_for(source: str):
+    program = assemble(source)
+    process = load_program(program, Kernel())
+    return process.mem, program
+
+
+class TestTraceShapes:
+    def test_straight_line_ends_at_uncond(self):
+        mem, program = _mem_for(
+            "main:\n    li t0, 1\n    li t1, 2\n    j main\n")
+        trace = build_trace(mem, program.entry)
+        assert len(trace.bbls) == 1
+        assert trace.num_ins == 3
+        assert trace.fall_address is None  # unconditional end
+
+    def test_cond_branch_splits_bbl_not_trace(self):
+        mem, program = _mem_for(
+            "main:\n    li t0, 1\n    beq t0, t1, main\n"
+            "    li t2, 3\n    ret\n")
+        trace = build_trace(mem, program.entry)
+        assert len(trace.bbls) == 2
+        assert trace.bbls[0].num_ins == 2
+        assert trace.bbls[1].num_ins == 2
+        assert trace.fall_address is None
+
+    def test_syscall_ends_trace_with_fall_address(self):
+        mem, program = _mem_for(
+            "main:\n    li a0, 1\n    syscall\n    li t0, 2\n    ret\n")
+        trace = build_trace(mem, program.entry)
+        assert trace.num_ins == 2
+        assert trace.fall_address == program.entry + 2
+
+    def test_max_ins_cap(self):
+        body = "\n".join("    addi t0, t0, 1" for _ in range(100))
+        mem, program = _mem_for(f"main:\n{body}\n    ret\n")
+        trace = build_trace(mem, program.entry)
+        assert trace.num_ins == MAX_TRACE_INS
+        assert trace.fall_address == program.entry + MAX_TRACE_INS
+
+    def test_call_ends_trace(self):
+        mem, program = _mem_for(
+            "main:\n    li t0, 1\n    call main\n    li t1, 2\n    ret\n")
+        trace = build_trace(mem, program.entry)
+        assert trace.num_ins == 2
+        assert trace.bbls[-1].tail.op is Op.CALL
+
+    def test_halt_ends_trace(self):
+        mem, program = _mem_for("main:\n    halt\n")
+        trace = build_trace(mem, program.entry)
+        assert trace.num_ins == 1
+        assert trace.fall_address is None
+
+
+class TestForcedBoundaries:
+    def test_boundary_splits_trace(self):
+        mem, program = _mem_for(
+            "main:\n    li t0, 1\n    li t1, 2\nmark:\n    li t2, 3\n"
+            "    ret\n")
+        mark = program.symbols["mark"]
+        trace = build_trace(mem, program.entry,
+                            forced_boundaries=frozenset({mark}))
+        assert trace.num_ins == 2
+        assert trace.fall_address == mark
+
+    def test_boundary_at_start_does_not_empty_trace(self):
+        mem, program = _mem_for("main:\n    li t0, 1\n    ret\n")
+        trace = build_trace(mem, program.entry,
+                            forced_boundaries=frozenset({program.entry}))
+        assert trace.num_ins == 2  # boundary at the start is ignored
+
+
+class TestInsProperties:
+    def test_classification_flags(self):
+        mem, program = _mem_for(
+            "main:\n    ld t0, 0(sp)\n    st t0, 1(sp)\n"
+            "    beq t0, t0, main\n    call main\n    ret\n")
+        trace = build_trace(mem, program.entry)
+        ld, store, beq, call = trace.instructions[:4]
+        assert ld.is_memory_read and not ld.is_memory_write
+        assert store.is_memory_write and not store.is_memory_read
+        assert beq.is_cond_branch and beq.is_branch
+        assert call.is_call and call.is_branch
+
+    def test_disassemble(self):
+        mem, program = _mem_for("main:\n    addi t0, t1, 5\n    ret\n")
+        trace = build_trace(mem, program.entry)
+        assert trace.instructions[0].disassemble() == "addi t0, t1, 5"

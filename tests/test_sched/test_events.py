@@ -1,0 +1,141 @@
+"""Event simulation: the paper's §3 timing semantics."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Kernel
+from repro.sched import (CostModel, MachineModel, simulate)
+from repro.superpin import (ControlProcess, run_superpin, SuperPinConfig)
+from repro.tools import ICount1, ICount2
+from tests.conftest import MULTISLICE
+
+
+def _report(config=None, machine=None, cost=None, tool_cls=ICount2,
+            source=MULTISLICE, seed=42):
+    program = assemble(source)
+    return run_superpin(
+        program, tool_cls(),
+        config or SuperPinConfig(spmsec=500, clock_hz=10_000),
+        kernel=Kernel(seed=seed),
+        machine=machine or MachineModel(),
+        cost=cost or CostModel())
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self):
+        timing = _report().timing
+        assert sum(timing.breakdown().values()) \
+            == pytest.approx(timing.total_cycles)
+
+    def test_simulation_is_deterministic(self):
+        t1 = _report().timing
+        t2 = _report().timing
+        assert t1.total_cycles == t2.total_cycles
+        assert [s.completed_at for s in t1.spans] \
+            == [s.completed_at for s in t2.spans]
+
+    def test_master_finish_before_total(self):
+        timing = _report().timing
+        assert timing.master_finish_cycles <= timing.total_cycles
+        assert timing.pipeline_cycles >= 0
+
+
+class TestSliceScheduling:
+    def test_slice_k_runnable_after_slice_k1_forked(self):
+        timing = _report().timing
+        spans = timing.spans
+        for k in range(len(spans) - 1):
+            assert spans[k].runnable_at >= spans[k + 1].forked_at
+
+    def test_last_slice_runnable_at_master_exit(self):
+        timing = _report().timing
+        assert timing.spans[-1].runnable_at \
+            == pytest.approx(timing.master_finish_cycles)
+
+    def test_merges_in_slice_order(self):
+        timing = _report().timing
+        merges = [s.merged_at for s in timing.spans]
+        assert merges == sorted(merges)
+
+    def test_completion_after_runnable(self):
+        timing = _report().timing
+        for span in timing.spans:
+            assert span.completed_at > span.runnable_at
+
+
+class TestSpmpGating:
+    def test_spmp1_serializes(self):
+        """-spmp 1: slices run one at a time; total approaches the
+        serial instrumented time (Figure 7's left edge)."""
+        serial = _report(SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                        spmp=1), tool_cls=ICount1)
+        wide = _report(SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                      spmp=8), tool_cls=ICount1)
+        t1, t8 = serial.timing, wide.timing
+        assert t1.max_concurrent_slices <= 2
+        assert t1.sleep_cycles > 0
+        assert t1.total_cycles > 1.5 * t8.total_cycles
+
+    def test_more_slots_never_slower(self):
+        totals = []
+        for spmp in (1, 2, 4, 8):
+            report = _report(SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                            spmp=spmp), tool_cls=ICount1)
+            totals.append(report.timing.total_cycles)
+        assert totals == sorted(totals, reverse=True)
+
+    def test_concurrency_bounded_by_spmp(self):
+        for spmp in (2, 4):
+            report = _report(SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                            spmp=spmp), tool_cls=ICount1)
+            assert report.timing.max_concurrent_slices <= spmp
+
+
+class TestPipelineDelayFormula:
+    def test_not_fully_loaded_tail_near_f_plus_1_s(self):
+        """Paper §3: with light instrumentation the pipeline delay is
+        about (F+1)*s where F is the max simultaneous slices."""
+        config = SuperPinConfig(spmsec=1000, clock_hz=10_000)
+        report = _report(config, tool_cls=ICount2)
+        timing = report.timing
+        s = config.timeslice_cycles
+        f = timing.max_concurrent_slices
+        # The tail is dominated by the final slice's instrumented
+        # re-execution of one timeslice: within a small factor of
+        # (F+1)*s, and never less than one slice's work.
+        assert s * 0.5 <= timing.pipeline_cycles <= (f + 3) * s * 3
+
+    def test_tail_scales_with_timeslice(self):
+        tails = []
+        for msec in (250, 500, 1000):
+            config = SuperPinConfig(spmsec=msec, clock_hz=10_000)
+            tails.append(_report(config).timing.pipeline_cycles)
+        assert tails[0] < tails[-1]
+
+
+class TestCostModelMonotonicity:
+    def test_heavier_analysis_cost_slows_superpin(self):
+        cheap = _report(cost=CostModel(analysis_call=2.0)).timing
+        dear = _report(cost=CostModel(analysis_call=40.0)).timing
+        assert dear.total_cycles > cheap.total_cycles
+
+    def test_native_time_independent_of_instrumentation(self):
+        a = _report(cost=CostModel(analysis_call=2.0)).timing
+        b = _report(cost=CostModel(analysis_call=40.0)).timing
+        assert a.native_cycles == b.native_cycles
+
+
+class TestCostModelFormulas:
+    def test_native_cycles(self):
+        cost = CostModel(cpi=1.0, syscall_native=20.0)
+        assert cost.native_cycles(1000, 5) == 1100
+
+    def test_fork_cycles(self):
+        cost = CostModel(fork_base=100.0, fork_per_page=2.0)
+        assert cost.fork_cycles(50) == 200
+
+    def test_pin_cycles_accumulates_all_terms(self):
+        cost = CostModel()
+        base = cost.pin_cycles(1000, 0, 0, 0, 0, 0, 0)
+        more = cost.pin_cycles(1000, 1, 1, 1, 1, 1, 1)
+        assert more > base

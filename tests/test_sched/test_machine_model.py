@@ -1,0 +1,75 @@
+"""Machine model: capacity and rate laws."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sched import MachineModel, PAPER_MACHINE
+
+
+class TestCapacity:
+    def test_linear_up_to_physical(self):
+        machine = MachineModel(physical_cpus=8, smp_alpha=0.0)
+        for n in range(1, 9):
+            assert machine.capacity(n) == n
+            assert machine.task_rate(n) == 1.0
+
+    def test_ht_region_between_p_and_2p(self):
+        machine = MachineModel(physical_cpus=8, ht_efficiency=0.65,
+                               smp_alpha=0.0)
+        # 16 tasks: all cores doubled, each task at 0.65.
+        assert machine.capacity(16) == pytest.approx(8 * 2 * 0.65)
+        assert machine.task_rate(16) == pytest.approx(0.65)
+        # 9 tasks: 7 alone + 1 shared pair.
+        assert machine.capacity(9) == pytest.approx(7 + 2 * 0.65)
+
+    def test_no_ht_caps_at_physical(self):
+        machine = MachineModel(physical_cpus=4, hyperthreading=False,
+                               smp_alpha=0.0)
+        assert machine.capacity(10) == 4
+        assert machine.virtual_cpus == 4
+
+    def test_oversubscription_caps_at_2p(self):
+        machine = MachineModel(physical_cpus=2, ht_efficiency=0.7,
+                               smp_alpha=0.0)
+        assert machine.capacity(10) == machine.capacity(4)
+
+    def test_smp_alpha_slows_every_task(self):
+        fast = MachineModel(physical_cpus=8, smp_alpha=0.0)
+        slow = MachineModel(physical_cpus=8, smp_alpha=0.05)
+        assert slow.task_rate(8) < fast.task_rate(8)
+        assert slow.task_rate(1) == fast.task_rate(1) == 1.0
+
+    def test_paper_machine_is_8way_ht(self):
+        assert PAPER_MACHINE.physical_cpus == 8
+        assert PAPER_MACHINE.virtual_cpus == 16
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"physical_cpus": 0},
+        {"ht_efficiency": 0.4},
+        {"ht_efficiency": 1.1},
+        {"smp_alpha": -0.1},
+    ])
+    def test_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            MachineModel(**kwargs)
+
+
+@given(n=st.integers(1, 64),
+       p=st.integers(1, 16),
+       eff=st.floats(0.5, 1.0),
+       alpha=st.floats(0, 0.1))
+def test_rate_laws_property(n, p, eff, alpha):
+    """Capacity is monotone in n; per-task rate never exceeds 1 and a
+    shared core always delivers more than an unshared one in total."""
+    machine = MachineModel(physical_cpus=p, ht_efficiency=eff,
+                           smp_alpha=alpha)
+    assert machine.capacity(n) <= machine.capacity(n + 1) + 1e-12
+    assert 0 < machine.task_rate(n) <= 1.0
+    # Total throughput never decreases when adding a task.
+    total_n = machine.task_rate(n) * n
+    total_n1 = machine.task_rate(n + 1) * (n + 1)
+    if n + 1 <= 2 * p:
+        assert total_n1 >= total_n - 1e-9

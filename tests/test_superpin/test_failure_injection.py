@@ -1,0 +1,119 @@
+"""Failure injection: corrupted recordings must fail loudly, not wrongly."""
+
+import pytest
+
+from repro.errors import DivergenceError
+from repro.isa import assemble
+from repro.machine import Kernel, SyscallRecord
+from repro.superpin import (ControlProcess, run_slice, SliceToolContext,
+                            SPControl, SuperPinConfig)
+from repro.superpin.runtime import _record_boundary_signature
+from repro.superpin.sysrecord import RecordedSyscall
+from repro.tools import ICount2
+from tests.conftest import MULTISLICE
+
+
+# The time syscall's result feeds control flow, so a corrupted replay
+# visibly diverges rather than dying in a dead register.
+LIVE_TIME = """
+.entry main
+main:
+    li   s0, 0
+    li   s1, 40
+ol: li   t0, 0
+    li   t1, 300
+il: addi t0, t0, 1
+    st   t0, 0x8800(t0)
+    blt  t0, t1, il
+    li   a0, SYS_TIME
+    syscall
+    andi t2, rv, 7
+    add  s2, s2, t2
+    li   a0, SYS_GETRANDOM
+    la   a1, 0x8700
+    li   a2, 1
+    syscall
+    inc  s0
+    blt  s0, s1, ol
+    li   a0, SYS_EXIT
+    mov  a1, s2
+    syscall
+"""
+
+
+@pytest.fixture
+def pipeline():
+    """A finished control phase plus everything needed to run slice 0."""
+    program = assemble(LIVE_TIME)
+    config = SuperPinConfig(spmsec=500, clock_hz=10_000)
+    control = ControlProcess(program, config, kernel=Kernel(seed=42))
+    timeline = control.run()
+    assert timeline.num_slices >= 3
+    sp = SPControl(config)
+    tool = ICount2()
+    tool.setup(sp)
+    template = SliceToolContext.from_control(tool, sp)
+    signature = _record_boundary_signature(timeline.boundaries[1], config)
+    return timeline, template, sp, config, signature
+
+
+def _run_slice0(pipeline):
+    timeline, template, sp, config, signature = pipeline
+    return run_slice(timeline.boundaries[0], timeline.intervals[0],
+                     signature, template, sp, config)
+
+
+def _first_interval_with_records(timeline):
+    for interval in timeline.intervals:
+        if interval.records:
+            return interval
+    raise AssertionError("no recorded syscalls")
+
+
+class TestTamperedRecords:
+    def test_baseline_runs_clean(self, pipeline):
+        result = _run_slice0(pipeline)
+        assert result.exact
+
+    def test_wrong_retval_breaks_nothing_silently(self, pipeline):
+        """Corrupting a replayed retval changes the slice's state, which
+        the signature check then refuses to match — the failure is a
+        runaway/divergence, never a silently wrong count."""
+        timeline, template, sp, config, signature = pipeline
+        interval = timeline.intervals[0]
+        if not interval.records:
+            pytest.skip("first interval recorded nothing")
+        entry = interval.records[0]
+        old = entry.record
+        interval.records[0] = RecordedSyscall(
+            record=SyscallRecord(number=old.number, args=old.args,
+                                 retval=old.retval ^ 0xFFFF,
+                                 mem_writes=old.mem_writes,
+                                 klass=old.klass),
+            global_index=entry.global_index)
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            run_slice(timeline.boundaries[0], interval, signature,
+                      template, sp, config)
+
+    def test_dropped_record_detected(self, pipeline):
+        timeline, template, sp, config, signature = pipeline
+        interval = timeline.intervals[0]
+        if not interval.records:
+            pytest.skip("first interval recorded nothing")
+        interval.records.pop(0)
+        with pytest.raises(DivergenceError):
+            run_slice(timeline.boundaries[0], interval, signature,
+                      template, sp, config)
+
+    def test_swapped_record_order_detected(self, pipeline):
+        timeline, template, sp, config, signature = pipeline
+        interval = timeline.intervals[0]
+        distinct = {r.record.number for r in interval.records}
+        if len(interval.records) < 2 or len(distinct) < 2:
+            pytest.skip("need two distinct records")
+        interval.records[0], interval.records[1] = \
+            interval.records[1], interval.records[0]
+        with pytest.raises(DivergenceError, match="mismatch"):
+            run_slice(timeline.boundaries[0], interval, signature,
+                      template, sp, config)

@@ -1,0 +1,60 @@
+"""Merge coordinator: ordering and mixed auto/manual merging."""
+
+from repro.superpin import (AutoMerge, merge_slices, SliceEnd,
+                            SliceToolContext, SPControl, SuperPinConfig)
+from repro.superpin.slices import SliceResult
+
+
+def _result(index: int, ctx: SliceToolContext) -> SliceResult:
+    return SliceResult(
+        index=index, reason=SliceEnd.MATCHED, instructions=10,
+        expected_instructions=10, traces_executed=1, analysis_calls=0,
+        inline_checks=0, compiles=1, compiled_ins=5, cache_hit_rate=0.5,
+        cache_allocated_words=36, replayed_syscalls=0,
+        emulated_syscalls=0, cow_faults=0, detection=None, tool_ctx=ctx)
+
+
+class TestMergeOrdering:
+    def test_out_of_order_results_merge_in_slice_order(self):
+        sp = SPControl(SuperPinConfig())
+        order = []
+
+        def end_fn(slice_num, value):
+            order.append(slice_num)
+
+        contexts = [SliceToolContext(tool=None, reset_fun=None,
+                                     end_functions=[(end_fn, None)])
+                    for _ in range(4)]
+        results = [_result(i, contexts[i]) for i in (2, 0, 3, 1)]
+        merge_slices(sp, results)
+        assert order == [0, 1, 2, 3]
+
+    def test_automerge_applied_per_slice_local(self):
+        sp = SPControl(SuperPinConfig())
+        area = sp.SP_CreateSharedArea([0, 0], 2, AutoMerge.ADD)
+        contexts = []
+        for k in range(3):
+            ctx = SliceToolContext(tool=None, reset_fun=None,
+                                   area_locals=[[k + 1, 10 * (k + 1)]])
+            contexts.append(ctx)
+        results = [_result(k, contexts[k]) for k in range(3)]
+        merge_slices(sp, results)
+        assert area.data == [6, 60]
+
+    def test_mixed_auto_and_manual(self):
+        sp = SPControl(SuperPinConfig())
+        auto = sp.SP_CreateSharedArea([0], 1, AutoMerge.MAX)
+        manual = sp.SP_CreateSharedArea([None], 1, 0)
+        manual[0] = []
+
+        def end_fn(slice_num, value):
+            manual[0].append(slice_num * 100)
+
+        contexts = [SliceToolContext(tool=None, reset_fun=None,
+                                     end_functions=[(end_fn, None)],
+                                     area_locals=[[k * 7], None])
+                    for k in range(3)]
+        results = [_result(k, contexts[k]) for k in range(3)]
+        merge_slices(sp, results)
+        assert auto.value == 14
+        assert manual[0] == [0, 100, 200]

@@ -1,0 +1,94 @@
+"""Shared areas and auto-merge modes."""
+
+import copy
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InstrumentationError
+from repro.superpin import AutoMerge, SharedArea
+
+
+class TestSharing:
+    def test_deepcopy_returns_same_object(self):
+        area = SharedArea("a", 2)
+        holder = {"area": area, "other": [1, 2]}
+        clone = copy.deepcopy(holder)
+        assert clone["area"] is area
+        assert clone["other"] is not holder["other"]
+
+    def test_copy_returns_same_object(self):
+        area = SharedArea("a", 1)
+        assert copy.copy(area) is area
+
+    def test_indexing_and_value(self):
+        area = SharedArea("a", 2)
+        area[0] = 5
+        area.value = 9  # alias for word 0
+        assert area[0] == 9 and len(area) == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InstrumentationError):
+            SharedArea("a", -1)
+
+
+class TestAutoMerge:
+    def test_add(self):
+        area = SharedArea("a", 3, AutoMerge.ADD)
+        area.merge_from([1, 2, 3])
+        area.merge_from([10, 20, 30])
+        assert area.data == [11, 22, 33]
+
+    def test_max_min(self):
+        mx = SharedArea("a", 2, AutoMerge.MAX)
+        mx.merge_from([5, 1])
+        mx.merge_from([3, 9])
+        assert mx.data == [5, 9]
+        mn = SharedArea("b", 2, AutoMerge.MIN)
+        mn.data = [100, 100]
+        mn.merge_from([5, 50])
+        mn.merge_from([7, 20])
+        assert mn.data == [5, 20]
+
+    def test_concat_preserves_order(self):
+        area = SharedArea("a", 0, AutoMerge.CONCAT)
+        area.data = []
+        area.merge_from([1, 2])
+        area.merge_from([3])
+        assert area.data == [1, 2, 3]
+
+    def test_none_is_noop(self):
+        area = SharedArea("a", 2, AutoMerge.NONE)
+        area.merge_from([9, 9])
+        assert area.data == [0, 0]
+
+    def test_oversized_source_rejected(self):
+        area = SharedArea("a", 1, AutoMerge.ADD)
+        with pytest.raises(InstrumentationError, match="words"):
+            area.merge_from([1, 2])
+
+    def test_short_source_allowed(self):
+        area = SharedArea("a", 3, AutoMerge.ADD)
+        area.merge_from([5])
+        assert area.data == [5, 0, 0]
+
+
+@given(chunks=st.lists(st.lists(st.integers(-1000, 1000), min_size=3,
+                                max_size=3), max_size=10))
+def test_add_merge_equals_columnwise_sum(chunks):
+    """ADD-merging slice vectors equals summing them column-wise."""
+    area = SharedArea("a", 3, AutoMerge.ADD)
+    for chunk in chunks:
+        area.merge_from(chunk)
+    for i in range(3):
+        assert area.data[i] == sum(chunk[i] for chunk in chunks)
+
+
+@given(chunks=st.lists(st.lists(st.integers(0, 100), min_size=1,
+                                max_size=5), min_size=1, max_size=8))
+def test_concat_merge_equals_concatenation(chunks):
+    area = SharedArea("a", 0, AutoMerge.CONCAT)
+    area.data = []
+    for chunk in chunks:
+        area.merge_from(chunk)
+    assert area.data == [x for chunk in chunks for x in chunk]

@@ -1,0 +1,59 @@
+"""SuperPin switch parsing and config validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.superpin import parse_switches, SuperPinConfig
+
+
+class TestParsing:
+    def test_paper_style_invocation(self):
+        config = parse_switches(
+            ["-sp", "1", "-spmsec", "500", "-spmp", "4",
+             "-spsysrecs", "100"])
+        assert config.sp is True
+        assert config.spmsec == 500
+        assert config.spmp == 4
+        assert config.spsysrecs == 100
+
+    def test_defaults_match_paper(self):
+        config = SuperPinConfig()
+        assert config.spmsec == 1000   # paper: default 1000 ms
+        assert config.spmp == 8        # paper: default 8
+        assert config.spsysrecs == 1000  # paper: default 1000
+
+    def test_sp_zero_disables(self):
+        assert parse_switches(["-sp", "0"]).sp is False
+
+    def test_unknown_switch(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            parse_switches(["-bogus", "1"])
+
+    def test_missing_value(self):
+        with pytest.raises(ConfigError, match="requires a value"):
+            parse_switches(["-spmsec"])
+
+    def test_bad_value(self):
+        with pytest.raises(ConfigError, match="bad value"):
+            parse_switches(["-spmp", "many"])
+
+    def test_overrides_win(self):
+        config = parse_switches(["-spmp", "4"], spmp=2)
+        assert config.spmp == 2
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"spmsec": 0}, {"spmsec": -5}, {"spmp": 0},
+        {"spsysrecs": -1}, {"clock_hz": 0},
+        {"signature_stack_words": -1},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SuperPinConfig(**kwargs)
+
+    def test_timeslice_conversion(self):
+        config = SuperPinConfig(spmsec=2000, clock_hz=10_000)
+        assert config.timeslice_cycles == 20_000
+        assert config.timeslice_instructions == 20_000
+        assert config.seconds(20_000) == 2.0

@@ -1,0 +1,161 @@
+"""Record-and-playback: ordering, effects, divergence detection."""
+
+import pytest
+
+from repro.errors import DivergenceError
+from repro.isa import abi, assemble
+from repro.isa.registers import A0, A1, A2, A3, RV
+from repro.machine import (Kernel, load_program, MemLayout, Memory,
+                           SyscallRecord)
+from repro.machine.cpu import CpuState
+from repro.superpin import (ControlProcess, PlaybackHandler,
+                            RecordedSyscall, run_superpin, SuperPinConfig)
+from repro.tools import ICount2
+
+
+def _record(number, args=(0, 0, 0), retval=0, mem_writes=(), klass="replay"):
+    return RecordedSyscall(
+        record=SyscallRecord(number=number, args=tuple(args),
+                             retval=retval, mem_writes=tuple(mem_writes),
+                             klass=klass),
+        global_index=0)
+
+
+def _invoke(handler, number, a1=0, a2=0, a3=0, mem=None):
+    cpu = CpuState()
+    cpu.regs[A0] = number
+    cpu.regs[A1], cpu.regs[A2], cpu.regs[A3] = a1, a2, a3
+    return cpu, handler.do_syscall(cpu, mem if mem is not None else Memory())
+
+
+class TestPlayback:
+    def test_retval_and_memory_restored(self):
+        records = [_record(abi.SYS_READ, (0, 50, 2), retval=2,
+                           mem_writes=((50, 97), (51, 98)))]
+        handler = PlaybackHandler(records, MemLayout(), 0)
+        mem = Memory()
+        cpu, outcome = _invoke(handler, abi.SYS_READ, 0, 50, 2, mem=mem)
+        assert cpu.regs[RV] == 2
+        assert mem.read_block(50, 2) == [97, 98]
+        assert handler.replayed == 1
+
+    def test_write_playback_emits_nothing(self):
+        """Replayed output must not happen twice (paper §4.2)."""
+        records = [_record(abi.SYS_WRITE, (1, 100, 5), retval=5)]
+        handler = PlaybackHandler(records, MemLayout(), 0)
+        cpu, outcome = _invoke(handler, abi.SYS_WRITE, 1, 100, 5)
+        assert cpu.regs[RV] == 5
+        # No kernel involved at all: nothing could have been emitted.
+
+    def test_order_enforced(self):
+        records = [_record(abi.SYS_TIME, (0, 0, 0), retval=111),
+                   _record(abi.SYS_TIME, (0, 0, 0), retval=222)]
+        handler = PlaybackHandler(records, MemLayout(), 0)
+        cpu1, _ = _invoke(handler, abi.SYS_TIME)
+        cpu2, _ = _invoke(handler, abi.SYS_TIME)
+        assert (cpu1.regs[RV], cpu2.regs[RV]) == (111, 222)
+
+    def test_exit_record_terminates(self):
+        records = [_record(abi.SYS_EXIT, (7, 0, 0))]
+        handler = PlaybackHandler(records, MemLayout(), 0)
+        _, outcome = _invoke(handler, abi.SYS_EXIT, 7)
+        assert outcome.exited and outcome.exit_code == 7
+
+
+class TestDivergence:
+    def test_wrong_number_raises(self):
+        handler = PlaybackHandler([_record(abi.SYS_TIME)], MemLayout(), 3)
+        with pytest.raises(DivergenceError, match="slice 3"):
+            _invoke(handler, abi.SYS_GETPID)
+
+    def test_wrong_args_raise(self):
+        handler = PlaybackHandler(
+            [_record(abi.SYS_WRITE, (1, 100, 5), retval=5)], MemLayout(), 0)
+        with pytest.raises(DivergenceError, match="mismatch"):
+            _invoke(handler, abi.SYS_WRITE, 1, 100, 6)
+
+    def test_exhausted_queue_raises(self):
+        handler = PlaybackHandler([], MemLayout(), 1)
+        with pytest.raises(DivergenceError, match="exhausted"):
+            _invoke(handler, abi.SYS_TIME)
+
+    def test_emulation_result_cross_checked(self):
+        # Recorded mmap said 0x5000, but the forked layout disagrees.
+        layout = MemLayout()
+        layout.do_mmap(0x5000, 100)  # occupy the hint
+        records = [_record(abi.SYS_MMAP, (0x5000, 100, 0), retval=0x5000,
+                           klass="emulate")]
+        handler = PlaybackHandler(records, layout, 0)
+        with pytest.raises(DivergenceError, match="layout fork diverged"):
+            _invoke(handler, abi.SYS_MMAP, 0x5000, 100)
+
+
+class TestEmulation:
+    def test_brk_reexecuted_on_fork(self):
+        layout = MemLayout(brk=1000)
+        records = [_record(abi.SYS_BRK, (2000, 0, 0), retval=2000,
+                           klass="emulate")]
+        handler = PlaybackHandler(records, layout, 0)
+        cpu, _ = _invoke(handler, abi.SYS_BRK, 2000)
+        assert cpu.regs[RV] == 2000
+        assert layout.brk == 2000
+        assert handler.emulated == 1
+
+    def test_mmap_munmap_sequence(self):
+        master = MemLayout()
+        base = master.do_mmap(0, 256)
+        fork = MemLayout()  # same initial state
+        records = [
+            _record(abi.SYS_MMAP, (0, 256, 0), retval=base,
+                    klass="emulate"),
+            _record(abi.SYS_MUNMAP, (base, 256, 0), retval=0,
+                    klass="emulate"),
+        ]
+        handler = PlaybackHandler(records, fork, 0)
+        cpu, _ = _invoke(handler, abi.SYS_MMAP, 0, 256)
+        assert cpu.regs[RV] == base
+        cpu, _ = _invoke(handler, abi.SYS_MUNMAP, base, 256)
+        assert cpu.regs[RV] == 0
+
+
+class TestEndToEndReplayNecessity:
+    def test_time_dependent_program_needs_playback(self):
+        """A program whose output depends on `time` merges correctly:
+        slices observe the master's recorded values, not fresh ones."""
+        source = """
+.entry main
+main:
+    li   s2, 0
+    li   s0, 0
+    li   s1, 30
+lp:
+    li   t0, 0
+    li   t1, 600
+inner:
+    addi t0, t0, 1
+    blt  t0, t1, inner
+    li   a0, SYS_TIME
+    syscall
+    andi t2, rv, 7
+    add  s2, s2, t2
+    inc  s0
+    blt  s0, s1, lp
+    li   a0, SYS_EXIT
+    mov  a1, s2
+    syscall
+"""
+        program = assemble(source)
+        kernel = Kernel(seed=5)
+        process = load_program(program, kernel)
+        from repro.machine.interpreter import Interpreter
+        Interpreter(process).run(max_instructions=10_000_000)
+        native_exit = process.exit_code
+
+        config = SuperPinConfig(spmsec=300, clock_hz=10_000)
+        report = run_superpin(program, ICount2(), config,
+                              kernel=Kernel(seed=5))
+        assert report.num_slices > 2
+        assert report.exit_code == native_exit
+        assert report.all_exact
+        replayed = sum(s.replayed_syscalls for s in report.slices)
+        assert replayed >= 30

@@ -1,0 +1,125 @@
+"""dcache SuperTool: the §5.2 reconciliation worked example."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Kernel
+from repro.pin import run_with_pin
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import DCacheSim
+from tests.conftest import MULTISLICE, random_program
+
+
+def reference_cache(accesses, sets, line_words):
+    """Straightforward direct-mapped simulation (the oracle)."""
+    tags = {}
+    hits = misses = 0
+    for ea in accesses:
+        line = ea // line_words
+        index = line % sets
+        if tags.get(index) == line:
+            hits += 1
+        else:
+            misses += 1
+            tags[index] = line
+    return hits, misses
+
+
+class TestPlainPin:
+    def test_against_reference_oracle(self, multislice_program):
+        # Collect the access stream with memtrace, replay through the
+        # oracle, and compare with the dcache tool.
+        from repro.tools import MemTrace
+        stream_tool = MemTrace()
+        run_with_pin(multislice_program, stream_tool, Kernel(seed=42))
+        accesses = [ea for _, ea in stream_tool.stream]
+
+        tool = DCacheSim(sets=64, line_words=4)
+        run_with_pin(multislice_program, tool, Kernel(seed=42))
+        hits, misses = reference_cache(accesses, 64, 4)
+        assert (tool.total_hits, tool.total_misses) == (hits, misses)
+
+    def test_cold_start_misses(self):
+        source = """
+.entry main
+main:
+    li t0, 10
+    st t0, 0x8000(zero)
+    ld t0, 0x8000(zero)
+    st t0, 0x8100(zero)
+    li a0, SYS_EXIT
+    li a1, 0
+    syscall
+"""
+        tool = DCacheSim(sets=16, line_words=4)
+        run_with_pin(assemble(source), tool, Kernel())
+        # First touch of each line misses; the reload hits.
+        assert tool.total_misses == 2
+        assert tool.total_hits == 1
+
+
+class TestSuperPinReconciliation:
+    @pytest.mark.parametrize("sets,line_words", [(256, 8), (16, 2),
+                                                 (64, 4)])
+    def test_exact_across_slices(self, multislice_program, sets,
+                                 line_words):
+        """SuperPin-merged counts equal serial Pin exactly: the §4.5
+        assume/track/reconcile recipe is lossless for a direct-mapped
+        cache."""
+        pin_tool = DCacheSim(sets=sets, line_words=line_words)
+        run_with_pin(multislice_program, pin_tool, Kernel(seed=42))
+
+        sp_tool = DCacheSim(sets=sets, line_words=line_words)
+        report = run_superpin(multislice_program, sp_tool,
+                              SuperPinConfig(spmsec=400, clock_hz=10_000),
+                              kernel=Kernel(seed=42))
+        assert report.num_slices > 3
+        assert (sp_tool.total_hits, sp_tool.total_misses) \
+            == (pin_tool.total_hits, pin_tool.total_misses)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_on_random_programs(self, seed):
+        program = assemble(random_program(seed + 50, blocks=4,
+                                          block_len=10, loop_iters=60))
+        pin_tool = DCacheSim(sets=8, line_words=2)  # tiny: maximal churn
+        run_with_pin(program, pin_tool, Kernel(seed=seed))
+        sp_tool = DCacheSim(sets=8, line_words=2)
+        run_superpin(program, sp_tool,
+                     SuperPinConfig(spmsec=150, clock_hz=10_000),
+                     kernel=Kernel(seed=seed))
+        assert (sp_tool.total_hits, sp_tool.total_misses) \
+            == (pin_tool.total_hits, pin_tool.total_misses)
+
+    def test_cross_slice_hit_preserved(self):
+        """A line resident from slice k must count as a hit in slice
+        k+1 (the assumed-hit survives reconciliation)."""
+        source = """
+.entry main
+main:
+    li   s0, 0
+    li   s1, 30000
+lp:
+    ld   t0, 0x8000(zero)   ; same line every iteration
+    addi s0, s0, 1
+    blt  s0, s1, lp
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+"""
+        program = assemble(source)
+        tool = DCacheSim(sets=16, line_words=4)
+        report = run_superpin(program, tool,
+                              SuperPinConfig(spmsec=1000, clock_hz=10_000),
+                              kernel=Kernel(seed=1))
+        assert report.num_slices > 2
+        assert tool.total_misses == 1  # one cold miss for the whole run
+        assert tool.total_hits == 30000 - 1
+
+    def test_miss_rate_report(self, multislice_program):
+        tool = DCacheSim()
+        run_superpin(multislice_program, tool,
+                     SuperPinConfig(spmsec=500, clock_hz=10_000),
+                     kernel=Kernel(seed=42))
+        report = tool.report()
+        assert 0.0 <= report["miss_rate"] <= 1.0
+        assert report["hits"] + report["misses"] > 0

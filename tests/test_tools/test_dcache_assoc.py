@@ -1,0 +1,90 @@
+"""Set-associative cache tool: where slice reconciliation stops being
+exact — the structural reason the paper's §5.2 example is direct-mapped."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Kernel
+from repro.pin import run_with_pin
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import AssocDCacheSim, DCacheSim
+from tests.conftest import MULTISLICE, random_program
+
+CFG = dict(spmsec=400, clock_hz=10_000)
+
+
+def _pair(program, seed=42, **cache_kwargs):
+    serial = AssocDCacheSim(**cache_kwargs)
+    run_with_pin(program, serial, Kernel(seed=seed))
+    parallel = AssocDCacheSim(**cache_kwargs)
+    run_superpin(program, parallel, SuperPinConfig(**CFG),
+                 kernel=Kernel(seed=seed))
+    return serial, parallel
+
+
+class TestSerialCorrectness:
+    def test_lru_eviction_order(self):
+        """Within one set, the least-recently-used line is evicted."""
+        tool = AssocDCacheSim(sets=1, ways=2, line_words=1)
+        tool.setup(__import__("repro.pin.pintool",
+                              fromlist=["NullSuperPin"]).NullSuperPin())
+        for ea in (0, 1, 0, 2, 1):
+            # A(0) miss, B(1) miss, A hit (A now MRU), C(2) miss evicts
+            # B, B miss again.
+            tool.access(ea)
+        tool.fini()
+        assert tool.total_misses == 4
+        assert tool.total_hits == 1
+
+    def test_ways_reduce_conflict_misses(self, multislice_program):
+        direct = AssocDCacheSim(sets=8, ways=1, line_words=4)
+        run_with_pin(multislice_program, direct, Kernel(seed=42))
+        assoc = AssocDCacheSim(sets=8, ways=4, line_words=4)
+        run_with_pin(multislice_program, assoc, Kernel(seed=42))
+        assert assoc.total_misses <= direct.total_misses
+
+    def test_ways1_equals_direct_mapped_tool(self, multislice_program):
+        assoc = AssocDCacheSim(sets=32, ways=1, line_words=4)
+        run_with_pin(multislice_program, assoc, Kernel(seed=42))
+        direct = DCacheSim(sets=32, line_words=4)
+        run_with_pin(multislice_program, direct, Kernel(seed=42))
+        assert (assoc.total_hits, assoc.total_misses) \
+            == (direct.total_hits, direct.total_misses)
+
+
+class TestReconciliation:
+    def test_ways1_exact_under_superpin(self, multislice_program):
+        """Degenerate direct-mapped case: reconciliation stays exact."""
+        serial, parallel = _pair(multislice_program, sets=16, ways=1,
+                                 line_words=4)
+        assert (serial.total_hits, serial.total_misses) \
+            == (parallel.total_hits, parallel.total_misses)
+
+    @pytest.mark.parametrize("ways", [2, 4])
+    def test_associative_error_is_bounded(self, multislice_program, ways):
+        """Associative reconciliation is approximate; the error stays a
+        small fraction of the access stream (second-order eviction
+        divergence only)."""
+        serial, parallel = _pair(multislice_program, sets=16, ways=ways,
+                                 line_words=4)
+        total = serial.total_hits + serial.total_misses
+        assert parallel.total_hits + parallel.total_misses == total
+        error = abs(serial.total_misses - parallel.total_misses)
+        assert error / total < 0.03
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_error_bounded_on_random_programs(self, seed):
+        program = assemble(random_program(seed + 80, blocks=4,
+                                          block_len=10, loop_iters=50))
+        serial, parallel = _pair(program, seed=seed, sets=8, ways=2,
+                                 line_words=2)
+        total = serial.total_hits + serial.total_misses
+        error = abs(serial.total_misses - parallel.total_misses)
+        assert error / max(1, total) < 0.05
+
+    def test_miss_rate_report(self, multislice_program):
+        _, parallel = _pair(multislice_program, sets=16, ways=2,
+                            line_words=4)
+        report = parallel.report()
+        assert report["ways"] == 2
+        assert 0.0 <= report["miss_rate"] <= 1.0

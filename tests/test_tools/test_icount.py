@@ -1,0 +1,49 @@
+"""icount1/icount2: the paper's §5.1 tools."""
+
+import pytest
+
+from repro.machine import Kernel
+from repro.pin import run_with_pin
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import ICount1, ICount2
+from tests.conftest import run_native
+
+
+class TestPlainPin:
+    @pytest.mark.parametrize("tool_cls", [ICount1, ICount2])
+    def test_counts_match_native(self, multislice_program, tool_cls):
+        _, interp, _ = run_native(multislice_program)
+        tool = tool_cls()
+        run_with_pin(multislice_program, tool, Kernel(seed=42))
+        assert tool.total == interp.total_instructions
+
+    def test_variants_agree_but_differ_in_calls(self, multislice_program):
+        """'The output of both tools will be identical' but icount2 makes
+        far fewer analysis calls (paper §6)."""
+        t1, t2 = ICount1(), ICount2()
+        r1, _, _ = run_with_pin(multislice_program, t1, Kernel(seed=42))
+        r2, _, _ = run_with_pin(multislice_program, t2, Kernel(seed=42))
+        assert t1.total == t2.total
+        assert r1.analysis_calls > 2 * r2.analysis_calls
+
+
+class TestSuperPin:
+    @pytest.mark.parametrize("tool_cls", [ICount1, ICount2])
+    def test_merged_total_exact(self, multislice_program, tool_cls):
+        _, interp, _ = run_native(multislice_program)
+        tool = tool_cls()
+        report = run_superpin(multislice_program, tool,
+                              SuperPinConfig(spmsec=400, clock_hz=10_000),
+                              kernel=Kernel(seed=42))
+        assert report.num_slices > 3
+        assert tool.total == interp.total_instructions
+
+    def test_figure2_shared_area_flow(self, multislice_program):
+        """The Figure 2 plumbing: local counts merge through the shared
+        area, one merge per slice, nothing counted twice."""
+        tool = ICount2()
+        report = run_superpin(multislice_program, tool,
+                              SuperPinConfig(spmsec=400, clock_hz=10_000),
+                              kernel=Kernel(seed=42))
+        per_slice = [s.expected_instructions for s in report.slices]
+        assert tool.total == sum(per_slice)

@@ -1,0 +1,135 @@
+"""Memcheck-lite: uninitialized-load detection, serial and sliced."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Kernel
+from repro.pin import run_with_pin
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import MemCheck
+from tests.conftest import MULTISLICE, random_program
+
+CFG = SuperPinConfig(spmsec=300, clock_hz=10_000)
+
+PLANTED = """
+.entry main
+main:
+    ld   t0, 0x9000(zero)    ; BUG: never written
+    li   s0, 0
+    li   s1, 20
+ol: li   t1, 0
+    li   t2, 300
+il: st   t1, 0xA000(t1)
+    ld   t3, 0xA000(t1)
+    inc  t1
+    blt  t1, t2, il
+    ld   t4, 0xA000(t2)      ; BUG: one past the written range
+    inc  s0
+    blt  s0, s1, ol
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+"""
+
+CLEAN = """
+.entry main
+main:
+    li   s0, 0
+    li   s1, 4000
+ol: st   s0, 0xB000(s0)
+    ld   t0, 0xB000(s0)
+    ld   t1, msg(zero)       ; initialized data is fine
+    inc  s0
+    blt  s0, s1, ol
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+.data
+msg: .word 77
+"""
+
+
+class TestDetection:
+    def test_finds_planted_bugs(self):
+        tool = MemCheck()
+        run_with_pin(assemble(PLANTED), tool, Kernel(seed=1))
+        report = tool.report()
+        assert report["uninitialized_loads"] == 21  # 1 + 20 planted
+        assert report["distinct_sites"] == 2
+
+    def test_clean_program_is_clean(self):
+        tool = MemCheck()
+        run_with_pin(assemble(CLEAN), tool, Kernel(seed=1))
+        assert tool.report()["uninitialized_loads"] == 0
+
+    def test_reports_carry_pc_and_address(self):
+        tool = MemCheck()
+        run_with_pin(assemble(PLANTED), tool, Kernel(seed=1))
+        pcs = {pc for pc, _ in tool.reports}
+        addresses = {ea for _, ea in tool.reports}
+        assert len(pcs) == 2
+        assert 0x9000 in addresses
+
+    def test_image_words_blessed(self):
+        # Loading from .data never reports, even across slices.
+        tool = MemCheck()
+        run_superpin(assemble(CLEAN), tool, CFG, kernel=Kernel(seed=1))
+        assert tool.report()["uninitialized_loads"] == 0
+
+
+class TestSuperPinReconciliation:
+    def test_sliced_equals_serial_with_planted_bugs(self):
+        program = assemble(PLANTED)
+        serial = MemCheck()
+        run_with_pin(program, serial, Kernel(seed=1))
+        parallel = MemCheck()
+        report = run_superpin(program, parallel, CFG, kernel=Kernel(seed=1))
+        assert report.num_slices > 3
+        assert serial.reports == parallel.reports
+
+    def test_cross_slice_initialization_dismissed(self):
+        """A store in slice k initializes a load in slice k+n: the
+        suspect must be dismissed at merge, never reported."""
+        source = """
+.entry main
+main:
+    li   t0, 42
+    st   t0, 0x9500(zero)    ; initialize early (slice 0)
+    li   s0, 0
+    li   s1, 30000
+sp: inc  s0
+    blt  s0, s1, sp          ; burn several timeslices
+    ld   t1, 0x9500(zero)    ; read much later (a later slice)
+    li   a0, SYS_EXIT
+    mov  a1, t1
+    syscall
+"""
+        program = assemble(source)
+        tool = MemCheck()
+        report = run_superpin(program, tool,
+                              SuperPinConfig(spmsec=500, clock_hz=10_000),
+                              kernel=Kernel(seed=1))
+        assert report.num_slices > 2
+        assert tool.report()["uninitialized_loads"] == 0
+        assert report.exit_code == 42
+
+    def test_fixture_program_equality(self, multislice_program):
+        serial = MemCheck()
+        run_with_pin(multislice_program, serial, Kernel(seed=42))
+        parallel = MemCheck()
+        run_superpin(multislice_program, parallel, CFG,
+                     kernel=Kernel(seed=42))
+        assert serial.reports == parallel.reports
+        assert serial.total_loads == parallel.total_loads
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_program_equality(self, seed):
+        program = assemble(random_program(seed + 30, blocks=4,
+                                          block_len=10, loop_iters=40))
+        serial = MemCheck()
+        run_with_pin(program, serial, Kernel(seed=seed))
+        parallel = MemCheck()
+        run_superpin(program, parallel,
+                     SuperPinConfig(spmsec=200, clock_hz=10_000),
+                     kernel=Kernel(seed=seed))
+        assert serial.reports == parallel.reports

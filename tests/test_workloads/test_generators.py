@@ -1,0 +1,117 @@
+"""Workload generator: determinism, calibration, kernel coverage."""
+
+import pytest
+
+from repro.machine import Kernel, load_program
+from repro.machine.interpreter import Interpreter
+from repro.workloads import build_workload, KERNEL_KINDS, WorkloadSpec
+
+
+def _run(built, seed=1, cap=20_000_000):
+    kernel = Kernel(seed=seed)
+    process = load_program(built.program, kernel)
+    interp = Interpreter(process)
+    interp.run(max_instructions=cap)
+    assert process.exited
+    return interp, kernel, process
+
+
+def _spec(**kwargs):
+    defaults = dict(name="test", seed=1, duration=2.0, n_funcs=4,
+                    iters=10)
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+class TestDeterminism:
+    def test_same_spec_same_program(self):
+        a = build_workload(_spec())
+        b = build_workload(_spec())
+        assert a.source == b.source
+        assert [tuple(s.words) for s in a.program.segments] \
+            == [tuple(s.words) for s in b.program.segments]
+
+    def test_different_seed_different_program(self):
+        a = build_workload(_spec(seed=1))
+        b = build_workload(_spec(seed=2))
+        assert a.source != b.source
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("duration", [1.0, 4.0])
+    def test_duration_targets_hit(self, duration):
+        built = build_workload(_spec(duration=duration), clock_hz=10_000)
+        interp, _, _ = _run(built)
+        target = duration * 10_000
+        assert 0.5 * target <= interp.total_instructions <= 2.0 * target
+
+    def test_scale_parameter(self):
+        small = build_workload(_spec(duration=4.0), scale=0.25)
+        large = build_workload(_spec(duration=4.0), scale=1.0)
+        ismall, _, _ = _run(small)
+        ilarge, _, _ = _run(large)
+        assert 2.0 <= ilarge.total_instructions / ismall.total_instructions \
+            <= 6.0
+
+    def test_estimate_within_tolerance(self):
+        built = build_workload(_spec(duration=4.0, iters=40))
+        interp, _, _ = _run(built)
+        error = abs(interp.total_instructions
+                    - built.estimated_instructions) \
+            / interp.total_instructions
+        assert error < 0.35
+
+
+class TestKernelCoverage:
+    @pytest.mark.parametrize("kind", KERNEL_KINDS)
+    def test_each_kernel_runs_alone(self, kind):
+        weights = tuple(1.0 if k == kind else 0.0 for k in KERNEL_KINDS)
+        built = build_workload(_spec(mix=weights, duration=1.0))
+        interp, _, process = _run(built)
+        assert process.exit_code == 0
+        assert interp.total_instructions > 1000
+
+    def test_rotate_calls_touch_more_functions(self):
+        # Low-reuse workloads exercise the full function table quickly.
+        built = build_workload(_spec(n_funcs=16, rotate_calls=True,
+                                     duration=1.0))
+        assert "callr" in built.source
+        assert "functable" in built.source
+
+
+class TestSyscallKnobs:
+    def test_time_and_rng_emitted(self):
+        built = build_workload(_spec(time_every=2, rng_every=4,
+                                     duration=1.0))
+        _, kernel, _ = _run(built)
+        assert kernel.syscall_count > 5
+
+    def test_alloc_churn_moves_brk(self):
+        built = build_workload(_spec(alloc_every=1, duration=1.0))
+        _, kernel, _ = _run(built)
+        assert kernel.layout.brk > 0
+
+    def test_openclose_creates_file(self):
+        built = build_workload(_spec(openclose_every=1, duration=1.0))
+        _, kernel, _ = _run(built)
+        assert "sink" in kernel.files
+        assert len(kernel.files["sink"]) > 0
+
+    def test_write_produces_output(self):
+        built = build_workload(_spec(write_every=1, duration=1.0))
+        _, kernel, _ = _run(built)
+        assert kernel.stdout_text().startswith(".")
+
+
+class TestValidation:
+    def test_n_funcs_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            _spec(n_funcs=6)
+
+    def test_working_set_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            _spec(working_set=1000)
+
+    def test_mix_length(self):
+        with pytest.raises(ValueError, match="weights"):
+            _spec(mix=(1.0, 2.0))

@@ -1,0 +1,61 @@
+"""The synthetic SPEC2000 suite."""
+
+import pytest
+
+from repro.machine import Kernel, load_program
+from repro.machine.interpreter import Interpreter
+from repro.workloads import (BENCHMARK_NAMES, build, FLOATING_POINT,
+                             INTEGER, SPEC2000)
+
+
+class TestSuiteShape:
+    def test_twenty_six_benchmarks(self):
+        assert len(SPEC2000) == 26
+        assert len(INTEGER) == 12
+        assert len(FLOATING_POINT) == 14
+
+    def test_names_are_spec2000(self):
+        for name in ("gzip", "gcc", "mcf", "swim", "mgrid", "wupwise",
+                     "sixtrack", "perlbmk"):
+            assert name in SPEC2000
+
+    def test_unknown_name_helpful_error(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            build("spec2017")
+
+    def test_gcc_has_the_paper_characteristics(self):
+        gcc = SPEC2000["gcc"]
+        assert gcc.rotate_calls            # low code reuse
+        assert gcc.alloc_every             # allocator churn (§4.2)
+        assert gcc.n_funcs == max(s.n_funcs for s in SPEC2000.values())
+
+    def test_fp_codes_are_quiet(self):
+        for name in ("swim", "mgrid", "lucas", "sixtrack"):
+            spec = SPEC2000[name]
+            assert spec.time_every == 0
+            assert spec.alloc_every == 0
+            assert not spec.rotate_calls
+
+    def test_duration_spread(self):
+        durations = [s.duration for s in SPEC2000.values()]
+        assert min(durations) < 20
+        assert max(durations) >= 140
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_every_benchmark_builds_and_exits(name):
+    built = build(name, scale=0.02)
+    kernel = Kernel(seed=1)
+    process = load_program(built.program, kernel)
+    interp = Interpreter(process)
+    interp.run(max_instructions=2_000_000)
+    assert process.exited
+    assert process.exit_code == 0
+    assert interp.total_instructions > 500
+
+
+def test_gcc_footprint_dominates():
+    statics = {name: build(name, scale=0.02).static_instructions
+               for name in ("gcc", "swim", "mgrid", "gzip")}
+    assert statics["gcc"] > 3 * statics["swim"]
+    assert statics["gcc"] > 3 * statics["gzip"]
