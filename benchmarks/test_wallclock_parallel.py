@@ -1,0 +1,75 @@
+"""Measured wall-clock parallelism of the slice phase (``-spworkers``).
+
+The timing model (§3/§6) predicts the speedup; this bench measures the
+real thing: the same workload run with the sequential in-process slice
+phase and with the slice phase fanned out over worker processes.  On a
+single-core host the fan-out cannot win, so the hard speedup assertions
+are gated on ``os.cpu_count()``; the functional-parity and bookkeeping
+assertions hold everywhere.
+"""
+
+import os
+import time
+
+from repro.harness import format_table
+from repro.machine import Kernel
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import ICount2
+from repro.workloads import build
+
+
+def _run(program, spworkers):
+    tool = ICount2()
+    config = SuperPinConfig(spmsec=500, spworkers=spworkers)
+    t0 = time.perf_counter()
+    report = run_superpin(program, tool, config, kernel=Kernel(seed=42))
+    elapsed = time.perf_counter() - t0
+    return report, tool, elapsed
+
+
+def test_wallclock_parallel_slice_phase(bench_scale, save_figure):
+    scale = max(bench_scale, 0.25)
+    built = build("gzip", scale=scale)
+
+    seq_report, seq_tool, seq_elapsed = _run(built.program, 0)
+    par_report, par_tool, par_elapsed = _run(built.program, 4)
+
+    # Functional parity is unconditional: workers must be invisible.
+    assert par_tool.total == seq_tool.total
+    assert par_report.stdout == seq_report.stdout
+    assert par_report.detection_summary() == seq_report.detection_summary()
+    assert [s.exact for s in par_report.slices] \
+        == [s.exact for s in seq_report.slices]
+
+    # Self-timing bookkeeping.
+    seq_wall = seq_report.wallclock_summary()
+    par_wall = par_report.wallclock_summary()
+    assert seq_wall["slice_run_seconds"] > 0
+    assert seq_wall["slice_pickle_seconds"] == 0.0
+    assert par_wall["slice_pickle_seconds"] > 0
+    assert par_wall["slice_fork_seconds"] > 0
+    assert 0 < seq_report.measured_parallelism <= 1.0
+
+    # Scaling: only meaningful with real cores to fan out over.
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        assert par_report.measured_parallelism > 1.0
+        assert par_wall["slice_phase_seconds"] \
+            < seq_wall["slice_phase_seconds"] * 1.1
+
+    rows = []
+    for label, report, elapsed in (("sequential", seq_report, seq_elapsed),
+                                   ("4 workers", par_report, par_elapsed)):
+        wall = report.wallclock_summary()
+        rows.append([label,
+                     f"{wall['slice_phase_seconds']:.3f}",
+                     f"{wall['slice_run_seconds']:.3f}",
+                     f"{wall['slice_pickle_seconds']:.3f}",
+                     f"{wall['measured_parallelism']:.2f}x",
+                     f"{elapsed:.3f}"])
+    table = format_table(
+        ["mode", "slice phase (s)", "slice run (s)", "pickle (s)",
+         "parallelism", "total (s)"], rows)
+    save_figure("wallclock_parallel",
+                f"Measured slice-phase wall clock (gzip, scale {scale}, "
+                f"{cores} cores)\n\n{table}")

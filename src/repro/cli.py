@@ -9,7 +9,8 @@
     superpin asm program.s [--tool icount2]
 
 ``superpin run`` mirrors the paper's invocation style: everything after
-``--`` is parsed as SuperPin switches (§5's -sp/-spmsec/-spmp/-spsysrecs).
+``--`` is parsed as SuperPin switches (§5's -sp/-spmsec/-spmp/-spsysrecs,
+plus ``-spworkers N`` to fan the slice phase out over N host processes).
 """
 
 from __future__ import annotations
@@ -109,8 +110,10 @@ def _cmd_run(args, extra: list[str]) -> int:
                           kernel=Kernel(seed=42))
     timing = report.timing
     seconds = config.seconds
+    workers = (f"{config.spworkers} worker processes"
+               if config.spworkers else "sequential slice phase")
     print(f"mode: SuperPin ({config.spmp} max slices, "
-          f"{config.spmsec} ms timeslice)")
+          f"{config.spmsec} ms timeslice, {workers})")
     print(f"slices: {report.num_slices} "
           f"({sum(1 for s in report.slices if s.exact)} exact)")
     print(f"tool report: {tool.report()}")
@@ -126,6 +129,12 @@ def _cmd_run(args, extra: list[str]) -> int:
     print("breakdown: " + ", ".join(
         f"{name} {seconds(value):.2f}s"
         for name, value in breakdown.items()))
+    wall = report.wallclock_summary()
+    print(f"measured: signatures {wall['signature_phase_seconds']:.3f}s, "
+          f"slice phase {wall['slice_phase_seconds']:.3f}s "
+          f"(run {wall['slice_run_seconds']:.3f}s, "
+          f"pickle {wall['slice_pickle_seconds']:.3f}s, "
+          f"parallelism {wall['measured_parallelism']:.2f}x)")
     if args.gantt:
         from .harness.report import gantt_chart
         print()

@@ -116,6 +116,26 @@ class Memory:
         self._frozen |= shared
         return child
 
+    def scratch_fork(self) -> "Memory":
+        """COW child for throwaway runs; the parent is left untouched.
+
+        Unlike :meth:`fork`, the parent's freeze set is not modified, so
+        the parent is charged no COW fault for pages only the scratch
+        run touched — the fix for the signature lookahead's phantom
+        fork-overhead accounting.  Every shared page is frozen in the
+        *child*, so child writes copy pages before mutating them and the
+        parent's page objects are never written through the child.  The
+        caller must not write the parent while the child is still in
+        use: a parent in-place write to an unfrozen shared page would be
+        visible to the child (boundary snapshots are fully frozen, so
+        this cannot happen for the lookahead).
+        """
+        child = Memory(strict=self.strict)
+        child._pages = dict(self._pages)
+        child._regions = list(self._regions)
+        child._frozen = set(self._pages)
+        return child
+
     def deep_copy(self) -> "Memory":
         """Eagerly copy every page (the ablation baseline for COW fork)."""
         clone = Memory(strict=self.strict)

@@ -201,13 +201,18 @@ def simulate(timeline: "MasterTimeline",
 
     native = cost.native_cycles(timeline.total_instructions,
                                 timeline.total_syscalls)
-    spans = [
-        SliceSpan(index=k, forked_at=forked_at.get(k, 0.0),
-                  runnable_at=runnable_at.get(k) or 0.0,
-                  completed_at=completed_at[k], merged_at=merged_at[k],
-                  work_cycles=slice_work[k])
-        for k in range(n_slices)
-    ]
+    spans = []
+    for k in range(n_slices):
+        # None is the "wake timer armed but never fired" placeholder;
+        # map only that to 0.0.  ``or 0.0`` would also clobber a
+        # legitimate wake at cycle 0.0 or any falsy value a cost model
+        # produces.
+        wake = runnable_at.get(k)
+        spans.append(
+            SliceSpan(index=k, forked_at=forked_at.get(k, 0.0),
+                      runnable_at=wake if wake is not None else 0.0,
+                      completed_at=completed_at[k], merged_at=merged_at[k],
+                      work_cycles=slice_work[k]))
     return TimingReport(
         total_cycles=total,
         native_cycles=native,

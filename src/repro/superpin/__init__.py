@@ -14,9 +14,12 @@ from .api import END_SLICE_TOKEN, SliceToolContext, SPControl
 from .control import (Boundary, BoundaryReason, ControlProcess, Interval,
                       MasterTimeline)
 from .merge import merge_slices
+from .parallel import (execute_slices, record_boundary_signature,
+                       record_signatures, SliceTimings)
 from .runtime import run_superpin, SuperPinReport
-from .sharedcache import SharedCacheStats, SharedCodeCacheDirectory
-from .sharedmem import AutoMerge, SharedArea
+from .sharedcache import (charge_slices_in_order, SharedCacheStats,
+                          SharedCodeCacheDirectory)
+from .sharedmem import AutoMerge, resolve_shared_areas, SharedArea
 from .signature import (DEFAULT_QUICK_REGS, DetectionStats,
                         record_signature, select_quick_registers, Signature,
                         SignatureDetector)
@@ -27,8 +30,10 @@ from .sysrecord import PlaybackHandler, RecordedSyscall
 __all__ = [
     "END_SLICE_TOKEN", "SliceToolContext", "SPControl", "Boundary",
     "BoundaryReason", "ControlProcess", "Interval", "MasterTimeline",
-    "merge_slices", "run_superpin", "SuperPinReport",
-    "SharedCacheStats", "SharedCodeCacheDirectory", "AutoMerge",
+    "merge_slices", "execute_slices", "record_boundary_signature",
+    "record_signatures", "SliceTimings", "run_superpin", "SuperPinReport",
+    "charge_slices_in_order", "SharedCacheStats",
+    "SharedCodeCacheDirectory", "AutoMerge", "resolve_shared_areas",
     "SharedArea", "DEFAULT_QUICK_REGS", "DetectionStats",
     "record_signature", "select_quick_registers", "Signature",
     "SignatureDetector", "run_slice", "SliceEnd", "SliceResult",

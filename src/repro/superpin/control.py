@@ -158,7 +158,15 @@ class ControlProcess:
                 current.syscalls += 1
                 boundary_reason = self._record_or_force(current, record)
                 if boundary_reason is None:
-                    continue
+                    if budget > 0:
+                        continue
+                    # The recorded syscall retired the last budgeted
+                    # instruction: cut the timeslice here rather than
+                    # re-entering the interpreter with a zero budget
+                    # (interp.run(0) stops instantly with BUDGET/0, so
+                    # the timer boundary would be attributed one
+                    # iteration late).
+                    boundary_reason = BoundaryReason.TIMEOUT
             else:  # BUDGET: the timeslice timer fired
                 boundary_reason = BoundaryReason.TIMEOUT
 

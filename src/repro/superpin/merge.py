@@ -12,16 +12,27 @@ the slices (conceptually) finished in.  Two mechanisms compose:
 
 from __future__ import annotations
 
+import time
+
 from .api import SPControl
 from .sharedmem import AutoMerge
 from .slices import SliceResult
 
 
-def merge_slices(sp: SPControl, results: list[SliceResult]) -> None:
-    """Fold every slice's results into the shared state, in slice order."""
+def merge_slices(sp: SPControl, results: list[SliceResult]
+                 ) -> dict[int, float]:
+    """Fold every slice's results into the shared state, in slice order.
+
+    Returns the wall-clock seconds spent merging each slice, keyed by
+    slice index, for the runtime's self-timing counters.
+    """
     ordered = sorted(results, key=lambda r: r.index)
+    seconds: dict[int, float] = {}
     for result in ordered:
+        t0 = time.perf_counter()
         _merge_one(sp, result)
+        seconds[result.index] = time.perf_counter() - t0
+    return seconds
 
 
 def _merge_one(sp: SPControl, result: SliceResult) -> None:

@@ -1,0 +1,228 @@
+"""Two-phase slice execution: signatures up front, slices fanned out.
+
+The paper's whole point is that instrumented timeslices run *in
+parallel* on idle cores.  The discrete-event scheduler (:mod:`repro.sched`)
+models that parallelism; this module provides the real thing by
+splitting the old interleaved signature+slice loop into two explicit
+phases:
+
+1. **Signature phase** (:func:`record_signatures`) — every interior
+   boundary's signature is recorded before any slice runs.  Legal
+   because a signature reads only its own boundary snapshot, and
+   recording leaves that snapshot's copy-on-write state untouched (the
+   quick-register lookahead runs on a throwaway
+   :meth:`~repro.machine.memory.Memory.scratch_fork`, never on the
+   snapshot itself — forking the snapshot would freeze its pages and
+   charge the real slice a phantom COW fault per resident page).
+2. **Slice phase** (:func:`execute_slices`) — slice contents are fully
+   determined at fork time: record/playback removes every kernel
+   dependence, the same determinism property rr exploits to re-execute
+   recordings on other cores.  With ``-spworkers N`` the slices fan out
+   over a :class:`concurrent.futures.ProcessPoolExecutor`; with the
+   default ``-spworkers 0`` they run sequentially in-process, producing
+   bit-identical results.
+
+Workers receive one pickled payload — boundary snapshot, interval
+records, end signature, tool-context template, SP handle, config — and
+return a pickled :class:`~repro.superpin.slices.SliceResult`.  Pickling
+one tuple keeps shared references (tool ↔ SP handle ↔ areas) coherent
+inside the worker; on the way back,
+:class:`~repro.superpin.sharedmem.resolve_shared_areas` maps every
+:class:`SharedArea` reference in the returned tool context onto the
+parent's canonical instance, so slice-end merge functions still write
+the one true region.
+
+Shared-code-cache charging is deliberately *not* done while slices run:
+:func:`repro.superpin.sharedcache.charge_slices_in_order` re-attributes
+compile costs in slice-index order afterwards, so the §8 extension's
+figures are identical regardless of worker completion order.
+
+Wall-clock self-timing: each slice's :class:`SliceTimings` records the
+real (host) seconds spent pickling its payload, materializing it in the
+worker ("fork"), running it, and merging its results — the measured
+counterpart to the virtual-cycle figures, so modeled and measured
+speedup can be compared (``SuperPinReport.measured_parallelism``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from ..machine.cpu import CpuState
+from ..machine.process import Process
+from .api import SliceToolContext, SPControl
+from .control import Boundary, MasterTimeline
+from .sharedmem import resolve_shared_areas
+from .signature import (DEFAULT_QUICK_REGS, record_signature,
+                        select_quick_registers, Signature)
+from .slices import run_slice, SliceResult
+from .switches import SuperPinConfig
+
+
+@dataclass
+class SliceTimings:
+    """Measured (host wall-clock) seconds for one slice's lifecycle."""
+
+    index: int
+    #: Parent-side payload serialization plus result deserialization.
+    pickle_seconds: float = 0.0
+    #: Worker-side payload materialization — the real fork analogue.
+    fork_seconds: float = 0.0
+    #: run_slice execution proper (worker-side when parallel).
+    run_seconds: float = 0.0
+    #: Parent-side merge of this slice's results into the shared areas.
+    merge_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.pickle_seconds + self.fork_seconds
+                + self.run_seconds + self.merge_seconds)
+
+
+# -- signature phase ----------------------------------------------------------
+
+def record_boundary_signature(boundary: Boundary,
+                              config: SuperPinConfig) -> Signature:
+    """Record the signature of one boundary snapshot (recording mode).
+
+    Runs the §4.4 quick-register lookahead on a *throwaway* scratch copy
+    of the boundary snapshot, then captures registers and top-of-stack
+    words from the snapshot itself.  The scratch must be a
+    :meth:`~repro.machine.memory.Memory.scratch_fork`: an ordinary
+    ``fork`` would freeze every resident page of ``boundary.mem_fork``,
+    and the real slice — which later runs on that same snapshot — would
+    be charged a phantom ``cow_fault`` on its first write to each page,
+    corrupting the §6 fork-overhead figures.
+    """
+    cpu = CpuState()
+    cpu.restore(boundary.cpu_snapshot)
+    quick = None
+    adaptive = False
+    if config.quickreg_adaptive:
+        scratch_proc = Process(cpu.copy(), boundary.mem_fork.scratch_fork(),
+                               syscall_handler=None)
+        quick = select_quick_registers(scratch_proc, config)
+        adaptive = quick is not None
+    return record_signature(cpu, boundary.mem_fork, config,
+                            quick_regs=quick or DEFAULT_QUICK_REGS,
+                            adaptive=adaptive)
+
+
+def record_signatures(timeline: MasterTimeline,
+                      config: SuperPinConfig) -> list[Signature]:
+    """Signature phase: record every interior boundary's signature.
+
+    ``signatures[k]`` is the signature of boundary ``k + 1`` — the end
+    signature slice ``k`` must detect (the final slice has none; it runs
+    to the replayed exit).  Recording everything up front is what allows
+    the slice phase to run in any order: each signature reads only its
+    own boundary snapshot and mutates nothing.
+    """
+    return [record_boundary_signature(boundary, config)
+            for boundary in timeline.boundaries[1:]]
+
+
+# -- slice phase --------------------------------------------------------------
+
+def _end_signature(signatures: list[Signature], k: int) -> Signature | None:
+    return signatures[k] if k < len(signatures) else None
+
+
+def _worker_run_slice(payload: bytes) -> bytes:
+    """Process-pool entry point: one pickled payload in, one result out.
+
+    Returns ``(result, fork_seconds, run_seconds)`` pickled, so the
+    parent can fold worker-side timings into :class:`SliceTimings`.
+    """
+    t0 = time.perf_counter()
+    (boundary, interval, end_signature, template, sp,
+     config) = pickle.loads(payload)
+    fork_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result = run_slice(boundary, interval, end_signature, template, sp,
+                       config)
+    run_seconds = time.perf_counter() - t0
+    return pickle.dumps((result, fork_seconds, run_seconds),
+                        pickle.HIGHEST_PROTOCOL)
+
+
+def execute_slices(timeline: MasterTimeline, signatures: list[Signature],
+                   template: SliceToolContext, sp: SPControl,
+                   config: SuperPinConfig
+                   ) -> tuple[list[SliceResult], list[SliceTimings]]:
+    """Slice phase: execute every timeslice, honouring ``-spworkers``.
+
+    Returns results ordered by slice index (regardless of completion
+    order) plus per-slice wall-clock timings.  Results are functionally
+    identical between the sequential fallback and any worker count —
+    the parity is enforced by the test suite.
+    """
+    if config.spworkers <= 0:
+        return _execute_sequential(timeline, signatures, template, sp,
+                                   config)
+    return _execute_parallel(timeline, signatures, template, sp, config)
+
+
+def _execute_sequential(timeline: MasterTimeline,
+                        signatures: list[Signature],
+                        template: SliceToolContext, sp: SPControl,
+                        config: SuperPinConfig
+                        ) -> tuple[list[SliceResult], list[SliceTimings]]:
+    """In-process execution (``-spworkers 0``): no pickling, no pool."""
+    results: list[SliceResult] = []
+    timings: list[SliceTimings] = []
+    for k, interval in enumerate(timeline.intervals):
+        t0 = time.perf_counter()
+        results.append(run_slice(timeline.boundaries[k], interval,
+                                 _end_signature(signatures, k),
+                                 template, sp, config))
+        timings.append(SliceTimings(index=k,
+                                    run_seconds=time.perf_counter() - t0))
+    return results, timings
+
+
+def _execute_parallel(timeline: MasterTimeline,
+                      signatures: list[Signature],
+                      template: SliceToolContext, sp: SPControl,
+                      config: SuperPinConfig
+                      ) -> tuple[list[SliceResult], list[SliceTimings]]:
+    """Fan slices out over ``-spworkers`` processes.
+
+    Payloads are pickled explicitly (one blob per slice) so the
+    serialization cost is measured, and — because tool, SP handle and
+    area references travel inside one tuple — the worker sees the same
+    object graph a deep copy would have produced.
+    """
+    n_slices = len(timeline.intervals)
+    workers = min(config.spworkers, n_slices) or 1
+    payloads: list[bytes] = []
+    timings = [SliceTimings(index=k) for k in range(n_slices)]
+    for k, interval in enumerate(timeline.intervals):
+        t0 = time.perf_counter()
+        payloads.append(pickle.dumps(
+            (timeline.boundaries[k], interval, _end_signature(signatures, k),
+             template, sp, config),
+            pickle.HIGHEST_PROTOCOL))
+        timings[k].pickle_seconds = time.perf_counter() - t0
+
+    results: dict[int, SliceResult] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(_worker_run_slice, payload): k
+                   for k, payload in enumerate(payloads)}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                k = futures[future]
+                blob = future.result()  # re-raises worker exceptions
+                t0 = time.perf_counter()
+                with resolve_shared_areas(sp.areas):
+                    result, fork_seconds, run_seconds = pickle.loads(blob)
+                timings[k].pickle_seconds += time.perf_counter() - t0
+                timings[k].fork_seconds = fork_seconds
+                timings[k].run_seconds = run_seconds
+                results[k] = result
+    return [results[k] for k in range(n_slices)], timings

@@ -5,29 +5,37 @@
 1. **Setup** — the tool registers itself through the SP API (§5).
 2. **Control phase** — the master runs uninstrumented under the control
    process, which records syscalls and cuts timeslices (§4.1–§4.3).
-3. **Signature phase** — each boundary's signature is recorded from its
-   snapshot, with the adaptive quick-register lookahead (§4.4).
+3. **Signature phase** — every interior boundary's signature is recorded
+   from its snapshot up front, with the adaptive quick-register
+   lookahead (§4.4).
 4. **Slice phase** — every timeslice re-executes under instrumentation
    from its fork snapshot until it detects the next signature (§3).
+   With ``-spworkers N`` the slices fan out over N worker processes
+   (:mod:`repro.superpin.parallel`); the default ``-spworkers 0`` runs
+   them sequentially in-process with identical results.
 5. **Merge phase** — slice results fold into the shared areas in slice
    order; the master tool's ``fini`` runs last (§4.5).
 6. **Timing phase** — the discrete-event scheduler replays the run
-   against the machine model to produce wall-clock figures (§6).
+   against the machine model to produce virtual wall-clock figures (§6).
 
-Functionally the pipeline is sequential; the *timing* phase is where the
-paper's parallelism lives.  This is sound because slice contents are
-fully determined at fork time (record/playback removes every kernel
-dependence), so execution order cannot change any result — the property
-SuperPin itself relies on.
+Phases 3 and 4 are separate (rather than interleaved per-slice) so that
+phase 4 has no ordering constraints at all: every slice's inputs — fork
+snapshot, recorded syscalls, end signature — exist before any slice
+runs.  This is sound because slice contents are fully determined at
+fork time (record/playback removes every kernel dependence), the same
+property SuperPin itself relies on.  Alongside the *modeled* timing
+figures, the runtime keeps *measured* host wall-clock counters
+(:class:`~repro.superpin.parallel.SliceTimings`) so the two can be
+compared.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
 from ..isa.program import Program
-from ..machine.cpu import CpuState
 from ..machine.kernel import Kernel
 from ..pin.pintool import Pintool
 from ..sched.events import simulate
@@ -37,9 +45,9 @@ from ..sched.timing import CostModel, DEFAULT_COST_MODEL
 from .api import SliceToolContext, SPControl
 from .control import ControlProcess, MasterTimeline
 from .merge import merge_slices
-from .signature import (DEFAULT_QUICK_REGS, record_signature,
-                        select_quick_registers, Signature)
-from .slices import run_slice, SliceResult
+from .parallel import SliceTimings, execute_slices, record_signatures
+from .signature import Signature
+from .slices import SliceResult
 from .switches import SuperPinConfig
 
 
@@ -54,6 +62,12 @@ class SuperPinReport:
     tool: Pintool
     timing: TimingReport | None
     exit_code: int
+    #: Measured host wall-clock seconds per slice (pickle/fork/run/merge).
+    slice_timings: list[SliceTimings] = field(default_factory=list)
+    #: Measured host seconds spent recording all boundary signatures.
+    signature_phase_seconds: float = 0.0
+    #: Measured host seconds for the whole slice phase, end to end.
+    slice_phase_seconds: float = 0.0
 
     @property
     def num_slices(self) -> int:
@@ -72,6 +86,19 @@ class SuperPinReport:
     def stdout(self) -> str:
         return self.timeline.kernel.stdout_text()
 
+    @property
+    def measured_parallelism(self) -> float:
+        """Aggregate slice-run seconds over elapsed slice-phase seconds.
+
+        Sequentially this hovers just below 1.0 (phase time includes the
+        runs plus bookkeeping); with workers on a multi-core host it
+        exceeds 1.0 as slice runs overlap.
+        """
+        if self.slice_phase_seconds <= 0.0:
+            return 0.0
+        busy = sum(t.run_seconds for t in self.slice_timings)
+        return busy / self.slice_phase_seconds
+
     def detection_summary(self) -> dict[str, float]:
         """Aggregate §4.4 statistics across all detecting slices."""
         quick = sum(s.detection.quick_checks for s in self.slices
@@ -85,6 +112,22 @@ class SuperPinReport:
             "full_checks": full,
             "stack_checks": stack,
             "full_check_rate": (full / quick) if quick else 0.0,
+        }
+
+    def wallclock_summary(self) -> dict[str, float]:
+        """Measured (host) wall-clock figures for the run's phases."""
+        return {
+            "signature_phase_seconds": self.signature_phase_seconds,
+            "slice_phase_seconds": self.slice_phase_seconds,
+            "slice_run_seconds": sum(t.run_seconds
+                                     for t in self.slice_timings),
+            "slice_pickle_seconds": sum(t.pickle_seconds
+                                        for t in self.slice_timings),
+            "slice_fork_seconds": sum(t.fork_seconds
+                                      for t in self.slice_timings),
+            "slice_merge_seconds": sum(t.merge_seconds
+                                       for t in self.slice_timings),
+            "measured_parallelism": self.measured_parallelism,
         }
 
 
@@ -113,28 +156,28 @@ def run_superpin(program: Program, tool: Pintool,
     control = ControlProcess(program, config, kernel=kernel)
     timeline = control.run()
 
-    # 3+4. Signatures and slices.  Slice k needs boundary k+1's signature,
-    # which must be captured before slice k+1 mutates its fork snapshot —
-    # running in slice order satisfies both.
-    signatures: list[Signature] = []
-    results: list[SliceResult] = []
-    boundaries = timeline.boundaries
-    shared_directory = None
+    # 3. Signature phase: all boundary signatures, before any slice runs.
+    t0 = time.perf_counter()
+    signatures = record_signatures(timeline, config)
+    signature_phase_seconds = time.perf_counter() - t0
+
+    # 4. Slice phase: sequential in-process, or fanned out (-spworkers).
+    t0 = time.perf_counter()
+    results, timings = execute_slices(timeline, signatures, template, sp,
+                                      config)
+    slice_phase_seconds = time.perf_counter() - t0
+
+    # Shared-code-cache attribution (§8) is a slice-ordered post-pass, so
+    # the figures do not depend on slice completion order.
     if config.spsharedcache:
-        from .sharedcache import SharedCodeCacheDirectory
-        shared_directory = SharedCodeCacheDirectory()
-    for k, interval in enumerate(timeline.intervals):
-        end_signature: Signature | None = None
-        if k + 1 < len(boundaries):
-            end_signature = _record_boundary_signature(
-                boundaries[k + 1], config)
-            signatures.append(end_signature)
-        results.append(run_slice(boundaries[k], interval, end_signature,
-                                 template, sp, config,
-                                 shared_directory=shared_directory))
+        from .sharedcache import charge_slices_in_order
+        charge_slices_in_order(results)
 
     # 5. Merge in slice order, then fini on the master tool.
-    merge_slices(sp, results)
+    merge_seconds = merge_slices(sp, results)
+    for timing_record in timings:
+        timing_record.merge_seconds = merge_seconds.get(
+            timing_record.index, 0.0)
     tool.fini()
 
     # 6. Timing.
@@ -148,27 +191,7 @@ def run_superpin(program: Program, tool: Pintool,
         tool=tool,
         timing=timing,
         exit_code=timeline.exit_code,
+        slice_timings=timings,
+        signature_phase_seconds=signature_phase_seconds,
+        slice_phase_seconds=slice_phase_seconds,
     )
-
-
-def _record_boundary_signature(boundary, config: SuperPinConfig
-                               ) -> Signature:
-    """Record the signature of a boundary snapshot (recording mode).
-
-    Runs the quick-register lookahead on a scratch fork of the boundary
-    snapshot, then captures registers and top-of-stack words.
-    """
-    cpu = CpuState()
-    cpu.restore(boundary.cpu_snapshot)
-    quick = None
-    adaptive = False
-    if config.quickreg_adaptive:
-        from ..machine.process import Process
-        from .sysrecord import PlaybackHandler
-        scratch_proc = Process(cpu.copy(), boundary.mem_fork,
-                               syscall_handler=None)
-        quick = select_quick_registers(scratch_proc, config)
-        adaptive = quick is not None
-    return record_signature(cpu, boundary.mem_fork, config,
-                            quick_regs=quick or DEFAULT_QUICK_REGS,
-                            adaptive=adaptive)

@@ -57,3 +57,42 @@ class SharedCodeCacheDirectory:
 
     def __len__(self) -> int:
         return len(self._compiled)
+
+
+def charge_result(result, directory: SharedCodeCacheDirectory) -> None:
+    """Re-attribute one slice's compile costs through ``directory``.
+
+    Replays the slice's compile log: the first slice (in charging order)
+    to have compiled each trace keeps the cost; every other compilation
+    becomes a shared-cache reuse.  Mutates ``result`` in place.
+    """
+    compiles = compiled_ins = reuses = 0
+    for address, num_ins in result.compile_log:
+        if directory.charge(address, num_ins):
+            compiles += 1
+            compiled_ins += num_ins
+        else:
+            reuses += 1
+    result.compiles = compiles
+    result.compiled_ins = compiled_ins
+    result.shared_cache_reuses = reuses
+
+
+def charge_slices_in_order(results,
+                           directory: SharedCodeCacheDirectory | None = None
+                           ) -> SharedCodeCacheDirectory:
+    """Deterministic slice-ordered post-pass for compile attribution.
+
+    Slices execute (possibly concurrently, in any completion order) with
+    cold private caches; this pass then walks the results in *slice
+    index order* and charges each trace's compile cost to the
+    lowest-indexed slice that compiled it.  Because attribution happens
+    after the fact, the figures are identical whether slices ran
+    sequentially, or fanned out over ``-spworkers`` processes finishing
+    in any order.
+    """
+    if directory is None:
+        directory = SharedCodeCacheDirectory()
+    for result in sorted(results, key=lambda r: r.index):
+        charge_result(result, directory)
+    return directory

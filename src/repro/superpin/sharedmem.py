@@ -36,6 +36,51 @@ class AutoMerge(enum.Enum):
     CONCAT = 4
 
 
+#: While set, :func:`_restore_shared_area` resolves unpickled areas to
+#: these canonical instances (keyed by name) instead of building copies.
+_RESOLVE_AREAS: dict[str, "SharedArea"] | None = None
+
+
+class resolve_shared_areas:
+    """Context manager: unpickling inside resolves areas to canonical ones.
+
+    The parallel slice executor pickles tool contexts into worker
+    processes and pickles the results back.  Inside a worker, unpickling
+    a :class:`SharedArea` builds a private copy (slice-local writes to it
+    are discarded, exactly like a worker's address space).  In the
+    *parent*, however, the returned context's area references must
+    resolve back to the one true region so slice-end merge functions
+    write where ``fini`` will read — the pickling analogue of
+    ``__deepcopy__`` returning ``self``.  Wrap the result unpickle in
+    this manager, passing the run's canonical areas.
+    """
+
+    def __init__(self, areas: "list[SharedArea]"):
+        self._areas = {area.name: area for area in areas}
+        self._previous: dict[str, SharedArea] | None = None
+
+    def __enter__(self) -> "resolve_shared_areas":
+        global _RESOLVE_AREAS
+        self._previous = _RESOLVE_AREAS
+        _RESOLVE_AREAS = self._areas
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _RESOLVE_AREAS
+        _RESOLVE_AREAS = self._previous
+
+
+def _restore_shared_area(name: str, size: int, mode_value: int,
+                         data: list) -> "SharedArea":
+    """Pickle reconstructor for :class:`SharedArea` (see ``__reduce__``)."""
+    registry = _RESOLVE_AREAS
+    if registry is not None and name in registry:
+        return registry[name]
+    area = SharedArea(name, size, AutoMerge(mode_value))
+    area.data = list(data)
+    return area
+
+
 class SharedArea:
     """A named region shared by the master and every slice."""
 
@@ -56,6 +101,15 @@ class SharedArea:
 
     def __copy__(self) -> "SharedArea":
         return self
+
+    # Pickling (crossing a worker-process boundary) goes through the
+    # reconstructor so references resolve to the canonical area wherever
+    # a resolve_shared_areas scope is active.  Within one pickle the
+    # memo still guarantees a single object per area.
+    def __reduce__(self):
+        return (_restore_shared_area,
+                (self.name, self.size, self.auto_merge.value,
+                 list(self.data)))
 
     # -- word access ---------------------------------------------------------
 

@@ -60,6 +60,11 @@ class SliceResult:
     #: Traces this slice reused from the shared code cache (§8 extension);
     #: ``compiles``/``compiled_ins`` then count only first-compilations.
     shared_cache_reuses: int = 0
+    #: Every trace this slice compiled, as ``(address, num_ins)`` in
+    #: compile order — the input to the slice-ordered shared-code-cache
+    #: attribution post-pass (kept even when the extension is off, so
+    #: attribution can be recomputed after parallel execution).
+    compile_log: tuple[tuple[int, int], ...] = ()
 
     @property
     def exact(self) -> bool:
@@ -135,20 +140,7 @@ def run_slice(boundary: Boundary, interval: Interval,
             if end_signature else
             f"slice {index} exceeded its budget before program exit")
 
-    # Attribute compile costs through the shared directory, if any.
-    compiles = cache.stats.compiles
-    compiled_ins = cache.stats.compiled_ins
-    shared_reuses = 0
-    if shared_directory is not None:
-        compiles = compiled_ins = 0
-        for address, num_ins in cache.insert_log:
-            if shared_directory.charge(address, num_ins):
-                compiles += 1
-                compiled_ins += num_ins
-            else:
-                shared_reuses += 1
-
-    return SliceResult(
+    result_record = SliceResult(
         index=index,
         reason=reason,
         instructions=result.instructions,
@@ -156,8 +148,8 @@ def run_slice(boundary: Boundary, interval: Interval,
         traces_executed=result.traces_executed,
         analysis_calls=result.analysis_calls,
         inline_checks=result.inline_checks,
-        compiles=compiles,
-        compiled_ins=compiled_ins,
+        compiles=cache.stats.compiles,
+        compiled_ins=cache.stats.compiled_ins,
         cache_hit_rate=cache.stats.hit_rate,
         cache_allocated_words=cache.stats.allocated_words,
         replayed_syscalls=handler.replayed,
@@ -166,8 +158,12 @@ def run_slice(boundary: Boundary, interval: Interval,
         detection=detector.stats if detector else None,
         tool_ctx=ctx,
         exit_code=result.exit_code,
-        shared_cache_reuses=shared_reuses,
+        compile_log=tuple(cache.insert_log),
     )
+    if shared_directory is not None:
+        from .sharedcache import charge_result
+        charge_result(result_record, shared_directory)
+    return result_record
 
 
 def _classify(result, detector, end_signature, index: int) -> SliceEnd:

@@ -11,6 +11,8 @@ Switch                  Meaning
 ``-spsysrecs <value>``  max syscall records per slice; 0 disables
                         recording (every replayable call then forces a
                         new slice)
+``-spworkers <value>``  host worker processes for the slice phase; 0
+                        (default) runs slices sequentially in-process
 ======================= ==================================================
 
 The reproduction adds knobs the paper fixes implicitly: the virtual clock
@@ -41,6 +43,12 @@ class SuperPinConfig:
     spmp: int = 8
     #: Max syscall records per slice; 0 disables recording (paper: 1000).
     spsysrecs: int = 1000
+    #: Host worker processes for the slice phase.  0 (the default) runs
+    #: slices sequentially in-process; N > 0 fans them out over N
+    #: processes with functionally identical results.  Distinct from
+    #: ``spmp``, which bounds the *modeled* concurrency in the timing
+    #: simulation.
+    spworkers: int = 0
     clock_hz: int = DEFAULT_CLOCK_HZ
     #: Stack words captured in a signature (paper: "top 100 words").
     signature_stack_words: int = 100
@@ -77,6 +85,9 @@ class SuperPinConfig:
         if self.spsysrecs < 0:
             raise ConfigError(
                 f"-spsysrecs must be >= 0, got {self.spsysrecs}")
+        if self.spworkers < 0:
+            raise ConfigError(
+                f"-spworkers must be >= 0, got {self.spworkers}")
         if self.clock_hz <= 0:
             raise ConfigError(f"clock_hz must be positive")
         if self.signature_stack_words < 0:
@@ -106,6 +117,7 @@ _FLAG_PARSERS = {
     "-spmsec": ("spmsec", int),
     "-spmp": ("spmp", int),
     "-spsysrecs": ("spsysrecs", int),
+    "-spworkers": ("spworkers", int),
     "-spclock": ("clock_hz", int),
     "-spadaptive": ("spadaptive", lambda v: bool(int(v))),
     "-spexpected": ("expected_duration_msec", int),

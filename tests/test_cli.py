@@ -37,7 +37,16 @@ class TestRun:
         main(["run", "-t", "icount2", "-w", "eon", "--scale", "0.05",
               "-spmp", "2", "-spmsec", "500"])
         out = capsys.readouterr().out
-        assert "(2 max slices, 500 ms timeslice)" in out
+        assert "(2 max slices, 500 ms timeslice, sequential slice phase)" \
+            in out
+        assert "measured:" in out
+
+    def test_spworkers_switch_reaches_config(self, capsys):
+        code = main(["run", "-t", "icount2", "-w", "eon", "--scale", "0.05",
+                     "-spworkers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 worker processes" in out
 
 
 class TestFigure:

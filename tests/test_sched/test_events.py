@@ -63,6 +63,30 @@ class TestSliceScheduling:
             assert span.completed_at > span.runnable_at
 
 
+class TestRunnableAtExactness:
+    """Span wake times are reported exactly, not via truthiness checks
+    (``value or 0.0`` would clobber a legitimate falsy wake time)."""
+
+    def test_runnable_follows_fork_by_signature_record(self):
+        cost = CostModel(signature_record=123.0)
+        spans = _report(cost=cost).timing.spans
+        assert len(spans) >= 3
+        for k in range(len(spans) - 1):
+            assert spans[k].runnable_at \
+                == pytest.approx(spans[k + 1].forked_at + 123.0)
+
+    def test_zero_signature_record_wake_preserved(self):
+        """With a free signature record the wake time equals the next
+        fork's completion exactly — including when that value is small
+        enough that a truthiness test would have discarded it."""
+        cost = CostModel(signature_record=0.0)
+        spans = _report(cost=cost).timing.spans
+        for k in range(len(spans) - 1):
+            assert spans[k].runnable_at \
+                == pytest.approx(spans[k + 1].forked_at)
+            assert spans[k].runnable_at > 0.0
+
+
 class TestSpmpGating:
     def test_spmp1_serializes(self):
         """-spmp 1: slices run one at a time; total approaches the

@@ -136,6 +136,52 @@ main:
         assert last_records[-1].record.number == abi.SYS_EXIT
 
 
+class TestBudgetClamp:
+    """A recorded syscall retiring the last budgeted instruction must cut
+    a boundary, not re-enter the interpreter with a zero budget."""
+
+    # The SYS_TIME syscall retires as instruction 2 — exactly the
+    # 2-instruction timeslice budget below.
+    EXACT_BUDGET = """
+.entry main
+main:
+    li   a0, SYS_TIME
+    syscall
+    li   t0, 0
+    li   t1, 100
+lp: addi t0, t0, 1
+    blt  t0, t1, lp
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+"""
+
+    def test_interpreter_never_gets_nonpositive_budget(self, monkeypatch):
+        from repro.machine.interpreter import Interpreter
+        from repro.superpin import control as control_mod
+
+        budgets = []
+
+        class SpyInterpreter(Interpreter):
+            def run(self, max_instructions=-1):
+                budgets.append(max_instructions)
+                return super().run(max_instructions=max_instructions)
+
+        monkeypatch.setattr(control_mod, "Interpreter", SpyInterpreter)
+        config = SuperPinConfig(spmsec=2, clock_hz=1000)  # 2-instr slices
+        assert config.timeslice_instructions == 2
+        timeline = run_control(self.EXACT_BUDGET, config)
+
+        assert budgets, "spy interpreter never ran"
+        assert all(b > 0 for b in budgets)
+        # The exhausted budget cut a timer boundary right at the syscall.
+        assert timeline.boundaries[1].reason is BoundaryReason.TIMEOUT
+        assert timeline.intervals[0].instructions == 2
+        # And the run still completed, partitioning execution exactly.
+        assert sum(i.instructions for i in timeline.intervals) \
+            == timeline.total_instructions
+
+
 class TestSnapshots:
     def test_boundary_snapshots_are_isolated(self, multislice_program):
         config = SuperPinConfig(spmsec=500, clock_hz=10_000)

@@ -7,7 +7,7 @@ from repro.isa import assemble
 from repro.machine import Kernel, SyscallRecord
 from repro.superpin import (ControlProcess, run_slice, SliceToolContext,
                             SPControl, SuperPinConfig)
-from repro.superpin.runtime import _record_boundary_signature
+from repro.superpin.parallel import record_boundary_signature
 from repro.superpin.sysrecord import RecordedSyscall
 from repro.tools import ICount2
 from tests.conftest import MULTISLICE
@@ -53,7 +53,7 @@ def pipeline():
     tool = ICount2()
     tool.setup(sp)
     template = SliceToolContext.from_control(tool, sp)
-    signature = _record_boundary_signature(timeline.boundaries[1], config)
+    signature = record_boundary_signature(timeline.boundaries[1], config)
     return timeline, template, sp, config, signature
 
 

@@ -1,8 +1,15 @@
 """Merge coordinator: ordering and mixed auto/manual merging."""
 
-from repro.superpin import (AutoMerge, merge_slices, SliceEnd,
+import random
+
+from repro.isa import assemble
+from repro.machine import Kernel
+from repro.superpin import (AutoMerge, ControlProcess, execute_slices,
+                            merge_slices, record_signatures, SliceEnd,
                             SliceToolContext, SPControl, SuperPinConfig)
 from repro.superpin.slices import SliceResult
+from repro.tools import ICount2
+from tests.conftest import MULTISLICE
 
 
 def _result(index: int, ctx: SliceToolContext) -> SliceResult:
@@ -40,6 +47,50 @@ class TestMergeOrdering:
         results = [_result(k, contexts[k]) for k in range(3)]
         merge_slices(sp, results)
         assert area.data == [6, 60]
+
+    def test_merge_returns_per_slice_seconds(self):
+        sp = SPControl(SuperPinConfig())
+        contexts = [SliceToolContext(tool=None, reset_fun=None)
+                    for _ in range(3)]
+        seconds = merge_slices(sp, [_result(k, contexts[k])
+                                    for k in range(3)])
+        assert sorted(seconds) == [0, 1, 2]
+        assert all(value >= 0.0 for value in seconds.values())
+
+    def test_shuffled_results_merge_identically(self):
+        """End to end: completion order (here, a shuffle) must not leak
+        into merged areas, slice-end call order, or any figure."""
+        def pipeline(shuffle):
+            program = assemble(MULTISLICE)
+            config = SuperPinConfig(spmsec=500, clock_hz=10_000)
+            sp = SPControl(config)
+            tool = ICount2()
+            tool.setup(sp)
+            order = []
+            sp.SP_AddSliceEndFunction(
+                lambda slice_num, value: order.append(slice_num), None)
+            template = SliceToolContext.from_control(tool, sp)
+            timeline = ControlProcess(program, config,
+                                      kernel=Kernel(seed=42)).run()
+            signatures = record_signatures(timeline, config)
+            results, _ = execute_slices(timeline, signatures, template,
+                                        sp, config)
+            if shuffle:
+                random.Random(7).shuffle(results)
+            merge_slices(sp, results)
+            tool.fini()
+            figures = [(r.index, r.instructions, r.exact, r.compiles,
+                        r.cow_faults) for r in sorted(results,
+                                                      key=lambda r: r.index)]
+            areas = [list(area.data) for area in sp.areas]
+            return tool.total, order, areas, figures
+
+        in_order = pipeline(shuffle=False)
+        shuffled = pipeline(shuffle=True)
+        assert shuffled == in_order
+        total, order, _, _ = shuffled
+        assert order == list(range(len(order))) and len(order) >= 3
+        assert total > 0
 
     def test_mixed_auto_and_manual(self):
         sp = SPControl(SuperPinConfig())

@@ -108,9 +108,9 @@ class TestRunaway:
     """
 
     @staticmethod
-    def _sabotage(runtime_mod):
+    def _sabotage(parallel_mod):
         from repro.superpin.signature import Signature
-        original = runtime_mod._record_boundary_signature
+        original = parallel_mod.record_boundary_signature
 
         def sabotaged(boundary, config):
             signature = original(boundary, config)
@@ -124,16 +124,16 @@ class TestRunaway:
 
     def test_divergence_on_unrecorded_syscall(self, multislice_program):
         from repro.errors import DivergenceError
-        from repro.superpin import runtime as runtime_mod
-        original, sabotaged = self._sabotage(runtime_mod)
-        runtime_mod._record_boundary_signature = sabotaged
+        from repro.superpin import parallel as parallel_mod
+        original, sabotaged = self._sabotage(parallel_mod)
+        parallel_mod.record_boundary_signature = sabotaged
         try:
             with pytest.raises(DivergenceError):
                 run_superpin(multislice_program, ICount2(),
                              SuperPinConfig(spmsec=500, clock_hz=10_000),
                              kernel=Kernel(seed=42))
         finally:
-            runtime_mod._record_boundary_signature = original
+            parallel_mod.record_boundary_signature = original
 
     def test_runaway_on_syscall_free_program(self):
         source = """
@@ -148,16 +148,16 @@ lp: addi t0, t0, 1
     syscall
 """
         program = assemble(source)
-        from repro.superpin import runtime as runtime_mod
-        original, sabotaged = self._sabotage(runtime_mod)
-        runtime_mod._record_boundary_signature = sabotaged
+        from repro.superpin import parallel as parallel_mod
+        original, sabotaged = self._sabotage(parallel_mod)
+        parallel_mod.record_boundary_signature = sabotaged
         try:
             with pytest.raises(RunawaySliceError):
                 run_superpin(program, ICount2(),
                              SuperPinConfig(spmsec=1000, clock_hz=10_000),
                              kernel=Kernel(seed=42))
         finally:
-            runtime_mod._record_boundary_signature = original
+            parallel_mod.record_boundary_signature = original
 
 
 class TestBubble:
