@@ -116,26 +116,40 @@ def _cmd_run(args, extra: list[str]) -> int:
           f"{config.spmsec} ms timeslice, {workers})")
     print(f"slices: {report.num_slices} "
           f"({sum(1 for s in report.slices if s.exact)} exact)")
+    sup = report.supervision_summary()
+    if (config.spfaults != "failfast" or config.fault_plan is not None
+            or sup["failed_attempts"]):
+        degraded = (", degraded: "
+                    + ",".join(map(str, report.degraded_slices))
+                    if report.degraded_slices else "")
+        print(f"faults: policy {config.spfaults}, "
+              f"{int(sup['attempts'])} attempts "
+              f"({int(sup['failed_attempts'])} failed), "
+              f"{int(sup['recovered_slices'])} slices recovered"
+              f"{degraded}")
     print(f"tool report: {tool.report()}")
     det = report.detection_summary()
     print(f"detection: {det['quick_checks']} quick checks, "
           f"{det['full_checks']} full "
           f"({det['full_check_rate']:.2%} escalation)")
-    assert timing is not None
-    print(f"virtual time: native {seconds(timing.native_cycles):.2f}s, "
-          f"superpin {seconds(timing.total_cycles):.2f}s "
-          f"(slowdown {timing.slowdown:.2f}x)")
-    breakdown = timing.breakdown()
-    print("breakdown: " + ", ".join(
-        f"{name} {seconds(value):.2f}s"
-        for name, value in breakdown.items()))
+    if timing is None:
+        # Degraded runs have holes, so there is no timing simulation.
+        print("virtual time: unavailable (degraded run)")
+    else:
+        print(f"virtual time: native {seconds(timing.native_cycles):.2f}s, "
+              f"superpin {seconds(timing.total_cycles):.2f}s "
+              f"(slowdown {timing.slowdown:.2f}x)")
+        breakdown = timing.breakdown()
+        print("breakdown: " + ", ".join(
+            f"{name} {seconds(value):.2f}s"
+            for name, value in breakdown.items()))
     wall = report.wallclock_summary()
     print(f"measured: signatures {wall['signature_phase_seconds']:.3f}s, "
           f"slice phase {wall['slice_phase_seconds']:.3f}s "
           f"(run {wall['slice_run_seconds']:.3f}s, "
           f"pickle {wall['slice_pickle_seconds']:.3f}s, "
           f"parallelism {wall['measured_parallelism']:.2f}x)")
-    if args.gantt:
+    if args.gantt and timing is not None:
         from .harness.report import gantt_chart
         print()
         print(gantt_chart(timing))

@@ -76,5 +76,34 @@ class RunawaySliceError(ReproError):
     """A slice failed to detect its ending signature within its budget."""
 
 
+class SliceDeadlineError(ReproError):
+    """A slice exceeded its wall-clock deadline and was reaped.
+
+    The supervised slice phase derives a deadline for every slice from
+    its master instruction count plus a configurable floor; a worker
+    that is still running past that deadline is terminated rather than
+    allowed to stall the phase (the host-level analogue of the paper's
+    §4.3 runaway guard).
+    """
+
+
+class SliceExecutionError(ReproError):
+    """A slice could not be executed, even after supervision retries.
+
+    Raised by the slice supervisor once a slice has exhausted its
+    worker retries and the in-process fallback (policy ``retry``), or
+    immediately on the first failure (policy ``failfast``).  Carries
+    the slice index and the full attempt history so callers can see
+    where and why each attempt died.  Raised parent-side only, so it
+    never needs to survive a pickle across the worker boundary.
+    """
+
+    def __init__(self, message: str, index: int, attempts=()):
+        self.index = index
+        #: Sequence of ``SliceAttempt`` records, oldest first.
+        self.attempts = list(attempts)
+        super().__init__(message)
+
+
 class ConfigError(ReproError):
     """Invalid SuperPin switch or configuration value."""

@@ -13,6 +13,7 @@ Public surface:
 from .api import END_SLICE_TOKEN, SliceToolContext, SPControl
 from .control import (Boundary, BoundaryReason, ControlProcess, Interval,
                       MasterTimeline)
+from .faults import FaultKind, FaultPlan, FaultSpec
 from .merge import merge_slices
 from .parallel import (execute_slices, record_boundary_signature,
                        record_signatures, SliceTimings)
@@ -24,19 +25,25 @@ from .signature import (DEFAULT_QUICK_REGS, DetectionStats,
                         record_signature, select_quick_registers, Signature,
                         SignatureDetector)
 from .slices import run_slice, SliceEnd, SliceResult
-from .switches import DEFAULT_CLOCK_HZ, parse_switches, SuperPinConfig
+from .supervisor import (slice_deadline, SliceAttempt, SliceOutcome,
+                         supervise_slices, SupervisedSlices)
+from .switches import (DEFAULT_CLOCK_HZ, FAULT_POLICIES, parse_switches,
+                       SuperPinConfig)
 from .sysrecord import PlaybackHandler, RecordedSyscall
 
 __all__ = [
     "END_SLICE_TOKEN", "SliceToolContext", "SPControl", "Boundary",
     "BoundaryReason", "ControlProcess", "Interval", "MasterTimeline",
-    "merge_slices", "execute_slices", "record_boundary_signature",
+    "FaultKind", "FaultPlan", "FaultSpec", "merge_slices",
+    "execute_slices", "record_boundary_signature",
     "record_signatures", "SliceTimings", "run_superpin", "SuperPinReport",
     "charge_slices_in_order", "SharedCacheStats",
     "SharedCodeCacheDirectory", "AutoMerge", "resolve_shared_areas",
     "SharedArea", "DEFAULT_QUICK_REGS", "DetectionStats",
     "record_signature", "select_quick_registers", "Signature",
     "SignatureDetector", "run_slice", "SliceEnd", "SliceResult",
-    "DEFAULT_CLOCK_HZ", "parse_switches", "SuperPinConfig",
-    "PlaybackHandler", "RecordedSyscall",
+    "slice_deadline", "SliceAttempt", "SliceOutcome", "supervise_slices",
+    "SupervisedSlices", "DEFAULT_CLOCK_HZ", "FAULT_POLICIES",
+    "parse_switches", "SuperPinConfig", "PlaybackHandler",
+    "RecordedSyscall",
 ]

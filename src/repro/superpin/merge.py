@@ -25,8 +25,14 @@ def merge_slices(sp: SPControl, results: list[SliceResult]
 
     Returns the wall-clock seconds spent merging each slice, keyed by
     slice index, for the runtime's self-timing counters.
+
+    ``None`` entries (holes left by the ``degrade`` fault policy for
+    slices that never produced a result) are skipped: the surviving
+    slices still merge in slice order, they just have gaps between
+    them.
     """
-    ordered = sorted(results, key=lambda r: r.index)
+    ordered = sorted((r for r in results if r is not None),
+                     key=lambda r: r.index)
     seconds: dict[int, float] = {}
     for result in ordered:
         t0 = time.perf_counter()

@@ -209,7 +209,8 @@ def _execute_parallel(timeline: MasterTimeline,
         timings[k].pickle_seconds = time.perf_counter() - t0
 
     results: dict[int, SliceResult] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
         futures = {pool.submit(_worker_run_slice, payload): k
                    for k, payload in enumerate(payloads)}
         pending = set(futures)
@@ -225,4 +226,11 @@ def _execute_parallel(timeline: MasterTimeline,
                 timings[k].fork_seconds = fork_seconds
                 timings[k].run_seconds = run_seconds
                 results[k] = result
+    except BaseException:
+        # Fail fast: abort the run promptly instead of draining every
+        # still-queued slice through the pool (which is what the plain
+        # context manager's shutdown(wait=True) would do).
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown()
     return [results[k] for k in range(n_slices)], timings

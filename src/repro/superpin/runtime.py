@@ -12,7 +12,10 @@
    from its fork snapshot until it detects the next signature (§3).
    With ``-spworkers N`` the slices fan out over N worker processes
    (:mod:`repro.superpin.parallel`); the default ``-spworkers 0`` runs
-   them sequentially in-process with identical results.
+   them sequentially in-process with identical results.  The phase runs
+   under the :mod:`~repro.superpin.supervisor` fault policy
+   (``-spfaults``): per-slice deadlines, bounded retries, and — under
+   ``degrade`` — completion with holes instead of an aborted run.
 5. **Merge phase** — slice results fold into the shared areas in slice
    order; the master tool's ``fini`` runs last (§4.5).
 6. **Timing phase** — the discrete-event scheduler replays the run
@@ -45,9 +48,10 @@ from ..sched.timing import CostModel, DEFAULT_COST_MODEL
 from .api import SliceToolContext, SPControl
 from .control import ControlProcess, MasterTimeline
 from .merge import merge_slices
-from .parallel import SliceTimings, execute_slices, record_signatures
+from .parallel import SliceTimings, record_signatures
 from .signature import Signature
 from .slices import SliceResult
+from .supervisor import SliceOutcome, supervise_slices
 from .switches import SuperPinConfig
 
 
@@ -64,6 +68,11 @@ class SuperPinReport:
     exit_code: int
     #: Measured host wall-clock seconds per slice (pickle/fork/run/merge).
     slice_timings: list[SliceTimings] = field(default_factory=list)
+    #: Per-slice supervision records: status, attempt history, deadline.
+    slice_outcomes: list[SliceOutcome] = field(default_factory=list)
+    #: Indexes of slices the ``degrade`` policy gave up on — holes in
+    #: the merge.  Empty on a fully successful run.
+    degraded_slices: list[int] = field(default_factory=list)
     #: Measured host seconds spent recording all boundary signatures.
     signature_phase_seconds: float = 0.0
     #: Measured host seconds for the whole slice phase, end to end.
@@ -79,8 +88,13 @@ class SuperPinReport:
 
     @property
     def all_exact(self) -> bool:
-        """True when every slice covered exactly its master interval."""
-        return all(s.exact for s in self.slices)
+        """True when every slice covered exactly its master interval.
+
+        A degraded run can never be exact: a hole means some interval's
+        results are missing from the merge.
+        """
+        return (not self.degraded_slices
+                and all(s.exact for s in self.slices))
 
     @property
     def stdout(self) -> str:
@@ -112,6 +126,18 @@ class SuperPinReport:
             "full_checks": full,
             "stack_checks": stack,
             "full_check_rate": (full / quick) if quick else 0.0,
+        }
+
+    def supervision_summary(self) -> dict[str, float]:
+        """Aggregate fault-handling statistics for the slice phase."""
+        return {
+            "attempts": sum(o.num_attempts for o in self.slice_outcomes),
+            "failed_attempts": sum(
+                1 for o in self.slice_outcomes
+                for a in o.attempts if not a.ok),
+            "recovered_slices": sum(
+                1 for o in self.slice_outcomes if o.recovered),
+            "degraded_slices": len(self.degraded_slices),
         }
 
     def wallclock_summary(self) -> dict[str, float]:
@@ -161,10 +187,13 @@ def run_superpin(program: Program, tool: Pintool,
     signatures = record_signatures(timeline, config)
     signature_phase_seconds = time.perf_counter() - t0
 
-    # 4. Slice phase: sequential in-process, or fanned out (-spworkers).
+    # 4. Slice phase: sequential in-process, or fanned out (-spworkers),
+    #    under the -spfaults supervision policy.
     t0 = time.perf_counter()
-    results, timings = execute_slices(timeline, signatures, template, sp,
-                                      config)
+    supervised = supervise_slices(timeline, signatures, template, sp,
+                                  config)
+    results, timings = supervised.results, supervised.timings
+    degraded = supervised.degraded
     slice_phase_seconds = time.perf_counter() - t0
 
     # Shared-code-cache attribution (§8) is a slice-ordered post-pass, so
@@ -180,9 +209,11 @@ def run_superpin(program: Program, tool: Pintool,
             timing_record.index, 0.0)
     tool.fini()
 
-    # 6. Timing.
+    # 6. Timing.  A degraded run has holes, and the event simulation
+    #    needs every slice's figures — so no timing report for it.
     timing = (simulate(timeline, results, config, machine=machine,
-                       cost=cost) if compute_timing else None)
+                       cost=cost) if compute_timing and not degraded
+              else None)
     return SuperPinReport(
         config=config,
         timeline=timeline,
@@ -192,6 +223,8 @@ def run_superpin(program: Program, tool: Pintool,
         timing=timing,
         exit_code=timeline.exit_code,
         slice_timings=timings,
+        slice_outcomes=supervised.outcomes,
+        degraded_slices=degraded,
         signature_phase_seconds=signature_phase_seconds,
         slice_phase_seconds=slice_phase_seconds,
     )

@@ -1,0 +1,503 @@
+"""Slice supervision: fault isolation for the parallel slice phase.
+
+The paper's control process survives misbehaving slices — a slice that
+never detects its ending signature is killed by the runaway guard
+(§4.3/§4.4) and the run keeps going.  This module gives the
+reproduction the same discipline at the host level.  Because
+record/playback makes every slice deterministic and re-executable from
+its fork snapshot (the property rr-style replay exploits), a slice
+whose *execution* fails — worker crash, hang, corrupted result,
+runaway — can simply be re-run, in another worker or in-process,
+without affecting any other slice.
+
+Supervision wraps :mod:`repro.superpin.parallel` with:
+
+* a **wall-clock deadline** per slice, derived from its master
+  instruction count plus a configurable floor
+  (:func:`slice_deadline`); a worker still running past it is reaped
+  (worker processes terminated, pool rebuilt, innocent in-flight
+  slices resubmitted without touching their retry budget);
+* **bounded retries with backoff**: a failed slice is re-executed in a
+  fresh worker up to ``-spretries`` times, then once in-process (the
+  sequential fallback), with exponential backoff between retries;
+* **pool reconstruction**: a ``BrokenProcessPool`` (a worker died)
+  rebuilds the pool and resubmits every in-flight slice instead of
+  aborting the run;
+* a **policy switch** (``-spfaults``): ``failfast`` aborts the run on
+  the first failure, cancelling everything still queued; ``retry``
+  exhausts the retry ladder then raises
+  :class:`~repro.errors.SliceExecutionError`; ``degrade`` records the
+  slice as a hole (:class:`SliceOutcome` with status ``degraded``),
+  merges the survivors in slice order, and completes the run with
+  ``all_exact == False``.
+
+Every attempt is recorded as a :class:`SliceAttempt` on the slice's
+:class:`SliceOutcome`, which lands on ``SuperPinReport.slice_outcomes``
+— the structured answer to "what happened to slice k and why".
+
+Retries are bit-exact: worker attempts re-materialize the slice from
+its original pickled payload, and the in-process fallback runs the
+*same* payload through the same worker entry point (pickle round trip
+included), so a recovered slice's result — counters, cow faults,
+compile log — is identical to a clean first-attempt run.  Sequential
+supervision (``-spworkers 0`` with a non-failfast policy or a fault
+plan) uses the identical payload path, which is what makes the
+``spworkers in {0, N}`` parity properties hold under injected faults.
+
+Deadlines are enforced by reaping *worker* attempts; an in-process
+attempt cannot be preempted by a single-threaded parent, so only
+injected hangs surface as :class:`~repro.errors.SliceDeadlineError`
+there.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from ..errors import SliceExecutionError
+from .api import SliceToolContext, SPControl
+from .control import Interval, MasterTimeline
+from .faults import (CORRUPT_BLOB, CorruptResultFault, FaultKind, FaultPlan,
+                     maybe_inject)
+from .parallel import (SliceTimings, _end_signature, _worker_run_slice,
+                       execute_slices)
+from .sharedmem import resolve_shared_areas
+from .signature import Signature
+from .slices import SliceResult
+from .switches import SuperPinConfig
+
+
+@dataclass
+class SliceAttempt:
+    """One execution attempt of one slice, successful or not."""
+
+    #: Ordinal execution number for this slice (1-based).
+    number: int
+    #: Where the attempt ran: ``"worker"`` or ``"inprocess"``.
+    where: str
+    #: Host wall-clock seconds the attempt was in flight.
+    seconds: float = 0.0
+    #: ``None`` on success, else a one-line description of the failure.
+    error: str | None = None
+    #: False when the attempt ended through no fault of its own (the
+    #: pool was torn down to reap a neighbour) and was resubmitted
+    #: without touching the slice's retry budget.
+    charged: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SliceOutcome:
+    """Structured per-slice supervision record (status + history)."""
+
+    index: int
+    #: ``"ok"`` (a result was produced) or ``"degraded"`` (policy
+    #: ``degrade`` gave up on the slice and left a hole in the merge).
+    status: str = "ok"
+    attempts: list[SliceAttempt] = field(default_factory=list)
+    #: Wall-clock deadline this slice's worker attempts ran under.
+    deadline_seconds: float = 0.0
+    #: Final error for a degraded slice (None when status is ``ok``).
+    error: str | None = None
+
+    @property
+    def num_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def recovered(self) -> bool:
+        """True when the slice succeeded only after a failed attempt."""
+        return self.status == "ok" and any(not a.ok for a in self.attempts)
+
+
+@dataclass
+class SupervisedSlices:
+    """What the supervised slice phase hands back to the runtime."""
+
+    #: Surviving results in slice order (degraded slices are absent).
+    results: list[SliceResult]
+    timings: list[SliceTimings]
+    outcomes: list[SliceOutcome]
+
+    @property
+    def degraded(self) -> list[int]:
+        return [o.index for o in self.outcomes if o.status == "degraded"]
+
+
+def slice_deadline(interval: Interval, config: SuperPinConfig) -> float:
+    """Wall-clock deadline for one slice, in host seconds.
+
+    The configurable floor covers fixed costs (payload materialization,
+    pool scheduling); the per-instruction allowance scales with the
+    master's instruction count for the interval, mirroring how the
+    §4.3 runaway guard scales the virtual budget.
+    """
+    return (config.slice_deadline_floor
+            + interval.instructions * config.slice_deadline_per_ins)
+
+
+def _attempt_slice(payload: bytes, index: int, attempt: int,
+                   plan: FaultPlan | None, where: str = "worker") -> bytes:
+    """Execute one slice attempt: fault injection, then the real run.
+
+    This is both the pool entry point (``where == "worker"``) and the
+    in-process fallback (``where == "inprocess"``) — one code path, so
+    a fallback result is bit-identical to a worker result.
+    """
+    spec = maybe_inject(plan, index, attempt, where)
+    if spec is not None and spec.kind is FaultKind.CORRUPT:
+        if where == "worker":
+            return CORRUPT_BLOB
+        raise CorruptResultFault(
+            f"injected corrupt result: slice {index} attempt {attempt}")
+    return _worker_run_slice(payload)
+
+
+def supervise_slices(timeline: MasterTimeline, signatures: list[Signature],
+                     template: SliceToolContext, sp: SPControl,
+                     config: SuperPinConfig) -> SupervisedSlices:
+    """Run the slice phase under the configured fault policy.
+
+    With the default ``failfast`` policy and no fault plan this is a
+    thin wrapper over :func:`~repro.superpin.parallel.execute_slices`
+    (no supervision overhead on the happy path); otherwise the
+    supervised sequential or parallel executor runs.
+    """
+    if config.spfaults == "failfast" and config.fault_plan is None:
+        results, timings = execute_slices(timeline, signatures, template,
+                                          sp, config)
+        where = "worker" if config.spworkers > 0 else "inprocess"
+        outcomes = [
+            SliceOutcome(
+                index=k, status="ok",
+                attempts=[SliceAttempt(number=1, where=where,
+                                       seconds=timings[k].total_seconds)],
+                deadline_seconds=slice_deadline(interval, config))
+            for k, interval in enumerate(timeline.intervals)]
+        return SupervisedSlices(results=results, timings=timings,
+                                outcomes=outcomes)
+    supervisor = _Supervisor(timeline, signatures, template, sp, config)
+    if config.spworkers <= 0:
+        return supervisor.run_sequential()
+    return supervisor.run_parallel()
+
+
+@dataclass
+class _Flight:
+    """Bookkeeping for one in-flight worker attempt."""
+
+    index: int
+    attempt: int
+    started: float
+
+
+class _Supervisor:
+    """One supervised slice phase: payloads, attempts, policy."""
+
+    def __init__(self, timeline: MasterTimeline,
+                 signatures: list[Signature], template: SliceToolContext,
+                 sp: SPControl, config: SuperPinConfig):
+        self.sp = sp
+        self.config = config
+        self.plan: FaultPlan | None = config.fault_plan
+        self.n_slices = len(timeline.intervals)
+        self.timings = [SliceTimings(index=k) for k in range(self.n_slices)]
+        self.outcomes = [
+            SliceOutcome(index=k,
+                         deadline_seconds=slice_deadline(interval, config))
+            for k, interval in enumerate(timeline.intervals)]
+        self.results: dict[int, SliceResult] = {}
+        #: Per-slice execution counter — the attempt numbers the fault
+        #: plan sees.  Resubmissions after a neighbour's reap re-run the
+        #: *same* attempt number (the original never got to finish).
+        self.executions = [0] * self.n_slices
+        #: Per-slice charged failures; the retry budget compares
+        #: against ``spretries``.
+        self.failures = [0] * self.n_slices
+        self._pool: ProcessPoolExecutor | None = None
+        self.payloads: list[bytes] = []
+        for k, interval in enumerate(timeline.intervals):
+            t0 = time.perf_counter()
+            self.payloads.append(pickle.dumps(
+                (timeline.boundaries[k], interval,
+                 _end_signature(signatures, k), template, sp, config),
+                pickle.HIGHEST_PROTOCOL))
+            self.timings[k].pickle_seconds = time.perf_counter() - t0
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def _record_success(self, k: int, attempt: int, where: str,
+                        seconds: float, blob: bytes) -> None:
+        """Decode a result blob and file it; raises if the blob is bad."""
+        t0 = time.perf_counter()
+        with resolve_shared_areas(self.sp.areas):
+            try:
+                result, fork_seconds, run_seconds = pickle.loads(blob)
+            except Exception as exc:
+                raise CorruptResultFault(
+                    f"slice {k} attempt {attempt} returned an "
+                    f"undecodable result blob: {exc}") from exc
+        self.timings[k].pickle_seconds += time.perf_counter() - t0
+        self.timings[k].fork_seconds = fork_seconds
+        self.timings[k].run_seconds = run_seconds
+        self.results[k] = result
+        self.outcomes[k].attempts.append(
+            SliceAttempt(number=attempt, where=where, seconds=seconds))
+
+    def _record_failure(self, k: int, attempt: int, where: str,
+                        seconds: float, error: BaseException | str,
+                        charged: bool = True) -> None:
+        self.outcomes[k].attempts.append(
+            SliceAttempt(number=attempt, where=where, seconds=seconds,
+                         error=str(error), charged=charged))
+        if charged:
+            self.failures[k] += 1
+
+    def _backoff(self, k: int) -> None:
+        base = self.config.slice_retry_backoff
+        if base > 0:
+            time.sleep(base * (2 ** max(0, self.failures[k] - 1)))
+
+    def _fail_fast(self, k: int, error: BaseException) -> None:
+        raise SliceExecutionError(
+            f"slice {k} failed under -spfaults failfast: {error}",
+            index=k, attempts=self.outcomes[k].attempts) from error
+
+    def _exhausted(self, k: int, error: BaseException) -> None:
+        """All attempts spent: raise (retry) or degrade (degrade)."""
+        if self.config.spfaults == "retry":
+            raise SliceExecutionError(
+                f"slice {k} failed after "
+                f"{self.outcomes[k].num_attempts} attempts: {error}",
+                index=k, attempts=self.outcomes[k].attempts) from error
+        self.outcomes[k].status = "degraded"
+        self.outcomes[k].error = str(error)
+
+    def _run_inprocess(self, k: int) -> None:
+        """Final fallback: one in-process attempt from the payload."""
+        self.executions[k] += 1
+        attempt = self.executions[k]
+        t0 = time.perf_counter()
+        try:
+            blob = _attempt_slice(self.payloads[k], k, attempt, self.plan,
+                                  where="inprocess")
+            self._record_success(k, attempt, "inprocess",
+                                 time.perf_counter() - t0, blob)
+        except Exception as exc:
+            self._record_failure(k, attempt, "inprocess",
+                                 time.perf_counter() - t0, exc)
+            self._exhausted(k, exc)
+
+    def _finish(self) -> SupervisedSlices:
+        ordered = [self.results[k] for k in sorted(self.results)]
+        return SupervisedSlices(results=ordered, timings=self.timings,
+                                outcomes=self.outcomes)
+
+    # -- sequential supervision (-spworkers 0) -----------------------------
+
+    def run_sequential(self) -> SupervisedSlices:
+        """All attempts in-process, same payload path as the workers.
+
+        The attempt budget matches the parallel ladder (1 initial +
+        ``spretries`` retries + 1 fallback) so a fault plan fires on the
+        same attempt numbers regardless of worker count.
+        """
+        for k in range(self.n_slices):
+            while True:
+                self.executions[k] += 1
+                attempt = self.executions[k]
+                t0 = time.perf_counter()
+                try:
+                    blob = _attempt_slice(self.payloads[k], k, attempt,
+                                          self.plan, where="inprocess")
+                    self._record_success(k, attempt, "inprocess",
+                                         time.perf_counter() - t0, blob)
+                    break
+                except Exception as exc:
+                    self._record_failure(k, attempt, "inprocess",
+                                         time.perf_counter() - t0, exc)
+                    if self.config.spfaults == "failfast":
+                        self._fail_fast(k, exc)
+                    # +1: the parallel ladder's in-process fallback slot.
+                    if self.failures[k] > self.config.spretries + 1:
+                        self._exhausted(k, exc)
+                        break
+                    self._backoff(k)
+        return self._finish()
+
+    # -- parallel supervision (-spworkers N) -------------------------------
+
+    def run_parallel(self) -> SupervisedSlices:
+        self._workers = min(self.config.spworkers, self.n_slices) or 1
+        self._pool = ProcessPoolExecutor(max_workers=self._workers)
+        self._pending: deque[int] = deque(range(self.n_slices))
+        self._flights: dict = {}
+        try:
+            while self._pending or self._flights:
+                # Sliding window: at most `workers` futures in flight,
+                # so every submitted attempt is (approximately) running
+                # and its deadline clock is fair.
+                while self._pending and len(self._flights) < self._workers:
+                    self._submit(self._pending.popleft())
+                timeout = min(
+                    max(0.0, self.outcomes[f.index].deadline_seconds
+                        - (time.perf_counter() - f.started))
+                    for f in self._flights.values())
+                done, _ = wait(set(self._flights),
+                               timeout=max(timeout, 0.01),
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    self._reap_expired()
+                    continue
+                self._process_done(done)
+        except BaseException:
+            self._teardown(self._pool, self._flights)
+            raise
+        self._pool.shutdown()
+        return self._finish()
+
+    def _submit(self, k: int, attempt: int | None = None) -> None:
+        """Launch one worker attempt (new attempt number unless given)."""
+        if attempt is None:
+            self.executions[k] += 1
+            attempt = self.executions[k]
+        try:
+            future = self._pool.submit(_attempt_slice, self.payloads[k], k,
+                                       attempt, self.plan)
+        except (BrokenProcessPool, RuntimeError):
+            # The pool died between bookkeeping and submit; rebuild and
+            # try once more (a second failure propagates).
+            self._rebuild_pool()
+            future = self._pool.submit(_attempt_slice, self.payloads[k], k,
+                                       attempt, self.plan)
+        self._flights[future] = _Flight(index=k, attempt=attempt,
+                                        started=time.perf_counter())
+
+    def _process_done(self, done) -> None:
+        for future in done:
+            flight = self._flights.pop(future, None)
+            if flight is None:
+                continue
+            k, attempt = flight.index, flight.attempt
+            seconds = time.perf_counter() - flight.started
+            try:
+                blob = future.result()
+                self._record_success(k, attempt, "worker", seconds, blob)
+            except BrokenProcessPool as exc:
+                # A worker died; every in-flight future died with it and
+                # the culprit is unknowable, so all of them are charged
+                # and rescheduled (innocents succeed on their next try).
+                casualties = [flight] + list(self._flights.values())
+                self._flights.clear()
+                self._rebuild_pool()
+                now = time.perf_counter()
+                for casualty in casualties:
+                    self._record_failure(
+                        casualty.index, casualty.attempt, "worker",
+                        min(seconds, now - casualty.started),
+                        "worker process died (process pool broken)")
+                    self._after_failure(casualty.index, exc)
+                return
+            except SliceExecutionError:
+                raise
+            except Exception as exc:
+                self._record_failure(k, attempt, "worker", seconds, exc)
+                self._after_failure(k, exc)
+
+    def _after_failure(self, k: int, error: BaseException) -> None:
+        """Route a charged failure through the policy ladder."""
+        if self.config.spfaults == "failfast":
+            self._teardown(self._pool, self._flights)
+            self._fail_fast(k, error)
+        if self.failures[k] <= self.config.spretries:
+            self._backoff(k)
+            self._pending.append(k)
+        else:
+            self._run_inprocess(k)
+
+    def _reap_expired(self) -> None:
+        """Kill the pool if any in-flight slice blew its deadline.
+
+        A ``ProcessPoolExecutor`` cannot cancel a *running* future, so
+        reaping means terminating the worker processes and rebuilding
+        the pool.  The expired slice is charged a deadline failure;
+        innocent in-flight slices are resubmitted with the same attempt
+        number and an untouched retry budget.
+        """
+        now = time.perf_counter()
+        expired, innocent = [], []
+        for flight in self._flights.values():
+            if (now - flight.started
+                    > self.outcomes[flight.index].deadline_seconds):
+                expired.append(flight)
+            else:
+                innocent.append(flight)
+        if not expired:
+            return
+        self._flights.clear()
+        self._rebuild_pool()
+        for flight in innocent:
+            self._record_failure(
+                flight.index, flight.attempt, "worker",
+                now - flight.started,
+                "interrupted by pool teardown (neighbour reaped); "
+                "resubmitted", charged=False)
+            self._submit(flight.index, attempt=flight.attempt)
+        for flight in expired:
+            self._record_failure(
+                flight.index, flight.attempt, "worker",
+                now - flight.started,
+                f"deadline exceeded "
+                f"({self.outcomes[flight.index].deadline_seconds:.2f}s); "
+                f"worker reaped")
+            deadline = self.outcomes[flight.index].deadline_seconds
+            self._after_failure(
+                flight.index,
+                TimeoutError(f"slice {flight.index} missed its "
+                             f"{deadline:.2f}s deadline"))
+
+    def _rebuild_pool(self) -> None:
+        self._teardown(self._pool, None, kill=True)
+        self._pool = ProcessPoolExecutor(max_workers=self._workers)
+
+    @staticmethod
+    def _teardown(pool, flights, kill: bool = True) -> None:
+        """Shut a pool down promptly: cancel queued work, kill workers.
+
+        ``shutdown(cancel_futures=True)`` alone would wait for running
+        (possibly hung) workers, so the worker processes are terminated
+        first.  Touches the executor's ``_processes`` map — internal,
+        but stable across supported CPythons — and degrades to a plain
+        prompt shutdown if it ever disappears.
+        """
+        if pool is None:
+            return
+        if flights:
+            for future in flights:
+                future.cancel()
+        processes = []
+        if kill:
+            try:
+                processes = list((getattr(pool, "_processes", None)
+                                  or {}).values())
+                for process in processes:
+                    process.terminate()
+            except Exception:
+                processes = []
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for process in processes:
+            try:
+                process.join(timeout=5.0)
+            except Exception:
+                pass

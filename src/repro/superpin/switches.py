@@ -13,15 +13,30 @@ Switch                  Meaning
                         new slice)
 ``-spworkers <value>``  host worker processes for the slice phase; 0
                         (default) runs slices sequentially in-process
+``-spfaults <policy>``  slice fault policy: ``failfast`` (default),
+                        ``retry`` or ``degrade``
+``-spretries <value>``  worker re-executions per failed slice before the
+                        in-process fallback (policies retry/degrade)
+``-spdeadline <secs>``  wall-clock deadline floor per slice; the full
+                        deadline adds a per-instruction allowance
+``-spinject <spec>``    deterministic fault injection, e.g.
+                        ``crash@0,hang@2:*`` (see superpin.faults)
 ======================= ==================================================
 
 The reproduction adds knobs the paper fixes implicitly: the virtual clock
 rate that converts milliseconds to simulated cycles, and the signature
 parameters of §4.4 (stack words recorded, quick-register lookahead).
+
+CI hook: the environment variables ``SUPERPIN_SPWORKERS`` and
+``SUPERPIN_SPFAULTS`` override the *defaults* of ``spworkers`` and
+``spfaults`` (explicit constructor arguments and parsed switches always
+win).  The fault-injection CI job uses them to push the whole test suite
+through the supervised parallel slice phase without editing every test.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
@@ -30,6 +45,17 @@ from ..errors import ConfigError
 #: compress time so whole-suite experiments are tractable in pure Python.
 #: Only ratios of times are reported, which clock scaling preserves.
 DEFAULT_CLOCK_HZ = 10_000
+
+#: Valid ``-spfaults`` policies (see :mod:`repro.superpin.supervisor`).
+FAULT_POLICIES = ("failfast", "retry", "degrade")
+
+
+def _default_spworkers() -> int:
+    return int(os.environ.get("SUPERPIN_SPWORKERS", "0") or 0)
+
+
+def _default_spfaults() -> str:
+    return os.environ.get("SUPERPIN_SPFAULTS", "failfast") or "failfast"
 
 
 @dataclass
@@ -48,7 +74,29 @@ class SuperPinConfig:
     #: processes with functionally identical results.  Distinct from
     #: ``spmp``, which bounds the *modeled* concurrency in the timing
     #: simulation.
-    spworkers: int = 0
+    spworkers: int = field(default_factory=_default_spworkers)
+    # --- slice supervision (fault isolation for the slice phase) ----------
+    #: Fault policy for the slice phase: ``failfast`` aborts the run on
+    #: the first slice failure (cancelling everything still queued);
+    #: ``retry`` re-executes a failed slice up to ``spretries`` times in
+    #: fresh workers, then once in-process, then raises; ``degrade``
+    #: retries the same way but on final failure records the slice as a
+    #: hole and completes the run with the surviving slices.
+    spfaults: str = field(default_factory=_default_spfaults)
+    #: Worker re-executions per failed slice before the in-process
+    #: fallback (policies ``retry``/``degrade``).
+    spretries: int = 2
+    #: Wall-clock deadline floor per slice, in host seconds.
+    slice_deadline_floor: float = 5.0
+    #: Per-master-instruction allowance added to the deadline floor.
+    slice_deadline_per_ins: float = 5e-4
+    #: Base host-seconds backoff between retries (doubles per attempt).
+    slice_retry_backoff: float = 0.05
+    #: Deterministic fault-injection plan (:class:`~repro.superpin.
+    #: faults.FaultPlan`), or None.  A plan makes chosen slices crash,
+    #: hang, corrupt their result, or go runaway on their first M
+    #: attempts — the hook that makes the retry/degrade paths testable.
+    fault_plan: object = None
     clock_hz: int = DEFAULT_CLOCK_HZ
     #: Stack words captured in a signature (paper: "top 100 words").
     signature_stack_words: int = 100
@@ -88,6 +136,33 @@ class SuperPinConfig:
         if self.spworkers < 0:
             raise ConfigError(
                 f"-spworkers must be >= 0, got {self.spworkers}")
+        if self.spfaults not in FAULT_POLICIES:
+            raise ConfigError(
+                f"-spfaults must be one of {', '.join(FAULT_POLICIES)}, "
+                f"got {self.spfaults!r}")
+        if self.spretries < 0:
+            raise ConfigError(
+                f"-spretries must be >= 0, got {self.spretries}")
+        if self.slice_deadline_floor <= 0:
+            raise ConfigError(
+                f"slice_deadline_floor must be positive, "
+                f"got {self.slice_deadline_floor}")
+        if self.slice_deadline_per_ins < 0:
+            raise ConfigError(
+                f"slice_deadline_per_ins must be >= 0, "
+                f"got {self.slice_deadline_per_ins}")
+        if self.slice_retry_backoff < 0:
+            raise ConfigError(
+                f"slice_retry_backoff must be >= 0, "
+                f"got {self.slice_retry_backoff}")
+        if self.slice_runaway_factor <= 0:
+            raise ConfigError(
+                f"slice_runaway_factor must be positive, "
+                f"got {self.slice_runaway_factor}")
+        if self.slice_runaway_slack < 0:
+            raise ConfigError(
+                f"slice_runaway_slack must be >= 0, "
+                f"got {self.slice_runaway_slack}")
         if self.clock_hz <= 0:
             raise ConfigError(f"clock_hz must be positive")
         if self.signature_stack_words < 0:
@@ -112,12 +187,21 @@ class SuperPinConfig:
         return cycles / self.clock_hz
 
 
+def _parse_inject(value: str):
+    from .faults import FaultPlan
+    return FaultPlan.parse(value)
+
+
 _FLAG_PARSERS = {
     "-sp": ("sp", lambda v: bool(int(v))),
     "-spmsec": ("spmsec", int),
     "-spmp": ("spmp", int),
     "-spsysrecs": ("spsysrecs", int),
     "-spworkers": ("spworkers", int),
+    "-spfaults": ("spfaults", str),
+    "-spretries": ("spretries", int),
+    "-spdeadline": ("slice_deadline_floor", float),
+    "-spinject": ("fault_plan", _parse_inject),
     "-spclock": ("clock_hz", int),
     "-spadaptive": ("spadaptive", lambda v: bool(int(v))),
     "-spexpected": ("expected_duration_msec", int),

@@ -1,16 +1,28 @@
-"""Failure injection: corrupted recordings must fail loudly, not wrongly."""
+"""Failure injection: corrupted recordings must fail loudly, not wrongly.
+
+The tamper tests run the whole slice phase through
+:func:`~repro.superpin.parallel.execute_slices`, parametrized over
+``spworkers in {0, 2}`` — a corrupted recording must surface the same
+loud failure whether the slice runs in-process or in a worker (the
+worker's exception pickles back across the pool boundary).  The parity
+tests close the loop with the supervision subsystem: an injected
+worker crash under ``-spfaults retry`` must be invisible in the merged
+output.
+"""
 
 import pytest
 
-from repro.errors import DivergenceError
+from repro.errors import DivergenceError, ReproError
 from repro.isa import assemble
 from repro.machine import Kernel, SyscallRecord
-from repro.superpin import (ControlProcess, run_slice, SliceToolContext,
-                            SPControl, SuperPinConfig)
-from repro.superpin.parallel import record_boundary_signature
+from repro.superpin import (ControlProcess, execute_slices, FaultPlan,
+                            record_signatures, run_slice, run_superpin,
+                            SliceToolContext, SPControl, SuperPinConfig)
 from repro.superpin.sysrecord import RecordedSyscall
 from repro.tools import ICount2
-from tests.conftest import MULTISLICE
+
+#: Both slice-phase execution modes; tampering must fail identically.
+WORKER_MODES = [0, 2]
 
 
 # The time syscall's result feeds control flow, so a corrupted replay
@@ -41,11 +53,20 @@ il: addi t0, t0, 1
 """
 
 
-@pytest.fixture
-def pipeline():
-    """A finished control phase plus everything needed to run slice 0."""
+def _make_config(spworkers: int) -> SuperPinConfig:
+    # spfaults is pinned: these tests are about the *loud* failure mode,
+    # so the supervisor must not retry the corruption away.
+    return SuperPinConfig(spmsec=500, clock_hz=10_000,
+                          spworkers=spworkers, spfaults="failfast",
+                          fault_plan=None)
+
+
+@pytest.fixture(params=WORKER_MODES,
+                ids=[f"spworkers{n}" for n in WORKER_MODES])
+def pipeline(request):
+    """A finished control phase plus everything needed to run slices."""
     program = assemble(LIVE_TIME)
-    config = SuperPinConfig(spmsec=500, clock_hz=10_000)
+    config = _make_config(request.param)
     control = ControlProcess(program, config, kernel=Kernel(seed=42))
     timeline = control.run()
     assert timeline.num_slices >= 3
@@ -53,14 +74,14 @@ def pipeline():
     tool = ICount2()
     tool.setup(sp)
     template = SliceToolContext.from_control(tool, sp)
-    signature = record_boundary_signature(timeline.boundaries[1], config)
-    return timeline, template, sp, config, signature
+    signatures = record_signatures(timeline, config)
+    return timeline, template, sp, config, signatures
 
 
-def _run_slice0(pipeline):
-    timeline, template, sp, config, signature = pipeline
-    return run_slice(timeline.boundaries[0], timeline.intervals[0],
-                     signature, template, sp, config)
+def _run_phase(pipeline):
+    """Run the full slice phase under the fixture's worker mode."""
+    timeline, template, sp, config, signatures = pipeline
+    return execute_slices(timeline, signatures, template, sp, config)
 
 
 def _first_interval_with_records(timeline):
@@ -72,17 +93,15 @@ def _first_interval_with_records(timeline):
 
 class TestTamperedRecords:
     def test_baseline_runs_clean(self, pipeline):
-        result = _run_slice0(pipeline)
-        assert result.exact
+        results, _ = _run_phase(pipeline)
+        assert all(r.exact for r in results)
 
     def test_wrong_retval_breaks_nothing_silently(self, pipeline):
         """Corrupting a replayed retval changes the slice's state, which
         the signature check then refuses to match — the failure is a
         runaway/divergence, never a silently wrong count."""
-        timeline, template, sp, config, signature = pipeline
-        interval = timeline.intervals[0]
-        if not interval.records:
-            pytest.skip("first interval recorded nothing")
+        timeline, *_ = pipeline
+        interval = _first_interval_with_records(timeline)
         entry = interval.records[0]
         old = entry.record
         interval.records[0] = RecordedSyscall(
@@ -91,29 +110,80 @@ class TestTamperedRecords:
                                  mem_writes=old.mem_writes,
                                  klass=old.klass),
             global_index=entry.global_index)
-        from repro.errors import ReproError
         with pytest.raises(ReproError):
-            run_slice(timeline.boundaries[0], interval, signature,
-                      template, sp, config)
+            _run_phase(pipeline)
 
     def test_dropped_record_detected(self, pipeline):
-        timeline, template, sp, config, signature = pipeline
+        timeline, *_ = pipeline
+        interval = _first_interval_with_records(timeline)
+        interval.records.pop(0)
+        with pytest.raises(DivergenceError):
+            _run_phase(pipeline)
+
+    def test_swapped_record_order_detected(self, pipeline):
+        timeline, *_ = pipeline
+        interval = None
+        for candidate in timeline.intervals:
+            distinct = {r.record.number for r in candidate.records}
+            if len(candidate.records) >= 2 and len(distinct) >= 2:
+                interval = candidate
+                break
+        if interval is None:
+            pytest.skip("need two distinct records in one interval")
+        interval.records[0], interval.records[1] = \
+            interval.records[1], interval.records[0]
+        with pytest.raises(DivergenceError, match="mismatch"):
+            _run_phase(pipeline)
+
+    def test_single_slice_entry_point_still_loud(self):
+        """The lower-level run_slice entry point (used by ablations)
+        keeps the same loud-failure property."""
+        program = assemble(LIVE_TIME)
+        config = _make_config(0)
+        timeline = ControlProcess(program, config,
+                                  kernel=Kernel(seed=42)).run()
+        sp = SPControl(config)
+        tool = ICount2()
+        tool.setup(sp)
+        template = SliceToolContext.from_control(tool, sp)
+        signatures = record_signatures(timeline, config)
         interval = timeline.intervals[0]
         if not interval.records:
             pytest.skip("first interval recorded nothing")
         interval.records.pop(0)
         with pytest.raises(DivergenceError):
-            run_slice(timeline.boundaries[0], interval, signature,
+            run_slice(timeline.boundaries[0], interval, signatures[0],
                       template, sp, config)
 
-    def test_swapped_record_order_detected(self, pipeline):
-        timeline, template, sp, config, signature = pipeline
-        interval = timeline.intervals[0]
-        distinct = {r.record.number for r in interval.records}
-        if len(interval.records) < 2 or len(distinct) < 2:
-            pytest.skip("need two distinct records")
-        interval.records[0], interval.records[1] = \
-            interval.records[1], interval.records[0]
-        with pytest.raises(DivergenceError, match="mismatch"):
-            run_slice(timeline.boundaries[0], interval, signature,
-                      template, sp, config)
+
+class TestInjectedCrashParity:
+    """Satellite acceptance: an injected first-attempt worker crash
+    under ``-spfaults retry`` produces merged tool output identical to
+    a clean sequential run."""
+
+    @pytest.fixture(scope="class")
+    def clean(self):
+        program = assemble(LIVE_TIME)
+        tool = ICount2()
+        report = run_superpin(program, tool, _make_config(0),
+                              kernel=Kernel(seed=42))
+        return report, tool
+
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    def test_crash_retry_matches_clean_sequential(self, clean, spworkers):
+        clean_report, clean_tool = clean
+        program = assemble(LIVE_TIME)
+        tool = ICount2()
+        config = SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                spworkers=spworkers, spfaults="retry",
+                                fault_plan=FaultPlan.parse("crash@1"))
+        report = run_superpin(program, tool, config, kernel=Kernel(seed=42))
+        assert tool.total == clean_tool.total
+        assert report.stdout == clean_report.stdout
+        assert report.exit_code == clean_report.exit_code
+        assert report.all_exact and clean_report.all_exact
+        assert [(s.index, s.instructions, s.cow_faults, s.compile_log)
+                for s in report.slices] \
+            == [(s.index, s.instructions, s.cow_faults, s.compile_log)
+                for s in clean_report.slices]
+        assert report.supervision_summary()["failed_attempts"] >= 1

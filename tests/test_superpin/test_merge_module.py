@@ -62,7 +62,10 @@ class TestMergeOrdering:
         into merged areas, slice-end call order, or any figure."""
         def pipeline(shuffle):
             program = assemble(MULTISLICE)
-            config = SuperPinConfig(spmsec=500, clock_hz=10_000)
+            # spworkers pinned: the local-lambda end function below
+            # cannot cross a process boundary.
+            config = SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                    spworkers=0)
             sp = SPControl(config)
             tool = ICount2()
             tool.setup(sp)

@@ -155,7 +155,9 @@ class TestSliceTimings:
     def test_sequential_timings(self, multislice_program):
         tool = ICount2()
         report = run_superpin(multislice_program, tool,
-                              SuperPinConfig(spmsec=500, clock_hz=10_000),
+                              SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                             spworkers=0,
+                                             spfaults="failfast"),
                               kernel=Kernel(seed=42))
         assert [t.index for t in report.slice_timings] \
             == list(range(report.num_slices))
@@ -190,7 +192,8 @@ class TestSpworkersSwitch:
         config = parse_switches(["-spworkers", "2"])
         assert config.spworkers == 2
 
-    def test_default_sequential(self):
+    def test_default_sequential(self, monkeypatch):
+        monkeypatch.delenv("SUPERPIN_SPWORKERS", raising=False)
         assert SuperPinConfig().spworkers == 0
         assert parse_switches([]).spworkers == 0
 

@@ -46,9 +46,15 @@ class MergeOrderTool(Pintool):
 
 class TestLifecycleOrdering:
     def test_merge_called_in_slice_order(self, multislice_program):
+        # In-process only: slice-*begin* functions fire slice-side, and
+        # slice-side writes to a non-auto-merged area never cross the
+        # worker boundary (slice-*end* functions fire at merge in the
+        # parent, so ``order`` would survive either way).
         tool = MergeOrderTool()
         report = run_superpin(multislice_program, tool,
-                              SuperPinConfig(spmsec=500, clock_hz=10_000),
+                              SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                             spworkers=0,
+                                             spfaults="failfast"),
                               kernel=Kernel(seed=42))
         expected = list(range(report.num_slices))
         assert tool.order.data == expected
@@ -130,7 +136,8 @@ class TestRunaway:
         try:
             with pytest.raises(DivergenceError):
                 run_superpin(multislice_program, ICount2(),
-                             SuperPinConfig(spmsec=500, clock_hz=10_000),
+                             SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                            spfaults="failfast"),
                              kernel=Kernel(seed=42))
         finally:
             parallel_mod.record_boundary_signature = original
@@ -154,7 +161,8 @@ lp: addi t0, t0, 1
         try:
             with pytest.raises(RunawaySliceError):
                 run_superpin(program, ICount2(),
-                             SuperPinConfig(spmsec=1000, clock_hz=10_000),
+                             SuperPinConfig(spmsec=1000, clock_hz=10_000,
+                                            spfaults="failfast"),
                              kernel=Kernel(seed=42))
         finally:
             parallel_mod.record_boundary_signature = original

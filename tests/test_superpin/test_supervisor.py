@@ -1,0 +1,319 @@
+"""Slice supervision: deadlines, retries, pool rebuild, degradation.
+
+Every failure here is *injected* through the deterministic
+:mod:`repro.superpin.faults` harness, so the retry/degrade/reap paths
+run in CI on every push, not just in anger.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import (ConfigError, RunawaySliceError,
+                          SliceDeadlineError, SliceExecutionError)
+from repro.isa import assemble
+from repro.machine import Kernel
+from repro.superpin import (FaultKind, FaultPlan, FaultSpec, run_superpin,
+                            slice_deadline, SuperPinConfig)
+from repro.superpin.faults import (CORRUPT_BLOB, CorruptResultFault,
+                                   maybe_inject, WorkerCrashFault)
+from repro.tools import ICount2, ITrace
+from tests.conftest import MULTISLICE
+
+#: Both slice-phase execution modes; every supervision property must
+#: hold under each (sequential supervised and parallel supervised).
+WORKER_MODES = [0, 2]
+
+
+def _clean_report(program, tool_cls=ICount2, **kwargs):
+    kwargs.setdefault("spmsec", 500)
+    kwargs.setdefault("clock_hz", 10_000)
+    kwargs.setdefault("spworkers", 0)
+    kwargs.setdefault("spfaults", "failfast")
+    tool = tool_cls()
+    report = run_superpin(program, tool, SuperPinConfig(**kwargs),
+                          kernel=Kernel(seed=42))
+    return report, tool
+
+
+def _supervised_report(program, plan, tool_cls=ICount2, **kwargs):
+    kwargs.setdefault("spmsec", 500)
+    kwargs.setdefault("clock_hz", 10_000)
+    kwargs.setdefault("spfaults", "retry")
+    tool = tool_cls()
+    config = SuperPinConfig(fault_plan=plan, **kwargs)
+    report = run_superpin(program, tool, config, kernel=Kernel(seed=42))
+    return report, tool
+
+
+def _slice_fingerprint(report):
+    return [(s.index, s.reason, s.exact, s.instructions,
+             s.expected_instructions, s.traces_executed, s.analysis_calls,
+             s.compiles, s.compiled_ins, s.replayed_syscalls,
+             s.emulated_syscalls, s.cow_faults, s.compile_log)
+            for s in report.slices]
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(MULTISLICE)
+
+
+@pytest.fixture(scope="module")
+def clean(program):
+    return _clean_report(program)
+
+
+class TestFaultPlan:
+    def test_parse_single(self):
+        plan = FaultPlan.parse("crash@0")
+        assert plan.specs == (FaultSpec(kind=FaultKind.CRASH,
+                                        slice_index=0, attempts=1),)
+
+    def test_parse_multiple_with_windows(self):
+        plan = FaultPlan.parse("hang@2:*, runaway@1:3")
+        assert plan.specs[0].kind is FaultKind.HANG
+        assert plan.specs[0].attempts is None
+        assert plan.specs[1] == FaultSpec(kind=FaultKind.RUNAWAY,
+                                          slice_index=1, attempts=3)
+
+    @pytest.mark.parametrize("text", ["", "explode@0", "crash@x",
+                                      "crash@-1", "crash@0:0", "crash"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(text)
+
+    def test_attempt_window(self):
+        plan = FaultPlan.parse("runaway@3:2")
+        assert plan.spec_for(3, 1) is not None
+        assert plan.spec_for(3, 2) is not None
+        assert plan.spec_for(3, 3) is None
+        assert plan.spec_for(2, 1) is None
+
+    def test_inject_inprocess_kinds(self):
+        always = lambda kind: FaultPlan(
+            specs=(FaultSpec(kind=kind, slice_index=0, attempts=None),))
+        with pytest.raises(WorkerCrashFault):
+            maybe_inject(always(FaultKind.CRASH), 0, 1, "inprocess")
+        with pytest.raises(SliceDeadlineError):
+            maybe_inject(always(FaultKind.HANG), 0, 1, "inprocess")
+        with pytest.raises(RunawaySliceError):
+            maybe_inject(always(FaultKind.RUNAWAY), 0, 1, "inprocess")
+        spec = maybe_inject(always(FaultKind.CORRUPT), 0, 1, "inprocess")
+        assert spec.kind is FaultKind.CORRUPT
+        assert maybe_inject(None, 0, 1, "inprocess") is None
+
+    def test_corrupt_blob_never_unpickles(self):
+        import pickle
+        with pytest.raises(Exception):
+            pickle.loads(CORRUPT_BLOB)
+
+
+class TestDeadline:
+    def test_floor_plus_per_instruction(self, program):
+        config = SuperPinConfig(slice_deadline_floor=2.0,
+                                slice_deadline_per_ins=1e-3)
+        from repro.superpin import ControlProcess
+        timeline = ControlProcess(program, SuperPinConfig(
+            spmsec=500, clock_hz=10_000), kernel=Kernel(seed=42)).run()
+        interval = timeline.intervals[0]
+        assert slice_deadline(interval, config) == pytest.approx(
+            2.0 + interval.instructions * 1e-3)
+
+    def test_recorded_on_outcomes(self, clean):
+        report, _ = clean
+        assert len(report.slice_outcomes) == report.num_slices
+        assert all(o.deadline_seconds > 0 for o in report.slice_outcomes)
+        assert all(o.status == "ok" and o.num_attempts == 1
+                   for o in report.slice_outcomes)
+
+
+class TestRetryRecovery:
+    """Injected first-attempt failures must be invisible in the output."""
+
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    @pytest.mark.parametrize("spec", ["crash@1", "corrupt@1", "runaway@1",
+                                      "crash@0,runaway@2"])
+    def test_output_identical_to_clean_run(self, program, clean,
+                                           spworkers, spec):
+        clean_report, clean_tool = clean
+        report, tool = _supervised_report(program, FaultPlan.parse(spec),
+                                          spworkers=spworkers)
+        assert tool.total == clean_tool.total
+        assert report.stdout == clean_report.stdout
+        assert report.exit_code == clean_report.exit_code
+        assert report.all_exact
+        assert not report.degraded_slices
+        assert _slice_fingerprint(report) \
+            == _slice_fingerprint(clean_report)
+        assert report.detection_summary() \
+            == clean_report.detection_summary()
+        # The failure actually happened and was actually recovered.
+        summary = report.supervision_summary()
+        assert summary["failed_attempts"] >= 1
+        assert summary["recovered_slices"] >= 1
+
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    def test_manual_merge_tool_recovers(self, program, spworkers):
+        """ITrace's CONCAT-style manual merge must see each recovered
+        slice exactly once — a double merge would duplicate trace
+        entries, a hole would drop them."""
+        _, clean_tool = _clean_report(program, ITrace)
+        _, tool = _supervised_report(program, FaultPlan.parse("crash@1"),
+                                     tool_cls=ITrace, spworkers=spworkers)
+        assert tool.trace == clean_tool.trace
+
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    def test_attempt_history_recorded(self, program, spworkers):
+        report, _ = _supervised_report(program,
+                                       FaultPlan.parse("runaway@1:2"),
+                                       spworkers=spworkers, spretries=2)
+        outcome = report.slice_outcomes[1]
+        assert outcome.status == "ok"
+        assert outcome.recovered
+        failed = [a for a in outcome.attempts if not a.ok]
+        assert len(failed) >= 2
+        assert all("runaway" in a.error for a in failed)
+        assert outcome.attempts[-1].ok
+
+    def test_timing_model_survives_recovery(self, program, clean):
+        clean_report, _ = clean
+        report, _ = _supervised_report(program, FaultPlan.parse("crash@1"),
+                                       spworkers=2)
+        assert report.timing.total_cycles \
+            == clean_report.timing.total_cycles
+
+
+class TestRetryExhaustion:
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    def test_unrecoverable_raises_with_history(self, program, spworkers):
+        with pytest.raises(SliceExecutionError) as info:
+            _supervised_report(program, FaultPlan.parse("runaway@1:*"),
+                               spworkers=spworkers, spretries=1)
+        exc = info.value
+        assert exc.index == 1
+        # 1 initial + spretries retries + 1 in-process fallback.
+        assert len(exc.attempts) == 3
+        assert exc.attempts[-1].where == "inprocess"
+        assert all(not a.ok for a in exc.attempts)
+
+    def test_zero_retries_still_gets_fallback(self, program):
+        """spretries=0: one worker attempt, then straight in-process —
+        and a first-attempt-only fault is survived by the fallback."""
+        report, tool = _supervised_report(program,
+                                          FaultPlan.parse("crash@1:1"),
+                                          spworkers=2, spretries=0)
+        outcome = report.slice_outcomes[1]
+        assert outcome.status == "ok"
+        assert outcome.attempts[-1].where == "inprocess"
+
+
+class TestDegrade:
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    def test_unrecoverable_slice_leaves_hole(self, program, clean,
+                                             spworkers):
+        clean_report, clean_tool = clean
+        report, tool = _supervised_report(program,
+                                          FaultPlan.parse("runaway@1:*"),
+                                          spworkers=spworkers,
+                                          spfaults="degrade", spretries=1)
+        assert report.degraded_slices == [1]
+        assert not report.all_exact
+        assert report.timing is None
+        assert [s.index for s in report.slices] \
+            == [k for k in range(clean_report.num_slices) if k != 1]
+        outcome = report.slice_outcomes[1]
+        assert outcome.status == "degraded"
+        assert "runaway" in outcome.error
+        # Survivors merged exactly: total = clean minus the hole.
+        hole = clean_report.slices[1]
+        assert tool.total == clean_tool.total - hole.instructions
+
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    def test_recoverable_fault_does_not_degrade(self, program, clean,
+                                                spworkers):
+        clean_report, clean_tool = clean
+        report, tool = _supervised_report(program,
+                                          FaultPlan.parse("corrupt@2"),
+                                          spworkers=spworkers,
+                                          spfaults="degrade")
+        assert not report.degraded_slices
+        assert report.all_exact
+        assert tool.total == clean_tool.total
+
+
+class TestFailFast:
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    def test_aborts_on_first_failure(self, program, spworkers):
+        with pytest.raises(SliceExecutionError) as info:
+            _supervised_report(program, FaultPlan.parse("runaway@1:*"),
+                               spworkers=spworkers, spfaults="failfast")
+        assert info.value.index == 1
+        assert len(info.value.attempts) == 1
+
+
+class TestDeadlineReaping:
+    def test_hung_worker_is_reaped_and_retried(self, program, clean):
+        """A worker sleeping far past its deadline must be killed within
+        roughly that deadline, and the slice re-run successfully."""
+        clean_report, clean_tool = clean
+        plan = FaultPlan(specs=(FaultSpec(kind=FaultKind.HANG,
+                                          slice_index=2, attempts=1,
+                                          hang_seconds=60.0),))
+        t0 = time.perf_counter()
+        report, tool = _supervised_report(
+            program, plan, spworkers=2,
+            slice_deadline_floor=1.0, slice_deadline_per_ins=0.0)
+        elapsed = time.perf_counter() - t0
+        assert tool.total == clean_tool.total
+        assert report.all_exact
+        outcome = report.slice_outcomes[2]
+        reaped = [a for a in outcome.attempts if a.error]
+        assert any("deadline exceeded" in a.error for a in reaped)
+        # Far less than the 60s hang: the deadline (1s) did the work.
+        assert elapsed < 30
+
+    def test_hang_on_every_attempt_degrades(self, program):
+        plan = FaultPlan(specs=(FaultSpec(kind=FaultKind.HANG,
+                                          slice_index=1, attempts=None,
+                                          hang_seconds=60.0),))
+        t0 = time.perf_counter()
+        report, _ = _supervised_report(
+            program, plan, spworkers=2, spfaults="degrade", spretries=0,
+            slice_deadline_floor=0.5, slice_deadline_per_ins=0.0)
+        elapsed = time.perf_counter() - t0
+        assert report.degraded_slices == [1]
+        assert elapsed < 30
+
+
+class TestPoolReconstruction:
+    def test_crash_mid_phase_completes_run(self, program, clean):
+        """A hard worker death (BrokenProcessPool) must rebuild the pool
+        and resubmit the in-flight slices, not abort the run."""
+        clean_report, clean_tool = clean
+        report, tool = _supervised_report(program,
+                                          FaultPlan.parse("crash@3"),
+                                          spworkers=2)
+        assert tool.total == clean_tool.total
+        assert _slice_fingerprint(report) \
+            == _slice_fingerprint(clean_report)
+        assert any("pool broken" in (a.error or "")
+                   for o in report.slice_outcomes for a in o.attempts)
+
+    def test_repeated_crashes_rebuild_repeatedly(self, program, clean):
+        _, clean_tool = clean
+        report, tool = _supervised_report(
+            program, FaultPlan.parse("crash@1:2,crash@4"), spworkers=2,
+            spretries=3)
+        assert tool.total == clean_tool.total
+        assert report.all_exact
+
+
+class TestSupervisionSummary:
+    def test_clean_run_summary(self, clean):
+        report, _ = clean
+        summary = report.supervision_summary()
+        assert summary["attempts"] == report.num_slices
+        assert summary["failed_attempts"] == 0
+        assert summary["recovered_slices"] == 0
+        assert summary["degraded_slices"] == 0

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.superpin import parse_switches, SuperPinConfig
+from repro.superpin import (FaultKind, FaultPlan, parse_switches,
+                            SuperPinConfig)
 
 
 class TestParsing:
@@ -42,15 +43,77 @@ class TestParsing:
         assert config.spmp == 2
 
 
+class TestSupervisionSwitches:
+    def test_parse_faults_policy(self):
+        assert parse_switches(["-spfaults", "retry"]).spfaults == "retry"
+        assert parse_switches(["-spfaults", "degrade"]).spfaults \
+            == "degrade"
+
+    def test_parse_retries_and_deadline(self):
+        config = parse_switches(["-spretries", "5", "-spdeadline", "2.5"])
+        assert config.spretries == 5
+        assert config.slice_deadline_floor == 2.5
+
+    def test_parse_inject(self):
+        config = parse_switches(["-spinject", "crash@0,hang@2:*"])
+        assert isinstance(config.fault_plan, FaultPlan)
+        assert config.fault_plan.specs[0].kind is FaultKind.CRASH
+        assert config.fault_plan.specs[1].attempts is None
+
+    def test_bad_inject_spec_rejected(self):
+        with pytest.raises(ConfigError, match="fault spec"):
+            parse_switches(["-spinject", "explode@0"])
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigError, match="-spfaults"):
+            parse_switches(["-spfaults", "maybe"])
+
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("SUPERPIN_SPWORKERS", raising=False)
+        monkeypatch.delenv("SUPERPIN_SPFAULTS", raising=False)
+        config = SuperPinConfig()
+        assert config.spfaults == "failfast"
+        assert config.spretries == 2
+        assert config.fault_plan is None
+        assert config.slice_deadline_floor > 0
+
+    def test_env_overrides_defaults_only(self, monkeypatch):
+        """The CI hook: env vars move the defaults, explicit values and
+        parsed switches still win."""
+        monkeypatch.setenv("SUPERPIN_SPWORKERS", "3")
+        monkeypatch.setenv("SUPERPIN_SPFAULTS", "retry")
+        assert SuperPinConfig().spworkers == 3
+        assert SuperPinConfig().spfaults == "retry"
+        assert SuperPinConfig(spworkers=0, spfaults="degrade").spworkers \
+            == 0
+        config = parse_switches(["-spworkers", "1", "-spfaults",
+                                 "failfast"])
+        assert config.spworkers == 1
+        assert config.spfaults == "failfast"
+
+
 class TestValidation:
     @pytest.mark.parametrize("kwargs", [
         {"spmsec": 0}, {"spmsec": -5}, {"spmp": 0},
         {"spsysrecs": -1}, {"clock_hz": 0},
         {"signature_stack_words": -1},
+        {"spworkers": -1}, {"spfaults": "bogus"}, {"spretries": -1},
+        {"slice_deadline_floor": 0}, {"slice_deadline_floor": -1.0},
+        {"slice_deadline_per_ins": -1e-6}, {"slice_retry_backoff": -0.1},
+        {"slice_runaway_factor": 0.0}, {"slice_runaway_factor": -2.0},
+        {"slice_runaway_slack": -1},
     ])
     def test_invalid_rejected(self, kwargs):
         with pytest.raises(ConfigError):
             SuperPinConfig(**kwargs)
+
+    def test_validation_happens_at_construction(self):
+        """The satellite fix: bad values raise here, not deep inside
+        the slice phase."""
+        with pytest.raises(ConfigError, match="slice_runaway_factor"):
+            SuperPinConfig(slice_runaway_factor=-1.0)
+        with pytest.raises(ConfigError, match="slice_runaway_slack"):
+            SuperPinConfig(slice_runaway_slack=-5)
 
     def test_timeslice_conversion(self):
         config = SuperPinConfig(spmsec=2000, clock_hz=10_000)
