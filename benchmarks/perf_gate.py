@@ -1,0 +1,151 @@
+"""CI performance-regression gate for the SuperPin slice phase.
+
+Runs the bench-smoke workload (gzip at a reduced scale, two workers,
+metrics on), then compares the measured phase wall-clock figures and
+the deterministic counter totals against a committed baseline:
+
+    python benchmarks/perf_gate.py --update   # regenerate the baseline
+    python benchmarks/perf_gate.py --check    # gate (exit 1 on regression)
+    python benchmarks/perf_gate.py --check --trace trace.json
+
+Wall-clock figures gate only on the upper bound (faster is never a
+regression) with a generous 2x tolerance, because CI machines vary.
+Counter totals are products of the deterministic simulation — the same
+slices always execute the same instructions — but they are still gated
+at 2x in both directions rather than exact equality, so intentional
+small shifts (say a JIT policy change) update the baseline without
+flapping, while a counter that doubles fails loudly.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.machine import Kernel  # noqa: E402
+from repro.obs import write_trace  # noqa: E402
+from repro.superpin import run_superpin, SuperPinConfig  # noqa: E402
+from repro.tools import TOOLS  # noqa: E402
+from repro.workloads import build  # noqa: E402
+
+DEFAULT_BASELINE = Path(__file__).parent / "results" / "baseline.json"
+
+#: The bench-smoke workload: small enough for CI, large enough to cut
+#: a dozen timeslices through the supervised parallel path.
+WORKLOAD = "gzip"
+SCALE = 0.25
+TOOL = "icount2"
+WORKERS = 2
+
+#: Upper-bound factor for wall-clock figures, both-ways factor for
+#: counters.
+TOLERANCE = 2.0
+
+#: Wall-clock figures taken from the run (seconds, gated upper-bound
+#: only).
+WALLCLOCK_KEYS = (
+    "signature_phase_seconds",
+    "slice_phase_seconds",
+    "slice_run_seconds",
+)
+
+
+def measure(trace_path=None):
+    """Run the bench-smoke workload once; return the gated figures."""
+    config = SuperPinConfig(spworkers=WORKERS, spmetrics=True)
+    built = build(WORKLOAD, clock_hz=config.clock_hz, scale=SCALE)
+    tool = TOOLS[TOOL]()
+    report = run_superpin(built.program, tool, config, kernel=Kernel(seed=42))
+    if trace_path:
+        kind = write_trace(trace_path, report.trace, report.metrics)
+        print(f"wrote {kind} trace to {trace_path}")
+    wall = report.wallclock_summary()
+    return {
+        "workload": WORKLOAD,
+        "scale": SCALE,
+        "tool": TOOL,
+        "workers": WORKERS,
+        "wallclock": {key: wall[key] for key in WALLCLOCK_KEYS},
+        "counters": dict(report.metrics.counters),
+    }
+
+
+def compare(current, baseline):
+    """Return a list of human-readable regression descriptions."""
+    failures = []
+    for key in WALLCLOCK_KEYS:
+        base = baseline["wallclock"].get(key)
+        now = current["wallclock"][key]
+        if base is None:
+            failures.append(f"wallclock {key}: no baseline entry")
+        elif now > base * TOLERANCE:
+            failures.append(
+                f"wallclock {key}: {now:.4f}s exceeds "
+                f"{TOLERANCE}x baseline ({base:.4f}s)"
+            )
+    base_counters = baseline["counters"]
+    for name in sorted(set(base_counters) | set(current["counters"])):
+        base = base_counters.get(name)
+        now = current["counters"].get(name)
+        if base is None:
+            failures.append(
+                f"counter {name}: new counter ({now}), not in baseline"
+            )
+        elif now is None:
+            failures.append(f"counter {name}: disappeared (baseline {base})")
+        elif base > 0 and not base / TOLERANCE <= now <= base * TOLERANCE:
+            failures.append(
+                f"counter {name}: {now} outside "
+                f"[{base / TOLERANCE:.0f}, {base * TOLERANCE:.0f}] "
+                f"(baseline {base})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--update", action="store_true", help="rewrite the baseline"
+    )
+    mode.add_argument(
+        "--check", action="store_true", help="gate against the baseline"
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE), help="baseline path"
+    )
+    parser.add_argument(
+        "--trace", default=None, help="also export a Chrome trace here"
+    )
+    args = parser.parse_args(argv)
+
+    current = measure(trace_path=args.trace)
+    baseline_path = Path(args.baseline)
+
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote baseline to {baseline_path}")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())
+    failures = compare(current, baseline)
+    for key in WALLCLOCK_KEYS:
+        print(
+            f"{key}: {current['wallclock'][key]:.4f}s "
+            f"(baseline {baseline['wallclock'].get(key, 0.0):.4f}s)"
+        )
+    print(f"counters checked: {len(baseline['counters'])}")
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)} regressions):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,6 @@ the whole address space.  This bench measures both for real (host wall
 time) and checks the functional cost counters.
 """
 
-import pytest
 
 from repro.machine import Memory, PAGE_WORDS
 

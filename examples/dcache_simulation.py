@@ -16,7 +16,7 @@ Run:  python examples/dcache_simulation.py
 from repro.harness import format_table
 from repro.machine import Kernel
 from repro.pin import run_with_pin
-from repro.sched import CostModel, DEFAULT_COST_MODEL
+from repro.sched import DEFAULT_COST_MODEL
 from repro.superpin import run_superpin, SuperPinConfig
 from repro.tools import DCacheSim
 from repro.workloads import build

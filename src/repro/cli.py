@@ -149,6 +149,14 @@ def _cmd_run(args, extra: list[str]) -> int:
           f"(run {wall['slice_run_seconds']:.3f}s, "
           f"pickle {wall['slice_pickle_seconds']:.3f}s, "
           f"parallelism {wall['measured_parallelism']:.2f}x)")
+    if config.sptrace:
+        from .obs import write_trace
+        kind = write_trace(config.sptrace, report.trace, report.metrics)
+        what = ("JSONL event log" if kind == "jsonl"
+                else "Chrome trace (load in ui.perfetto.dev)")
+        print(f"trace: wrote {what} to {config.sptrace}")
+    if config.spmetrics or config.sptrace:
+        print(report.trace_summary())
     if args.gantt and timing is not None:
         from .harness.report import gantt_chart
         print()

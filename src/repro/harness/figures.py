@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..sched.machine_model import MachineModel, PAPER_MACHINE
 from ..superpin.switches import SuperPinConfig
 from ..workloads import BENCHMARK_NAMES
 from .runner import BenchmarkRun, run_benchmark

@@ -8,9 +8,9 @@ experiment, plotted differently).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..machine import Kernel, load_program, run_to_completion
+from ..machine import Kernel, load_program
 from ..machine.interpreter import Interpreter
 from ..pin.pintool import run_with_pin
 from ..sched.machine_model import MachineModel, PAPER_MACHINE

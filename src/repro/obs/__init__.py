@@ -1,0 +1,37 @@
+"""repro.obs — structured tracing and metrics for the runtime itself.
+
+A lightweight observability layer (spans, counters, exporters) that the
+SuperPin pipeline threads through its phases so the paper's §6 overhead
+taxonomy — pipeline delay, compilation slowdown, master slowdown — is
+visible per run instead of inferred.  See ``docs/observability.md``.
+
+Public surface:
+
+* :class:`Tracer` / :class:`Span` / :class:`SpanRecord` — nested spans
+  with monotonic timestamps and key/value args; :data:`NULL_TRACER` is
+  the allocation-free disabled backend.
+* :class:`MetricsRegistry` — named counters/gauges/histograms with
+  picklable snapshots and cross-process merge; :data:`NULL_METRICS`
+  is its disabled twin.
+* :func:`write_chrome_trace` / :func:`write_jsonl` /
+  :func:`write_trace` — Chrome ``chrome://tracing`` / Perfetto JSON
+  and JSONL event-log exporters.
+* :class:`TrackAllocator` — lane assignment for the parallel slice
+  phase's timeline rendering.
+"""
+
+from .export import (chrome_trace_dict, chrome_trace_events, jsonl_lines,
+                     TRACE_PID, write_chrome_trace, write_jsonl,
+                     write_trace)
+from .metrics import (HistogramSummary, metrics_for, MetricsRegistry,
+                      NULL_METRICS, NullMetrics)
+from .tracer import (ensure_tracer, NULL_TRACER, NullTracer, Span,
+                     SpanRecord, TrackAllocator, Tracer)
+
+__all__ = [
+    "chrome_trace_dict", "chrome_trace_events", "jsonl_lines",
+    "TRACE_PID", "write_chrome_trace", "write_jsonl", "write_trace",
+    "HistogramSummary", "metrics_for", "MetricsRegistry",
+    "NULL_METRICS", "NullMetrics", "ensure_tracer", "NULL_TRACER",
+    "NullTracer", "Span", "SpanRecord", "TrackAllocator", "Tracer",
+]

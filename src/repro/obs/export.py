@@ -1,0 +1,155 @@
+"""Trace and metrics exporters: JSONL event log and Chrome trace JSON.
+
+Two on-disk formats, both plain JSON:
+
+* **JSONL** (:func:`write_jsonl`) — one event per line, in record
+  order: ``{"type": "span"|"instant", ...}`` followed by the final
+  counter/gauge/histogram values.  Greppable, streamable, diffable.
+* **Chrome trace** (:func:`write_chrome_trace`) — the
+  ``chrome://tracing`` / Perfetto JSON object format: spans become
+  complete ("X") duration events, tracks become threads (named via "M"
+  metadata events), instants become "i" events and counters become "C"
+  counter samples.  Open the file at https://ui.perfetto.dev — the
+  parallel slice phase renders as one lane per concurrently-busy
+  worker under the main timeline.
+
+Timestamps are exported in microseconds relative to the tracer's
+origin, which is what the trace-viewer expects.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import MetricsRegistry
+from .tracer import SpanRecord, Tracer
+
+#: pid used for every exported event (one traced process per run).
+TRACE_PID = 1
+
+
+def _us(seconds: float) -> float:
+    """Seconds (tracer clock) to microseconds (trace-viewer clock)."""
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace_events(tracer: Tracer,
+                        metrics: MetricsRegistry | None = None
+                        ) -> list[dict]:
+    """Build the Chrome ``traceEvents`` list for a recorded tracer."""
+    events: list[dict] = []
+    tracks = {record.track for record in tracer.records}
+    tracks.update(tracer.track_names)
+    for track in sorted(tracks):
+        label = tracer.track_names.get(
+            track, f"slice track {track}" if track else "main")
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": TRACE_PID,
+            "tid": track, "args": {"name": label},
+        })
+        # Sort index pins track order: main first, then slice tracks.
+        events.append({
+            "ph": "M", "name": "thread_sort_index", "pid": TRACE_PID,
+            "tid": track, "args": {"sort_index": track},
+        })
+    end_ts = 0.0
+    for record in sorted(tracer.records, key=lambda r: r.start):
+        end_ts = max(end_ts, record.end)
+        if record.is_instant:
+            events.append({
+                "ph": "i", "name": record.name, "cat": record.cat,
+                "pid": TRACE_PID, "tid": record.track,
+                "ts": _us(record.start), "s": "t",
+                "args": record.args or {},
+            })
+        else:
+            events.append({
+                "ph": "X", "name": record.name, "cat": record.cat,
+                "pid": TRACE_PID, "tid": record.track,
+                "ts": _us(record.start), "dur": _us(record.duration),
+                "args": record.args or {},
+            })
+    if metrics is not None and metrics.enabled:
+        for name in sorted(metrics.counters):
+            events.append({
+                "ph": "C", "name": name, "pid": TRACE_PID,
+                "ts": _us(end_ts),
+                "args": {"value": metrics.counters[name]},
+            })
+    return events
+
+
+def chrome_trace_dict(tracer: Tracer,
+                      metrics: MetricsRegistry | None = None) -> dict:
+    """The full Chrome trace JSON object (``traceEvents`` wrapper)."""
+    return {
+        "traceEvents": chrome_trace_events(tracer, metrics),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs (SuperPin reproduction)"},
+    }
+
+
+def write_chrome_trace(path: str, tracer: Tracer,
+                       metrics: MetricsRegistry | None = None) -> None:
+    """Write a Chrome-trace/Perfetto JSON file to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_dict(tracer, metrics), handle)
+        handle.write("\n")
+
+
+def _record_dict(record: SpanRecord) -> dict:
+    return {
+        "type": "instant" if record.is_instant else "span",
+        "name": record.name,
+        "cat": record.cat,
+        "start": record.start,
+        "end": record.end,
+        "track": record.track,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "args": record.args,
+    }
+
+
+def jsonl_lines(tracer: Tracer,
+                metrics: MetricsRegistry | None = None) -> list[str]:
+    """All export lines for the JSONL event log, in record order."""
+    lines = [json.dumps(_record_dict(record))
+             for record in tracer.records]
+    if metrics is not None and metrics.enabled:
+        for name in sorted(metrics.counters):
+            lines.append(json.dumps({
+                "type": "counter", "name": name,
+                "value": metrics.counters[name]}))
+        for name in sorted(metrics.gauges):
+            lines.append(json.dumps({
+                "type": "gauge", "name": name,
+                "value": metrics.gauges[name]}))
+        for name in sorted(metrics.histograms):
+            lines.append(json.dumps({
+                "type": "histogram", "name": name,
+                **metrics.histograms[name].as_dict()}))
+    return lines
+
+
+def write_jsonl(path: str, tracer: Tracer,
+                metrics: MetricsRegistry | None = None) -> None:
+    """Write the JSONL event log to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in jsonl_lines(tracer, metrics):
+            handle.write(line)
+            handle.write("\n")
+
+
+def write_trace(path: str, tracer: Tracer,
+                metrics: MetricsRegistry | None = None) -> str:
+    """Write ``path`` in the format its suffix implies.
+
+    ``*.jsonl`` selects the JSONL event log; anything else gets the
+    Chrome-trace JSON.  Returns the format written ("jsonl"/"chrome").
+    """
+    if path.endswith(".jsonl"):
+        write_jsonl(path, tracer, metrics)
+        return "jsonl"
+    write_chrome_trace(path, tracer, metrics)
+    return "chrome"

@@ -1,0 +1,175 @@
+"""Named counters, gauges and histograms with cross-process merge.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics identified by
+dotted names ("pin.cache.compiles", "superpin.supervisor.retries").
+Three kinds exist:
+
+* **counters** — monotonically increasing totals (:meth:`~MetricsRegistry.inc`);
+* **gauges** — last-written values (:meth:`~MetricsRegistry.set_gauge`);
+* **histograms** — streaming summaries (count/total/min/max) of observed
+  values (:meth:`~MetricsRegistry.observe`).
+
+Worker processes each build their own registry, return
+:meth:`~MetricsRegistry.snapshot` (a plain picklable dict) with their
+result blob, and the parent folds every snapshot into the run's registry
+with :meth:`~MetricsRegistry.merge`: counters and histogram summaries
+add, gauges keep the last merged value.  Merging is associative and
+commutative for counters and histograms, so worker completion order
+cannot change the totals.
+
+When metrics are disabled (the default) the call sites hold
+:data:`NULL_METRICS`, whose methods are allocation-free no-ops — the
+hot path pays one attribute lookup and a no-op call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class HistogramSummary:
+    """Streaming summary of observed values (no stored samples)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max}
+
+    def merge_dict(self, other: dict) -> None:
+        count = int(other.get("count", 0))
+        if count == 0:
+            return
+        if self.count == 0:
+            self.min = float(other["min"])
+            self.max = float(other["max"])
+        else:
+            self.min = min(self.min, float(other["min"]))
+            self.max = max(self.max, float(other["max"]))
+        self.count += count
+        self.total += float(other.get("total", 0.0))
+
+
+class MetricsRegistry:
+    """A run's metrics: counters, gauges and histogram summaries."""
+
+    enabled = True
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, HistogramSummary] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramSummary()
+        hist.observe(value)
+
+    # -- reading ----------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        return self.gauges.get(name, 0.0)
+
+    def histogram(self, name: str) -> HistogramSummary | None:
+        return self.histograms.get(name)
+
+    # -- cross-process transport ------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable plain-dict image of the registry."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: hist.as_dict()
+                           for name, hist in self.histograms.items()},
+        }
+
+    def merge(self, snapshot: dict | None) -> None:
+        """Fold a worker's :meth:`snapshot` into this registry."""
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = HistogramSummary()
+            hist.merge_dict(data)
+
+
+class NullMetrics:
+    """No-op registry: recording costs one lookup and a no-op call."""
+
+    enabled = False
+    #: Shared immutable class attributes; reads allocate nothing.
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, HistogramSummary] = {}
+
+    def inc(self, name, value=1):
+        pass
+
+    def set_gauge(self, name, value):
+        pass
+
+    def observe(self, name, value):
+        pass
+
+    def counter(self, name):
+        return 0
+
+    def gauge(self, name):
+        return 0.0
+
+    def histogram(self, name):
+        return None
+
+    def snapshot(self):
+        return None
+
+    def merge(self, snapshot):
+        pass
+
+
+NULL_METRICS = NullMetrics()
+
+
+def metrics_for(enabled: bool) -> MetricsRegistry | NullMetrics:
+    """A fresh registry when ``enabled``, else the shared null one."""
+    return MetricsRegistry() if enabled else NULL_METRICS

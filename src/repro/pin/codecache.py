@@ -11,9 +11,10 @@ the cache (as a real code cache would).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..isa import abi
+from ..obs.metrics import NULL_METRICS
 
 #: Symbolic code-expansion factor: one guest instruction compiles into
 #: this many cache words (call-saving stubs, inlined checks, links).
@@ -45,9 +46,13 @@ class CodeCache:
     """Maps trace start address -> compiled trace, with bubble accounting."""
 
     def __init__(self, bubble_base: int = abi.BUBBLE_BASE,
-                 bubble_words: int = abi.BUBBLE_WORDS):
+                 bubble_words: int = abi.BUBBLE_WORDS,
+                 metrics=NULL_METRICS):
         self.bubble_base = bubble_base
         self.bubble_words = bubble_words
+        #: Observability counters (repro.obs); the null registry makes
+        #: every increment a no-op, so plain-Pin runs pay nothing.
+        self.metrics = metrics
         self._traces: dict[int, object] = {}
         self._cursor = bubble_base
         self.stats = CacheStats()
@@ -74,9 +79,13 @@ class CodeCache:
         self.stats.compiled_ins += num_ins
         self.insert_log.append((address, num_ins))
         self._traces[address] = trace
+        self.metrics.inc("pin.cache.compiles")
+        self.metrics.inc("pin.cache.compiled_ins", num_ins)
 
     def flush(self) -> None:
         """Drop every compiled trace (bubble exhausted or invalidation)."""
+        self.metrics.inc("pin.cache.evicted_traces", len(self._traces))
+        self.metrics.inc("pin.cache.flushes")
         self._traces.clear()
         self._cursor = self.bubble_base
         self.stats.flushes += 1

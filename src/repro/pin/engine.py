@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from ..errors import GuestFault
 from ..machine.kernel import SyscallOutcome
 from ..machine.process import Process
+from ..obs.metrics import NULL_METRICS
 from .codecache import CodeCache
 from .jit import CompiledTrace, EXIT_GUEST, Jit, StopRun
 from .trace import MAX_TRACE_INS
@@ -51,15 +52,22 @@ class PinVM:
                  max_trace_ins: int = MAX_TRACE_INS,
                  forced_boundaries: frozenset[int] | None = None,
                  code_cache: CodeCache | None = None,
-                 jit_backend: str = "closure"):
+                 jit_backend: str = "closure",
+                 metrics=NULL_METRICS):
         self.process = process
         self.cpu = process.cpu
         self.mem = process.mem
         self.max_trace_ins = max_trace_ins
         self.forced_boundaries = forced_boundaries or frozenset()
+        #: Observability counters (repro.obs).  JIT compiles are counted
+        #: live (a compile is already slow); per-dispatch cache lookups
+        #: stay in CacheStats and are folded into the registry at slice
+        #: end, keeping the dispatch loop free of metric calls.
+        self.metrics = metrics
         # Note: an empty CodeCache is falsy (it has __len__), so test
         # identity rather than truth.
-        self.cache = code_cache if code_cache is not None else CodeCache()
+        self.cache = (code_cache if code_cache is not None
+                      else CodeCache(metrics=metrics))
         if jit_backend == "closure":
             self.jit = Jit(self)
         elif jit_backend == "source":
@@ -147,6 +155,10 @@ class PinVM:
             if trace is None:
                 trace = jit.compile(pc)
                 cache.insert(pc, trace, trace.num_ins)
+                if self.metrics.enabled:
+                    self.metrics.inc("pin.jit.compiles")
+                    self.metrics.observe("pin.jit.trace_ins",
+                                         trace.num_ins)
             traces_executed += 1
 
             if trace.is_source:

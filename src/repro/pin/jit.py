@@ -21,7 +21,7 @@ from typing import Callable
 from ..errors import ArithmeticFault
 from ..isa.instructions import MASK64, Op
 from .args import build_resolver
-from .trace import build_trace, Ins, TraceObj
+from .trace import build_trace, Ins
 
 #: Sentinel step result: the guest has exited.
 EXIT_GUEST = -2

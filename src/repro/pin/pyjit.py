@@ -147,7 +147,7 @@ class _Emitter:
                 then_call.specs, ins, cpu, mem))
             self.line("ctr[1] += 1")
             self.line(f"if {if_fn}(*{if_res}()):")
-            self.line(f"    ctr[0] += 1")
+            self.line("    ctr[0] += 1")
             self.line(f"    {then_fn}(*{then_res}())")
 
         if ins.before_calls:

@@ -28,6 +28,8 @@ from ..machine.threads import ThreadManager
 from ..machine.memory import Memory
 from ..machine.process import load_program, Process
 from ..isa.program import Program
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
 from .switches import SuperPinConfig
 from .sysrecord import RecordedSyscall
 
@@ -98,10 +100,15 @@ class ControlProcess:
     """Supervises the uninstrumented master and cuts it into timeslices."""
 
     def __init__(self, program: Program, config: SuperPinConfig,
-                 kernel: Kernel | None = None):
+                 kernel: Kernel | None = None,
+                 tracer=NULL_TRACER, metrics=NULL_METRICS):
         self.program = program
         self.config = config
         self.kernel = kernel if kernel is not None else Kernel()
+        #: Observability hooks (repro.obs): timeslice cuts become trace
+        #: instants, syscall records and cut reasons become counters.
+        self.tracer = tracer
+        self.metrics = metrics
         self.process: Process = load_program(self.program, self.kernel)
         self._reserve_bubble()
         self._record_counter = 0
@@ -123,7 +130,6 @@ class ControlProcess:
 
     def run(self) -> MasterTimeline:
         """Run the master to completion, producing the timeline."""
-        config = self.config
         process = self.process
         interp = Interpreter(process, stop_after_syscall=True)
 
@@ -178,6 +184,14 @@ class ControlProcess:
             boundaries.append(self._take_boundary(
                 len(boundaries), boundary_reason,
                 interp.total_instructions))
+            self.metrics.inc("superpin.control.cuts."
+                             + boundary_reason.value)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "timeslice.cut", cat="control",
+                    args={"boundary": len(boundaries) - 1,
+                          "reason": boundary_reason.value,
+                          "instructions": interp.total_instructions})
             current = Interval(index=len(intervals))
             budget = self._next_budget(interp.total_instructions)
 
@@ -226,16 +240,20 @@ class ControlProcess:
         slice can execute through its own final instruction.
         """
         config = self.config
+        self.metrics.inc("superpin.control.syscalls")
         if record.klass in (EMULATE, THREAD):
             self._append_record(interval, record)
             interval.emulate_records += 1
+            self.metrics.inc("superpin.control.records.emulate")
             return None
         if record.klass == FORCE_SLICE:
             self._append_record(interval, record)
+            self.metrics.inc("superpin.control.records.force")
             return BoundaryReason.SYSCALL_FORCE
         # REPLAY class.
         self._append_record(interval, record)
         interval.replay_records += 1
+        self.metrics.inc("superpin.control.records.replay")
         if config.spsysrecs == 0:
             return BoundaryReason.SYSCALL_FORCE
         if interval.replay_records >= config.spsysrecs:

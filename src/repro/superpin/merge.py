@@ -12,32 +12,35 @@ the slices (conceptually) finished in.  Two mechanisms compose:
 
 from __future__ import annotations
 
-import time
-
+from ..obs.tracer import ensure_tracer
 from .api import SPControl
 from .sharedmem import AutoMerge
 from .slices import SliceResult
 
 
-def merge_slices(sp: SPControl, results: list[SliceResult]
-                 ) -> dict[int, float]:
+def merge_slices(sp: SPControl, results: list[SliceResult],
+                 tracer=None) -> dict[int, float]:
     """Fold every slice's results into the shared state, in slice order.
 
-    Returns the wall-clock seconds spent merging each slice, keyed by
-    slice index, for the runtime's self-timing counters.
+    Emits one ``slice.merge`` span per merged slice into ``tracer`` (a
+    private tracer when the caller passes none) and returns each span's
+    wall-clock seconds keyed by slice index, for the runtime's
+    self-timing view.
 
     ``None`` entries (holes left by the ``degrade`` fault policy for
     slices that never produced a result) are skipped: the surviving
     slices still merge in slice order, they just have gaps between
     them.
     """
+    tracer = ensure_tracer(tracer)
     ordered = sorted((r for r in results if r is not None),
                      key=lambda r: r.index)
     seconds: dict[int, float] = {}
     for result in ordered:
-        t0 = time.perf_counter()
-        _merge_one(sp, result)
-        seconds[result.index] = time.perf_counter() - t0
+        with tracer.span("slice.merge", cat="merge",
+                         args={"slice": result.index}) as span:
+            _merge_one(sp, result)
+        seconds[result.index] = span.duration
     return seconds
 
 

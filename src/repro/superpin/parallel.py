@@ -24,24 +24,29 @@ phases:
 
 Workers receive one pickled payload — boundary snapshot, interval
 records, end signature, tool-context template, SP handle, config — and
-return a pickled :class:`~repro.superpin.slices.SliceResult`.  Pickling
-one tuple keeps shared references (tool ↔ SP handle ↔ areas) coherent
-inside the worker; on the way back,
+return a pickled ``(result, fork_seconds, run_seconds, metrics)``
+4-tuple.  Pickling one tuple keeps shared references (tool ↔ SP handle
+↔ areas) coherent inside the worker; on the way back,
 :class:`~repro.superpin.sharedmem.resolve_shared_areas` maps every
 :class:`SharedArea` reference in the returned tool context onto the
 parent's canonical instance, so slice-end merge functions still write
-the one true region.
+the one true region.  The metrics element is the worker registry's
+snapshot (None when ``-spmetrics`` is off); the parent merges it so
+counter totals are identical regardless of worker count.
 
 Shared-code-cache charging is deliberately *not* done while slices run:
 :func:`repro.superpin.sharedcache.charge_slices_in_order` re-attributes
 compile costs in slice-index order afterwards, so the §8 extension's
 figures are identical regardless of worker completion order.
 
-Wall-clock self-timing: each slice's :class:`SliceTimings` records the
-real (host) seconds spent pickling its payload, materializing it in the
-worker ("fork"), running it, and merging its results — the measured
-counterpart to the virtual-cycle figures, so modeled and measured
-speedup can be compared (``SuperPinReport.measured_parallelism``).
+Wall-clock self-timing is structured tracing (:mod:`repro.obs`): the
+executors emit ``slice.pickle`` / ``slice.fork`` / ``slice.run`` spans
+(and the merge phase emits ``slice.merge``), with worker-side durations
+synthesized onto parallel tracks at completion so a Chrome-trace export
+shows the fan-out as real timeline lanes.  :class:`SliceTimings` — the
+measured counterpart to the virtual-cycle figures, used by
+``SuperPinReport.measured_parallelism`` — is now a *view* over those
+spans (:func:`slice_timings_from_records`), not separate bookkeeping.
 """
 
 from __future__ import annotations
@@ -53,6 +58,8 @@ from dataclasses import dataclass
 
 from ..machine.cpu import CpuState
 from ..machine.process import Process
+from ..obs.metrics import metrics_for, NULL_METRICS
+from ..obs.tracer import ensure_tracer, NULL_TRACER, TrackAllocator
 from .api import SliceToolContext, SPControl
 from .control import Boundary, MasterTimeline
 from .sharedmem import resolve_shared_areas
@@ -64,7 +71,12 @@ from .switches import SuperPinConfig
 
 @dataclass
 class SliceTimings:
-    """Measured (host wall-clock) seconds for one slice's lifecycle."""
+    """Measured (host wall-clock) seconds for one slice's lifecycle.
+
+    A view over the slice phase's trace spans (see
+    :func:`slice_timings_from_records`), kept as a stable structure so
+    reports and benchmarks don't parse raw span records.
+    """
 
     index: int
     #: Parent-side payload serialization plus result deserialization.
@@ -80,6 +92,37 @@ class SliceTimings:
     def total_seconds(self) -> float:
         return (self.pickle_seconds + self.fork_seconds
                 + self.run_seconds + self.merge_seconds)
+
+
+#: Span name -> SliceTimings field: the trace-to-timings projection.
+TIMING_SPANS = {
+    "slice.pickle": "pickle_seconds",
+    "slice.fork": "fork_seconds",
+    "slice.run": "run_seconds",
+    "slice.merge": "merge_seconds",
+}
+
+
+def slice_timings_from_records(records, n_slices: int
+                               ) -> list[SliceTimings]:
+    """Project trace span records onto per-slice :class:`SliceTimings`.
+
+    Only spans named in :data:`TIMING_SPANS` and tagged with a ``slice``
+    argument contribute; durations for the same (slice, field) pair sum,
+    so a payload-pickle span and a result-decode span both land in
+    ``pickle_seconds`` exactly like the old hand-rolled counters did.
+    """
+    timings = [SliceTimings(index=k) for k in range(n_slices)]
+    for record in records:
+        field_name = TIMING_SPANS.get(record.name)
+        if field_name is None or not record.args:
+            continue
+        k = record.args.get("slice")
+        if isinstance(k, int) and 0 <= k < n_slices:
+            timing = timings[k]
+            setattr(timing, field_name,
+                    getattr(timing, field_name) + record.duration)
+    return timings
 
 
 # -- signature phase ----------------------------------------------------------
@@ -112,7 +155,8 @@ def record_boundary_signature(boundary: Boundary,
 
 
 def record_signatures(timeline: MasterTimeline,
-                      config: SuperPinConfig) -> list[Signature]:
+                      config: SuperPinConfig,
+                      tracer=NULL_TRACER) -> list[Signature]:
     """Signature phase: record every interior boundary's signature.
 
     ``signatures[k]`` is the signature of boundary ``k + 1`` — the end
@@ -121,8 +165,12 @@ def record_signatures(timeline: MasterTimeline,
     the slice phase to run in any order: each signature reads only its
     own boundary snapshot and mutates nothing.
     """
-    return [record_boundary_signature(boundary, config)
-            for boundary in timeline.boundaries[1:]]
+    signatures = []
+    for k, boundary in enumerate(timeline.boundaries[1:]):
+        with tracer.span("signature", cat="signature",
+                         args={"boundary": k + 1}):
+            signatures.append(record_boundary_signature(boundary, config))
+    return signatures
 
 
 # -- slice phase --------------------------------------------------------------
@@ -134,61 +182,103 @@ def _end_signature(signatures: list[Signature], k: int) -> Signature | None:
 def _worker_run_slice(payload: bytes) -> bytes:
     """Process-pool entry point: one pickled payload in, one result out.
 
-    Returns ``(result, fork_seconds, run_seconds)`` pickled, so the
-    parent can fold worker-side timings into :class:`SliceTimings`.
+    Returns ``(result, fork_seconds, run_seconds, metrics)`` pickled, so
+    the parent can synthesize this slice's trace spans and fold the
+    worker's counters into the run registry.  ``metrics`` is the
+    worker-local registry snapshot, or None when ``-spmetrics`` is off.
     """
     t0 = time.perf_counter()
     (boundary, interval, end_signature, template, sp,
      config) = pickle.loads(payload)
     fork_seconds = time.perf_counter() - t0
+    metrics = metrics_for(config.spmetrics)
     t0 = time.perf_counter()
     result = run_slice(boundary, interval, end_signature, template, sp,
-                       config)
+                       config, metrics=metrics)
     run_seconds = time.perf_counter() - t0
-    return pickle.dumps((result, fork_seconds, run_seconds),
-                        pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(
+        (result, fork_seconds, run_seconds, metrics.snapshot()),
+        pickle.HIGHEST_PROTOCOL)
+
+
+def synthesize_slice_spans(tracer, tracks: TrackAllocator, k: int,
+                           done_at: float, fork_seconds: float,
+                           run_seconds: float,
+                           args: dict | None = None) -> int:
+    """Place a completed slice's worker-side spans on the timeline.
+
+    The worker reports *durations*; the parent knows the completion
+    instant on its own clock.  Anchoring the span chain at
+    ``done_at - fork - run`` reconstructs the execution window, and the
+    track allocator lanes concurrent windows apart so the trace renders
+    the fan-out as parallel tracks.  Returns the track used.
+    """
+    start = max(0.0, done_at - fork_seconds - run_seconds)
+    track = tracks.place(start, done_at)
+    slice_args = {"slice": k}
+    if args:
+        slice_args.update(args)
+    parent = tracer.add_span("slice", start, done_at, cat="slice",
+                             track=track, args=slice_args)
+    tracer.add_span("slice.fork", start, start + fork_seconds,
+                    cat="slice", track=track, args={"slice": k},
+                    parent_id=parent)
+    tracer.add_span("slice.run", start + fork_seconds, done_at,
+                    cat="slice", track=track, args={"slice": k},
+                    parent_id=parent)
+    return track
 
 
 def execute_slices(timeline: MasterTimeline, signatures: list[Signature],
                    template: SliceToolContext, sp: SPControl,
-                   config: SuperPinConfig
+                   config: SuperPinConfig, tracer=None,
+                   metrics=NULL_METRICS
                    ) -> tuple[list[SliceResult], list[SliceTimings]]:
     """Slice phase: execute every timeslice, honouring ``-spworkers``.
 
     Returns results ordered by slice index (regardless of completion
-    order) plus per-slice wall-clock timings.  Results are functionally
+    order) plus per-slice wall-clock timings — the latter a view over
+    the spans this call emitted into ``tracer`` (a private tracer is
+    used when the caller passes none).  Results are functionally
     identical between the sequential fallback and any worker count —
     the parity is enforced by the test suite.
     """
+    tracer = ensure_tracer(tracer)
+    mark = tracer.mark()
     if config.spworkers <= 0:
-        return _execute_sequential(timeline, signatures, template, sp,
-                                   config)
-    return _execute_parallel(timeline, signatures, template, sp, config)
+        results = _execute_sequential(timeline, signatures, template, sp,
+                                      config, tracer, metrics)
+    else:
+        results = _execute_parallel(timeline, signatures, template, sp,
+                                    config, tracer, metrics)
+    timings = slice_timings_from_records(tracer.records_since(mark),
+                                         len(timeline.intervals))
+    return results, timings
 
 
 def _execute_sequential(timeline: MasterTimeline,
                         signatures: list[Signature],
                         template: SliceToolContext, sp: SPControl,
-                        config: SuperPinConfig
-                        ) -> tuple[list[SliceResult], list[SliceTimings]]:
+                        config: SuperPinConfig, tracer, metrics
+                        ) -> list[SliceResult]:
     """In-process execution (``-spworkers 0``): no pickling, no pool."""
     results: list[SliceResult] = []
-    timings: list[SliceTimings] = []
     for k, interval in enumerate(timeline.intervals):
-        t0 = time.perf_counter()
-        results.append(run_slice(timeline.boundaries[k], interval,
-                                 _end_signature(signatures, k),
-                                 template, sp, config))
-        timings.append(SliceTimings(index=k,
-                                    run_seconds=time.perf_counter() - t0))
-    return results, timings
+        with tracer.span("slice", cat="slice", args={"slice": k}):
+            with tracer.span("slice.run", cat="slice",
+                             args={"slice": k}):
+                results.append(run_slice(timeline.boundaries[k], interval,
+                                         _end_signature(signatures, k),
+                                         template, sp, config,
+                                         metrics=metrics))
+    return results
 
 
 def _execute_parallel(timeline: MasterTimeline,
                       signatures: list[Signature],
                       template: SliceToolContext, sp: SPControl,
-                      config: SuperPinConfig
-                      ) -> tuple[list[SliceResult], list[SliceTimings]]:
+                      config: SuperPinConfig, tracer, metrics
+                      ) -> list[SliceResult]:
     """Fan slices out over ``-spworkers`` processes.
 
     Payloads are pickled explicitly (one blob per slice) so the
@@ -199,16 +289,16 @@ def _execute_parallel(timeline: MasterTimeline,
     n_slices = len(timeline.intervals)
     workers = min(config.spworkers, n_slices) or 1
     payloads: list[bytes] = []
-    timings = [SliceTimings(index=k) for k in range(n_slices)]
     for k, interval in enumerate(timeline.intervals):
-        t0 = time.perf_counter()
-        payloads.append(pickle.dumps(
-            (timeline.boundaries[k], interval, _end_signature(signatures, k),
-             template, sp, config),
-            pickle.HIGHEST_PROTOCOL))
-        timings[k].pickle_seconds = time.perf_counter() - t0
+        with tracer.span("slice.pickle", cat="slice",
+                         args={"slice": k}):
+            payloads.append(pickle.dumps(
+                (timeline.boundaries[k], interval,
+                 _end_signature(signatures, k), template, sp, config),
+                pickle.HIGHEST_PROTOCOL))
 
     results: dict[int, SliceResult] = {}
+    tracks = TrackAllocator()
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
         futures = {pool.submit(_worker_run_slice, payload): k
@@ -219,12 +309,15 @@ def _execute_parallel(timeline: MasterTimeline,
             for future in done:
                 k = futures[future]
                 blob = future.result()  # re-raises worker exceptions
-                t0 = time.perf_counter()
-                with resolve_shared_areas(sp.areas):
-                    result, fork_seconds, run_seconds = pickle.loads(blob)
-                timings[k].pickle_seconds += time.perf_counter() - t0
-                timings[k].fork_seconds = fork_seconds
-                timings[k].run_seconds = run_seconds
+                done_at = tracer.now()
+                with tracer.span("slice.pickle", cat="slice",
+                                 args={"slice": k, "op": "decode"}):
+                    with resolve_shared_areas(sp.areas):
+                        (result, fork_seconds, run_seconds,
+                         snapshot) = pickle.loads(blob)
+                metrics.merge(snapshot)
+                synthesize_slice_spans(tracer, tracks, k, done_at,
+                                       fork_seconds, run_seconds)
                 results[k] = result
     except BaseException:
         # Fail fast: abort the run promptly instead of draining every
@@ -233,4 +326,6 @@ def _execute_parallel(timeline: MasterTimeline,
         pool.shutdown(wait=False, cancel_futures=True)
         raise
     pool.shutdown()
-    return [results[k] for k in range(n_slices)], timings
+    for track in range(1, tracks.num_tracks + 1):
+        tracer.name_track(track, f"slice lane {track}")
+    return [results[k] for k in range(n_slices)]

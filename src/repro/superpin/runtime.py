@@ -34,12 +34,13 @@ compared.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
 from ..isa.program import Program
 from ..machine.kernel import Kernel
+from ..obs.metrics import metrics_for, MetricsRegistry
+from ..obs.tracer import ensure_tracer, Tracer
 from ..pin.pintool import Pintool
 from ..sched.events import simulate
 from ..sched.machine_model import MachineModel, PAPER_MACHINE
@@ -77,6 +78,13 @@ class SuperPinReport:
     signature_phase_seconds: float = 0.0
     #: Measured host seconds for the whole slice phase, end to end.
     slice_phase_seconds: float = 0.0
+    #: The run's structured trace (repro.obs): phase spans, per-slice
+    #: pickle/fork/run/merge spans, supervision events.  None only for
+    #: hand-built reports.
+    trace: Tracer | None = None
+    #: The run's metrics registry (populated under ``-spmetrics``; the
+    #: null registry otherwise).  None only for hand-built reports.
+    metrics: MetricsRegistry | None = None
 
     @property
     def num_slices(self) -> int:
@@ -141,20 +149,69 @@ class SuperPinReport:
         }
 
     def wallclock_summary(self) -> dict[str, float]:
-        """Measured (host) wall-clock figures for the run's phases."""
+        """Measured (host) wall-clock figures for the run's phases.
+
+        With no slice timings at all — a degrade-policy run where every
+        slice was given up on, or a hand-built report — every figure is
+        0.0 rather than a division error or a misleading mean.
+        """
+        if not self.slice_timings:
+            return {
+                "signature_phase_seconds": 0.0,
+                "slice_phase_seconds": 0.0,
+                "slice_run_seconds": 0.0,
+                "slice_pickle_seconds": 0.0,
+                "slice_fork_seconds": 0.0,
+                "slice_merge_seconds": 0.0,
+                "mean_slice_run_seconds": 0.0,
+                "measured_parallelism": 0.0,
+            }
+        run_seconds = sum(t.run_seconds for t in self.slice_timings)
         return {
             "signature_phase_seconds": self.signature_phase_seconds,
             "slice_phase_seconds": self.slice_phase_seconds,
-            "slice_run_seconds": sum(t.run_seconds
-                                     for t in self.slice_timings),
+            "slice_run_seconds": run_seconds,
             "slice_pickle_seconds": sum(t.pickle_seconds
                                         for t in self.slice_timings),
             "slice_fork_seconds": sum(t.fork_seconds
                                       for t in self.slice_timings),
             "slice_merge_seconds": sum(t.merge_seconds
                                        for t in self.slice_timings),
+            "mean_slice_run_seconds": run_seconds / len(self.slice_timings),
             "measured_parallelism": self.measured_parallelism,
         }
+
+    def trace_summary(self) -> str:
+        """Render the run's trace (and counters) as an ASCII table.
+
+        Spans aggregate by name — count, total seconds, mean/max
+        milliseconds — ordered by total descending, phases first at
+        equal totals; metric counters (when ``-spmetrics`` recorded
+        any) follow in a second table.
+        """
+        from ..harness.report import format_table
+        if self.trace is None:
+            return "  (no trace recorded)"
+        by_name: dict[str, list[float]] = {}
+        for record in self.trace.records:
+            if record.is_instant:
+                continue
+            by_name.setdefault(record.name, []).append(record.duration)
+        rows = []
+        for name, durations in sorted(
+                by_name.items(), key=lambda item: -sum(item[1])):
+            total = sum(durations)
+            rows.append([name, len(durations), f"{total:.4f}",
+                         f"{1e3 * total / len(durations):.2f}",
+                         f"{1e3 * max(durations):.2f}"])
+        out = "trace spans:\n" + format_table(
+            ["span", "count", "total (s)", "mean (ms)", "max (ms)"], rows)
+        if self.metrics is not None and self.metrics.counters:
+            counter_rows = [[name, value] for name, value
+                            in sorted(self.metrics.counters.items())]
+            out += "\ncounters:\n" + format_table(
+                ["counter", "value"], counter_rows)
+        return out
 
 
 def run_superpin(program: Program, tool: Pintool,
@@ -162,12 +219,23 @@ def run_superpin(program: Program, tool: Pintool,
                  kernel: Kernel | None = None,
                  machine: MachineModel = PAPER_MACHINE,
                  cost: CostModel = DEFAULT_COST_MODEL,
-                 compute_timing: bool = True) -> SuperPinReport:
-    """Run ``program`` with ``tool`` under SuperPin end to end."""
+                 compute_timing: bool = True,
+                 tracer: Tracer | None = None) -> SuperPinReport:
+    """Run ``program`` with ``tool`` under SuperPin end to end.
+
+    Every run is traced (repro.obs): phases become top-level spans,
+    slices become per-track span chains, and supervision incidents
+    become instants.  The trace lands on ``report.trace`` (export it
+    with ``-sptrace`` / :func:`repro.obs.write_trace`); counters are
+    only collected under ``-spmetrics`` and land on ``report.metrics``.
+    Pass ``tracer`` to aggregate several runs onto one timeline.
+    """
     config = config or SuperPinConfig()
     if not config.sp:
         raise ConfigError("run_superpin called with sp disabled; "
                           "use repro.pin.run_with_pin instead")
+    tracer = ensure_tracer(tracer)
+    metrics = metrics_for(config.spmetrics)
 
     # 1. Tool setup through the SP API.
     sp = SPControl(config)
@@ -179,22 +247,23 @@ def run_superpin(program: Program, tool: Pintool,
     template = SliceToolContext.from_control(tool, sp)
 
     # 2. Control phase: run the master, cut timeslices.
-    control = ControlProcess(program, config, kernel=kernel)
-    timeline = control.run()
+    with tracer.span("control_phase", cat="phase"):
+        control = ControlProcess(program, config, kernel=kernel,
+                                 tracer=tracer, metrics=metrics)
+        timeline = control.run()
 
     # 3. Signature phase: all boundary signatures, before any slice runs.
-    t0 = time.perf_counter()
-    signatures = record_signatures(timeline, config)
-    signature_phase_seconds = time.perf_counter() - t0
+    with tracer.span("signature_phase", cat="phase") as signature_span:
+        signatures = record_signatures(timeline, config, tracer=tracer)
 
     # 4. Slice phase: sequential in-process, or fanned out (-spworkers),
     #    under the -spfaults supervision policy.
-    t0 = time.perf_counter()
-    supervised = supervise_slices(timeline, signatures, template, sp,
-                                  config)
+    with tracer.span("slice_phase", cat="phase") as slice_span:
+        supervised = supervise_slices(timeline, signatures, template, sp,
+                                      config, tracer=tracer,
+                                      metrics=metrics)
     results, timings = supervised.results, supervised.timings
     degraded = supervised.degraded
-    slice_phase_seconds = time.perf_counter() - t0
 
     # Shared-code-cache attribution (§8) is a slice-ordered post-pass, so
     # the figures do not depend on slice completion order.
@@ -203,7 +272,8 @@ def run_superpin(program: Program, tool: Pintool,
         charge_slices_in_order(results)
 
     # 5. Merge in slice order, then fini on the master tool.
-    merge_seconds = merge_slices(sp, results)
+    with tracer.span("merge_phase", cat="phase"):
+        merge_seconds = merge_slices(sp, results, tracer=tracer)
     for timing_record in timings:
         timing_record.merge_seconds = merge_seconds.get(
             timing_record.index, 0.0)
@@ -211,9 +281,10 @@ def run_superpin(program: Program, tool: Pintool,
 
     # 6. Timing.  A degraded run has holes, and the event simulation
     #    needs every slice's figures — so no timing report for it.
-    timing = (simulate(timeline, results, config, machine=machine,
-                       cost=cost) if compute_timing and not degraded
-              else None)
+    with tracer.span("timing_phase", cat="phase"):
+        timing = (simulate(timeline, results, config, machine=machine,
+                           cost=cost) if compute_timing and not degraded
+                  else None)
     return SuperPinReport(
         config=config,
         timeline=timeline,
@@ -225,6 +296,8 @@ def run_superpin(program: Program, tool: Pintool,
         slice_timings=timings,
         slice_outcomes=supervised.outcomes,
         degraded_slices=degraded,
-        signature_phase_seconds=signature_phase_seconds,
-        slice_phase_seconds=slice_phase_seconds,
+        signature_phase_seconds=signature_span.duration,
+        slice_phase_seconds=slice_span.duration,
+        trace=tracer,
+        metrics=metrics,
     )

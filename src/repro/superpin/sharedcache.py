@@ -21,7 +21,7 @@ compilation-slowdown poster child.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

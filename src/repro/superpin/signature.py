@@ -26,7 +26,7 @@ that adversarial program rather than "fixing" the limitation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..isa import abi
 from ..isa.registers import RA, SP, ZERO

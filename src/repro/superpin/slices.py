@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import copy
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import DivergenceError, RunawaySliceError
 from ..isa import abi
 from ..machine.cpu import CpuState
 from ..machine.process import Process
+from ..obs.metrics import NULL_METRICS
 from ..pin.codecache import CodeCache
 from ..pin.engine import PinVM, RunState
 from .api import END_SLICE_TOKEN, SliceToolContext, SPControl
@@ -77,14 +78,17 @@ def run_slice(boundary: Boundary, interval: Interval,
               end_signature: Signature | None,
               template: SliceToolContext, sp: SPControl,
               config: SuperPinConfig,
-              shared_directory=None) -> SliceResult:
+              shared_directory=None, metrics=NULL_METRICS) -> SliceResult:
     """Execute slice ``interval.index`` and return its result.
 
     ``end_signature`` is the next boundary's signature (None for the
     final slice, which runs to program exit instead).  When
     ``shared_directory`` is given (the §8 shared-code-cache extension),
     compile costs are attributed to the first slice that compiled each
-    trace; later slices record reuses instead.
+    trace; later slices record reuses instead.  ``metrics`` receives the
+    slice's observability counters (JIT compiles live, cache hit totals
+    folded at slice end); in a worker process it is a worker-local
+    registry whose snapshot the parent merges.
     """
     index = interval.index
 
@@ -102,10 +106,10 @@ def run_slice(boundary: Boundary, interval: Interval,
     cow_mark = process.mem.cow_faults
 
     # 2. Build the slice VM with its own cold code cache in the bubble.
-    cache = CodeCache(abi.BUBBLE_BASE, abi.BUBBLE_WORDS)
+    cache = CodeCache(abi.BUBBLE_BASE, abi.BUBBLE_WORDS, metrics=metrics)
     forced = frozenset({end_signature.pc}) if end_signature else frozenset()
     vm = PinVM(process, forced_boundaries=forced, code_cache=cache,
-               jit_backend=config.jit_backend)
+               jit_backend=config.jit_backend, metrics=metrics)
 
     # 3. Fork the tool context and attach instrumentation.
     ctx: SliceToolContext = copy.deepcopy(template)
@@ -163,6 +167,19 @@ def run_slice(boundary: Boundary, interval: Interval,
     if shared_directory is not None:
         from .sharedcache import charge_result
         charge_result(result_record, shared_directory)
+    if metrics.enabled:
+        # Hot-path counters are folded once per slice from CacheStats
+        # rather than incremented per dispatch.
+        metrics.inc("superpin.slices.completed")
+        metrics.inc("superpin.slices.instructions",
+                    result_record.instructions)
+        metrics.inc("superpin.slices.cow_faults", result_record.cow_faults)
+        metrics.inc("superpin.slices.replayed_syscalls", handler.replayed)
+        metrics.inc("superpin.slices.emulated_syscalls", handler.emulated)
+        metrics.inc("pin.cache.lookups", cache.stats.lookups)
+        metrics.inc("pin.cache.hits", cache.stats.hits)
+        metrics.observe("superpin.slice.instructions",
+                        result_record.instructions)
     return result_record
 
 

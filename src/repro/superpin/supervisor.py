@@ -60,12 +60,15 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..errors import SliceExecutionError
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import ensure_tracer, TrackAllocator
 from .api import SliceToolContext, SPControl
 from .control import Interval, MasterTimeline
 from .faults import (CORRUPT_BLOB, CorruptResultFault, FaultKind, FaultPlan,
                      maybe_inject)
 from .parallel import (SliceTimings, _end_signature, _worker_run_slice,
-                       execute_slices)
+                       execute_slices, slice_timings_from_records,
+                       synthesize_slice_spans)
 from .sharedmem import resolve_shared_areas
 from .signature import Signature
 from .slices import SliceResult
@@ -163,17 +166,20 @@ def _attempt_slice(payload: bytes, index: int, attempt: int,
 
 def supervise_slices(timeline: MasterTimeline, signatures: list[Signature],
                      template: SliceToolContext, sp: SPControl,
-                     config: SuperPinConfig) -> SupervisedSlices:
+                     config: SuperPinConfig, tracer=None,
+                     metrics=NULL_METRICS) -> SupervisedSlices:
     """Run the slice phase under the configured fault policy.
 
     With the default ``failfast`` policy and no fault plan this is a
     thin wrapper over :func:`~repro.superpin.parallel.execute_slices`
     (no supervision overhead on the happy path); otherwise the
-    supervised sequential or parallel executor runs.
+    supervised sequential or parallel executor runs.  Either way the
+    phase's spans land in ``tracer`` and its counters in ``metrics``.
     """
     if config.spfaults == "failfast" and config.fault_plan is None:
         results, timings = execute_slices(timeline, signatures, template,
-                                          sp, config)
+                                          sp, config, tracer=tracer,
+                                          metrics=metrics)
         where = "worker" if config.spworkers > 0 else "inprocess"
         outcomes = [
             SliceOutcome(
@@ -184,7 +190,8 @@ def supervise_slices(timeline: MasterTimeline, signatures: list[Signature],
             for k, interval in enumerate(timeline.intervals)]
         return SupervisedSlices(results=results, timings=timings,
                                 outcomes=outcomes)
-    supervisor = _Supervisor(timeline, signatures, template, sp, config)
+    supervisor = _Supervisor(timeline, signatures, template, sp, config,
+                             tracer=tracer, metrics=metrics)
     if config.spworkers <= 0:
         return supervisor.run_sequential()
     return supervisor.run_parallel()
@@ -204,12 +211,16 @@ class _Supervisor:
 
     def __init__(self, timeline: MasterTimeline,
                  signatures: list[Signature], template: SliceToolContext,
-                 sp: SPControl, config: SuperPinConfig):
+                 sp: SPControl, config: SuperPinConfig, tracer=None,
+                 metrics=NULL_METRICS):
         self.sp = sp
         self.config = config
+        self.tracer = ensure_tracer(tracer)
+        self.metrics = metrics
+        self._mark = self.tracer.mark()
+        self._tracks = TrackAllocator()
         self.plan: FaultPlan | None = config.fault_plan
         self.n_slices = len(timeline.intervals)
-        self.timings = [SliceTimings(index=k) for k in range(self.n_slices)]
         self.outcomes = [
             SliceOutcome(index=k,
                          deadline_seconds=slice_deadline(interval, config))
@@ -225,29 +236,33 @@ class _Supervisor:
         self._pool: ProcessPoolExecutor | None = None
         self.payloads: list[bytes] = []
         for k, interval in enumerate(timeline.intervals):
-            t0 = time.perf_counter()
-            self.payloads.append(pickle.dumps(
-                (timeline.boundaries[k], interval,
-                 _end_signature(signatures, k), template, sp, config),
-                pickle.HIGHEST_PROTOCOL))
-            self.timings[k].pickle_seconds = time.perf_counter() - t0
+            with self.tracer.span("slice.pickle", cat="slice",
+                                  args={"slice": k}):
+                self.payloads.append(pickle.dumps(
+                    (timeline.boundaries[k], interval,
+                     _end_signature(signatures, k), template, sp, config),
+                    pickle.HIGHEST_PROTOCOL))
 
     # -- shared bookkeeping ------------------------------------------------
 
     def _record_success(self, k: int, attempt: int, where: str,
                         seconds: float, blob: bytes) -> None:
         """Decode a result blob and file it; raises if the blob is bad."""
-        t0 = time.perf_counter()
-        with resolve_shared_areas(self.sp.areas):
-            try:
-                result, fork_seconds, run_seconds = pickle.loads(blob)
-            except Exception as exc:
-                raise CorruptResultFault(
-                    f"slice {k} attempt {attempt} returned an "
-                    f"undecodable result blob: {exc}") from exc
-        self.timings[k].pickle_seconds += time.perf_counter() - t0
-        self.timings[k].fork_seconds = fork_seconds
-        self.timings[k].run_seconds = run_seconds
+        done_at = self.tracer.now()
+        with self.tracer.span("slice.pickle", cat="slice",
+                              args={"slice": k, "op": "decode"}):
+            with resolve_shared_areas(self.sp.areas):
+                try:
+                    (result, fork_seconds, run_seconds,
+                     snapshot) = pickle.loads(blob)
+                except Exception as exc:
+                    raise CorruptResultFault(
+                        f"slice {k} attempt {attempt} returned an "
+                        f"undecodable result blob: {exc}") from exc
+        self.metrics.merge(snapshot)
+        synthesize_slice_spans(self.tracer, self._tracks, k, done_at,
+                               fork_seconds, run_seconds,
+                               args={"attempt": attempt, "where": where})
         self.results[k] = result
         self.outcomes[k].attempts.append(
             SliceAttempt(number=attempt, where=where, seconds=seconds))
@@ -258,8 +273,15 @@ class _Supervisor:
         self.outcomes[k].attempts.append(
             SliceAttempt(number=attempt, where=where, seconds=seconds,
                          error=str(error), charged=charged))
+        now = self.tracer.now()
+        self.tracer.add_span(
+            "slice.attempt", max(0.0, now - seconds), now, cat="attempt",
+            track=self._tracks.place(max(0.0, now - seconds), now),
+            args={"slice": k, "attempt": attempt, "where": where,
+                  "ok": False, "charged": charged, "error": str(error)})
         if charged:
             self.failures[k] += 1
+            self.metrics.inc("superpin.supervisor.failed_attempts")
 
     def _backoff(self, k: int) -> None:
         base = self.config.slice_retry_backoff
@@ -280,11 +302,15 @@ class _Supervisor:
                 index=k, attempts=self.outcomes[k].attempts) from error
         self.outcomes[k].status = "degraded"
         self.outcomes[k].error = str(error)
+        self.metrics.inc("superpin.supervisor.degraded_slices")
+        self.tracer.instant("slice.degraded", cat="supervisor",
+                            args={"slice": k, "error": str(error)})
 
     def _run_inprocess(self, k: int) -> None:
         """Final fallback: one in-process attempt from the payload."""
         self.executions[k] += 1
         attempt = self.executions[k]
+        self.metrics.inc("superpin.supervisor.inprocess_fallbacks")
         t0 = time.perf_counter()
         try:
             blob = _attempt_slice(self.payloads[k], k, attempt, self.plan,
@@ -298,7 +324,11 @@ class _Supervisor:
 
     def _finish(self) -> SupervisedSlices:
         ordered = [self.results[k] for k in sorted(self.results)]
-        return SupervisedSlices(results=ordered, timings=self.timings,
+        timings = slice_timings_from_records(
+            self.tracer.records_since(self._mark), self.n_slices)
+        for track in range(1, self._tracks.num_tracks + 1):
+            self.tracer.name_track(track, f"slice lane {track}")
+        return SupervisedSlices(results=ordered, timings=timings,
                                 outcomes=self.outcomes)
 
     # -- sequential supervision (-spworkers 0) -----------------------------
@@ -418,6 +448,10 @@ class _Supervisor:
             self._teardown(self._pool, self._flights)
             self._fail_fast(k, error)
         if self.failures[k] <= self.config.spretries:
+            self.metrics.inc("superpin.supervisor.retries")
+            self.tracer.instant("slice.retry", cat="supervisor",
+                                args={"slice": k,
+                                      "failures": self.failures[k]})
             self._backoff(k)
             self._pending.append(k)
         else:
@@ -442,6 +476,13 @@ class _Supervisor:
                 innocent.append(flight)
         if not expired:
             return
+        for flight in expired:
+            self.metrics.inc("superpin.supervisor.deadline_hits")
+            self.tracer.instant(
+                "deadline.reaped", cat="supervisor",
+                args={"slice": flight.index, "attempt": flight.attempt,
+                      "deadline_seconds":
+                          self.outcomes[flight.index].deadline_seconds})
         self._flights.clear()
         self._rebuild_pool()
         for flight in innocent:
@@ -465,6 +506,8 @@ class _Supervisor:
                              f"{deadline:.2f}s deadline"))
 
     def _rebuild_pool(self) -> None:
+        self.metrics.inc("superpin.supervisor.pool_rebuilds")
+        self.tracer.instant("pool.rebuild", cat="supervisor")
         self._teardown(self._pool, None, kill=True)
         self._pool = ProcessPoolExecutor(max_workers=self._workers)
 

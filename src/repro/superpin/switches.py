@@ -21,6 +21,11 @@ Switch                  Meaning
                         deadline adds a per-instruction allowance
 ``-spinject <spec>``    deterministic fault injection, e.g.
                         ``crash@0,hang@2:*`` (see superpin.faults)
+``-sptrace <path>``     export the run's structured trace (repro.obs):
+                        ``*.jsonl`` writes an event log, anything else
+                        writes Chrome-trace JSON (load in Perfetto)
+``-spmetrics <0|1>``    collect named counters/gauges/histograms for
+                        the run (off by default: the null registry)
 ======================= ==================================================
 
 The reproduction adds knobs the paper fixes implicitly: the virtual clock
@@ -124,6 +129,13 @@ class SuperPinConfig:
     #: JIT backend used by slices: "closure" (threaded code) or
     #: "source" (generated Python, see repro.pin.pyjit).
     jit_backend: str = "closure"
+    # --- observability (repro.obs) ----------------------------------------
+    #: Trace export path, or None.  ``*.jsonl`` writes the JSONL event
+    #: log; any other path writes Chrome-trace JSON for Perfetto.
+    sptrace: str | None = None
+    #: Collect metrics (counters/gauges/histograms).  Off by default:
+    #: components then hold the allocation-free null registry.
+    spmetrics: bool = False
 
     def __post_init__(self) -> None:
         if self.spmsec <= 0:
@@ -164,7 +176,8 @@ class SuperPinConfig:
                 f"slice_runaway_slack must be >= 0, "
                 f"got {self.slice_runaway_slack}")
         if self.clock_hz <= 0:
-            raise ConfigError(f"clock_hz must be positive")
+            raise ConfigError(
+                f"clock_hz must be positive, got {self.clock_hz}")
         if self.signature_stack_words < 0:
             raise ConfigError("signature_stack_words must be >= 0")
         if self.jit_backend not in ("closure", "source"):
@@ -207,6 +220,8 @@ _FLAG_PARSERS = {
     "-spexpected": ("expected_duration_msec", int),
     "-spsharedcache": ("spsharedcache", lambda v: bool(int(v))),
     "-spjit": ("jit_backend", str),
+    "-sptrace": ("sptrace", str),
+    "-spmetrics": ("spmetrics", lambda v: bool(int(v))),
 }
 
 

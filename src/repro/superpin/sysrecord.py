@@ -25,7 +25,7 @@ results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import DivergenceError
 from ..isa import abi

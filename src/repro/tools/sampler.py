@@ -11,8 +11,8 @@ Under plain Pin it degenerates to a full (unsampled) flat profile.
 
 from __future__ import annotations
 
-from ..pin.args import (IARG_BRANCH_TARGET, IARG_END, IARG_INST_PTR,
-                        IPOINT_BEFORE, IPOINT_TAKEN_BRANCH)
+from ..pin.args import (IARG_BRANCH_TARGET, IARG_END, IPOINT_BEFORE,
+                        IPOINT_TAKEN_BRANCH)
 from ..pin.pintool import Pintool
 
 

@@ -24,7 +24,7 @@ program, so every experiment is reproducible bit for bit.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..isa.assembler import assemble
 from ..isa.program import Program
@@ -177,7 +177,6 @@ def _gen_branchy(em: _Emitter, rng: random.Random, spec: WorkloadSpec) -> int:
     odd = em.label("odd")
     join = em.label("join")
     high = em.label("high")
-    join2 = em.label("join2")
     em.t("li t0, 0")
     em.t(f"li t1, {spec.iters}")
     em.t(f"li t2, {rng.randint(1, 1 << 20)}")

@@ -188,9 +188,9 @@ def random_program(seed: int, blocks: int = 6, block_len: int = 8,
         # Occasional data-dependent (but loop-bounded) inner branch.
         if rng.random() < 0.5:
             skip = f"skip{b}"
-            lines.append(f"    andi t6, t0, 1")
+            lines.append("    andi t6, t0, 1")
             lines.append(f"    beqz t6, {skip}")
-            lines.append(f"    addi t7, t7, 1")
+            lines.append("    addi t7, t7, 1")
             lines.append(f"{skip}:")
         lines.append(f"    addi {counter}, {counter}, 1")
         lines.append(f"    li s1, {loop_iters}")

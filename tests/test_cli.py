@@ -1,6 +1,5 @@
 """Command-line interface."""
 
-import pytest
 
 from repro.cli import main
 

@@ -8,7 +8,6 @@ import pytest
 
 from repro.harness import (figure3, figure4, figure5, figure6, figure7,
                            run_benchmark, signature_stats)
-from repro.superpin import SuperPinConfig
 
 SCALE = 0.15
 SUBSET = ["gzip", "gcc", "swim"]

@@ -1,6 +1,5 @@
 """Experiment runner: caching, config sensitivity, metric consistency."""
 
-import pytest
 
 from repro.harness import clear_cache, run_benchmark
 from repro.sched import CostModel, MachineModel

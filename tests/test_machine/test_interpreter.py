@@ -199,9 +199,8 @@ def test_signed_division_reference(a, b):
     if (sa < 0) != (sb < 0):
         expected_q = -expected_q
     expected_r = sa - expected_q * sb
-    code = (f"    li t1, 0\n    ori t1, t1, {a & 0xffff}\n")
     # Build the operands via memory to avoid immediate-width limits.
-    source = f"""
+    source = """
 .entry main
 main:
     ld t1, 0x8000(zero)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LoaderError
-from repro.isa import abi, assemble, Program
+from repro.isa import abi, Program
 from repro.isa.registers import SP
 from repro.machine import Kernel, load_program, PAGE_WORDS
 from repro.machine.cpu import CpuState

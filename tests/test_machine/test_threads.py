@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SyscallError
-from repro.isa import abi, assemble
+from repro.isa import assemble
 from repro.machine import (EXIT_TRAMPOLINE, Kernel, load_program,
                            ThreadManager, ThreadStatus)
 from repro.machine.interpreter import Interpreter

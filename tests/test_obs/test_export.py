@@ -1,0 +1,106 @@
+"""Exporter correctness: Chrome-trace JSON schema and the JSONL log."""
+
+import json
+
+from repro.obs import (chrome_trace_dict, jsonl_lines, MetricsRegistry,
+                       TRACE_PID, Tracer, write_trace)
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    with tracer.span("phase", cat="phase"):
+        with tracer.span("slice.run", cat="slice", track=1,
+                         args={"slice": 0}):
+            pass
+        tracer.instant("retry", cat="event", args={"slice": 0})
+    tracer.name_track(1, "slice lane 1")
+    return tracer
+
+
+def _sample_metrics():
+    metrics = MetricsRegistry()
+    metrics.inc("pin.cache.hits", 10)
+    metrics.set_gauge("workers", 2)
+    metrics.observe("lat", 0.5)
+    return metrics
+
+
+class TestChromeTraceSchema:
+    def test_document_shape_round_trips(self):
+        doc = chrome_trace_dict(_sample_tracer(), _sample_metrics())
+        parsed = json.loads(json.dumps(doc))
+        assert set(parsed) == {"traceEvents", "displayTimeUnit",
+                               "otherData"}
+        assert parsed["displayTimeUnit"] == "ms"
+        assert isinstance(parsed["traceEvents"], list)
+
+    def test_event_fields_per_phase_type(self):
+        events = chrome_trace_dict(_sample_tracer(),
+                                   _sample_metrics())["traceEvents"]
+        by_ph = {}
+        for event in events:
+            by_ph.setdefault(event["ph"], []).append(event)
+        assert set(by_ph) == {"M", "X", "i", "C"}
+        for event in by_ph["X"]:
+            assert {"name", "cat", "pid", "tid", "ts", "dur",
+                    "args"} <= set(event)
+            assert event["dur"] >= 0
+            assert event["pid"] == TRACE_PID
+        for event in by_ph["i"]:
+            assert event["s"] == "t"
+            assert "dur" not in event
+        for event in by_ph["C"]:
+            assert "value" in event["args"]
+
+    def test_thread_metadata_names_every_track(self):
+        events = chrome_trace_dict(_sample_tracer())["traceEvents"]
+        names = {e["tid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names == {0: "main", 1: "slice lane 1"}
+        sort_keys = {e["tid"]: e["args"]["sort_index"] for e in events
+                     if e["ph"] == "M"
+                     and e["name"] == "thread_sort_index"}
+        assert sort_keys == {0: 0, 1: 1}
+
+    def test_duration_events_sorted_by_timestamp(self):
+        events = chrome_trace_dict(_sample_tracer())["traceEvents"]
+        stamps = [e["ts"] for e in events if e["ph"] in "Xi"]
+        assert stamps == sorted(stamps)
+
+    def test_timestamps_are_microseconds(self):
+        tracer = Tracer()
+        tracer.add_span("s", 0.5, 1.5)
+        event = next(e for e in chrome_trace_dict(tracer)["traceEvents"]
+                     if e["ph"] == "X")
+        assert event["ts"] == 500_000.0
+        assert event["dur"] == 1_000_000.0
+
+
+class TestJsonl:
+    def test_every_line_is_json_and_typed(self):
+        lines = jsonl_lines(_sample_tracer(), _sample_metrics())
+        parsed = [json.loads(line) for line in lines]
+        kinds = {p["type"] for p in parsed}
+        assert kinds == {"span", "instant", "counter", "gauge",
+                         "histogram"}
+        spans = [p for p in parsed if p["type"] == "span"]
+        assert all(p["end"] >= p["start"] for p in spans)
+        hist = next(p for p in parsed if p["type"] == "histogram")
+        assert hist["count"] == 1
+
+    def test_metrics_omitted_when_absent(self):
+        parsed = [json.loads(line) for line in
+                  jsonl_lines(_sample_tracer())]
+        assert {p["type"] for p in parsed} == {"span", "instant"}
+
+
+class TestWriteTrace:
+    def test_suffix_dispatch(self, tmp_path):
+        tracer = _sample_tracer()
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert write_trace(str(jsonl), tracer) == "jsonl"
+        assert write_trace(str(chrome), tracer) == "chrome"
+        for line in jsonl.read_text().splitlines():
+            json.loads(line)
+        assert "traceEvents" in json.loads(chrome.read_text())

@@ -1,0 +1,82 @@
+"""Metrics registry: recording, snapshots, cross-process merging."""
+
+from repro.obs import (HistogramSummary, MetricsRegistry, metrics_for,
+                       NULL_METRICS)
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.inc("a", 4)
+        assert metrics.counter("a") == 5
+        assert metrics.counter("missing") == 0
+
+    def test_gauges_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("depth", 3)
+        metrics.set_gauge("depth", 1)
+        assert metrics.gauge("depth") == 1
+
+    def test_histograms_summarize(self):
+        metrics = MetricsRegistry()
+        for value in (5.0, 1.0, 3.0):
+            metrics.observe("lat", value)
+        hist = metrics.histogram("lat")
+        assert (hist.count, hist.total) == (3, 9.0)
+        assert (hist.min, hist.max) == (1.0, 5.0)
+        assert hist.mean == 3.0
+
+    def test_empty_histogram_mean(self):
+        assert HistogramSummary().mean == 0.0
+
+
+class TestMerge:
+    def _worker(self, counts, observations):
+        registry = MetricsRegistry()
+        for name, value in counts:
+            registry.inc(name, value)
+        for name, value in observations:
+            registry.observe(name, value)
+        return registry.snapshot()
+
+    def test_snapshot_is_plain_data(self):
+        import pickle
+        snap = self._worker([("a", 2)], [("h", 1.0)])
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_counter_merge_is_order_independent(self):
+        snaps = [self._worker([("a", i), ("b", 1)], [("h", float(i))])
+                 for i in (1, 2, 3)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.counters == backward.counters == {"a": 6, "b": 3}
+        assert (forward.histogram("h").as_dict()
+                == backward.histogram("h").as_dict()
+                == {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0})
+
+    def test_merge_none_is_noop(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.merge(None)
+        metrics.merge({})
+        assert metrics.counters == {"a": 1}
+
+
+class TestNullMetrics:
+    def test_metrics_for_dispatch(self):
+        assert metrics_for(False) is NULL_METRICS
+        live = metrics_for(True)
+        assert isinstance(live, MetricsRegistry)
+        assert live is not metrics_for(True)
+
+    def test_null_registry_records_nothing(self):
+        NULL_METRICS.inc("a", 5)
+        NULL_METRICS.set_gauge("g", 1.0)
+        NULL_METRICS.observe("h", 2.0)
+        assert NULL_METRICS.counters == {}
+        assert NULL_METRICS.snapshot() is None
+        assert NULL_METRICS.histogram("h") is None

@@ -1,0 +1,157 @@
+"""Tracer core: span nesting, instants, synthesis, track allocation."""
+
+import gc
+import sys
+
+from repro.obs import (ensure_tracer, NULL_METRICS, NULL_TRACER, Tracer,
+                       TrackAllocator)
+
+
+class TestSpanNesting:
+    def test_parent_ids_follow_lexical_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["outer"].parent_id == 0
+        assert by_name["middle"].parent_id == outer.span_id
+        assert by_name["inner"].parent_id == middle.span_id
+        assert by_name["sibling"].parent_id == outer.span_id
+        assert inner.span_id != sibling.span_id
+
+    def test_records_appear_in_close_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [r.name for r in tracer.records] == ["b", "a"]
+
+    def test_instant_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("phase") as phase:
+            tracer.instant("tick", args={"n": 1})
+        tick = next(r for r in tracer.records if r.name == "tick")
+        assert tick.is_instant
+        assert tick.parent_id == phase.span_id
+        assert tick.args == {"n": 1}
+
+    def test_out_of_order_close_drops_stack_tail(self):
+        tracer = Tracer()
+        outer = tracer.span("outer").__enter__()
+        inner = tracer.span("inner").__enter__()
+        outer.close()  # closes outer while inner is still open
+        with tracer.span("next") as nxt:
+            pass
+        assert nxt.parent_id == 0  # stack was unwound past inner
+        inner.close()  # harmless: no longer on the stack
+        assert len(tracer.records) == 3
+
+    def test_close_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.span("once").__enter__()
+        span.close()
+        span.close()
+        assert len(tracer.records) == 1
+
+    def test_timestamps_are_monotonic_and_contain_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records
+        assert 0.0 <= outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_span_set_attaches_args(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.set("k", 3)
+        assert tracer.records[0].args == {"k": 3}
+
+    def test_add_span_synthesizes_closed_record(self):
+        tracer = Tracer()
+        parent = tracer.add_span("slice", 1.0, 3.0, track=2)
+        tracer.add_span("slice.run", 1.5, 3.0, track=2, parent_id=parent)
+        run = tracer.records[1]
+        assert run.parent_id == parent
+        assert run.track == 2
+        assert run.duration == 1.5
+
+    def test_mark_and_total(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("x"):
+            pass
+        assert len(tracer.records_since(mark)) == 1
+        assert tracer.total("x") == sum(
+            r.duration for r in tracer.records)
+
+
+class TestEnsureTracer:
+    def test_passthrough_for_live_tracer(self):
+        tracer = Tracer()
+        assert ensure_tracer(tracer) is tracer
+
+    def test_fresh_tracer_for_none_and_null(self):
+        assert isinstance(ensure_tracer(None), Tracer)
+        assert isinstance(ensure_tracer(NULL_TRACER), Tracer)
+        assert ensure_tracer(None) is not ensure_tracer(None)
+
+
+class TestNullPath:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("phase") as span:
+            span.set("k", 1)
+            NULL_TRACER.instant("tick")
+        NULL_TRACER.add_span("s", 0.0, 1.0)
+        assert NULL_TRACER.records == ()
+        assert span.duration == 0.0
+        assert NULL_TRACER.total("phase") == 0.0
+
+    def test_disabled_path_allocates_nothing(self):
+        """The null backends must be allocation-free on the hot path."""
+        def hot_loop(n):
+            for _ in range(n):
+                with NULL_TRACER.span("slice.run"):
+                    NULL_TRACER.instant("tick")
+                NULL_METRICS.inc("pin.cache.hits")
+                NULL_METRICS.observe("pin.jit.trace_ins", 7)
+        hot_loop(100)  # warm up code objects, method caches
+        gc.collect()
+        before = sys.getallocatedblocks()
+        hot_loop(10_000)
+        gc.collect()
+        after = sys.getallocatedblocks()
+        # Zero net blocks modulo interpreter noise (specializing
+        # interpreter warm-up, gc internals).
+        assert after - before <= 8
+
+
+class TestTrackAllocator:
+    def test_sequential_intervals_share_one_track(self):
+        tracks = TrackAllocator()
+        assert tracks.place(0.0, 1.0) == 1
+        assert tracks.place(1.0, 2.0) == 1
+        assert tracks.place(2.5, 3.0) == 1
+        assert tracks.num_tracks == 1
+
+    def test_overlapping_intervals_fan_out(self):
+        tracks = TrackAllocator()
+        assert tracks.place(0.0, 2.0) == 1
+        assert tracks.place(1.0, 3.0) == 2
+        assert tracks.place(1.5, 2.5) == 3
+        # First track is free again at t=2.0.
+        assert tracks.place(2.0, 4.0) == 1
+        assert tracks.num_tracks == 3
+
+    def test_first_track_offset(self):
+        tracks = TrackAllocator(first_track=5)
+        assert tracks.place(0.0, 1.0) == 5
+        assert tracks.place(0.5, 1.5) == 6

@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.isa import assemble
 from repro.machine import Kernel, load_program
 from repro.pin import CodeCache, PinVM, RunState
 from repro.pin.pintool import NullSuperPin
 from repro.tools import ICount2
-from tests.conftest import MULTISLICE, run_native
+from tests.conftest import run_native
 
 
 @pytest.mark.parametrize("bubble_words", [200, 1000, 10_000])

@@ -3,14 +3,11 @@
 import pytest
 
 from repro.errors import InstrumentationError
-from repro.isa import assemble
-from repro.machine import Kernel
 from repro.pin import (BBL_InsHead, BBL_InsTail, BBL_Next, BBL_NumIns,
                        BBL_Valid, INS_Address, INS_InsertCall, INS_Next,
                        INS_Valid, IPOINT_BEFORE, IARG_END, NullSuperPin,
                        Pintool, run_with_pin, TRACE_BblHead, TRACE_NumBbl,
                        TRACE_NumIns)
-from tests.conftest import LOOP_SUM
 
 
 class RecordingTool(Pintool):

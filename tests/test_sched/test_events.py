@@ -4,8 +4,8 @@ import pytest
 
 from repro.isa import assemble
 from repro.machine import Kernel
-from repro.sched import (CostModel, MachineModel, simulate)
-from repro.superpin import (ControlProcess, run_superpin, SuperPinConfig)
+from repro.sched import CostModel, MachineModel
+from repro.superpin import run_superpin, SuperPinConfig
 from repro.tools import ICount1, ICount2
 from tests.conftest import MULTISLICE
 

@@ -1,11 +1,9 @@
 """Control process: timeslice policy, boundaries, recording."""
 
-import pytest
 
 from repro.isa import abi, assemble
 from repro.machine import EMULATE, Kernel, REPLAY
 from repro.superpin import BoundaryReason, ControlProcess, SuperPinConfig
-from tests.conftest import MULTISLICE
 
 
 def run_control(source_or_program, config=None, seed=42):

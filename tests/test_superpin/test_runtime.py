@@ -14,7 +14,7 @@ from repro.machine.interpreter import Interpreter
 from repro.pin import Pintool, run_with_pin
 from repro.superpin import (run_superpin, SliceEnd, SuperPinConfig)
 from repro.tools import ICount1, ICount2, ITrace
-from tests.conftest import MULTISLICE, random_program
+from tests.conftest import random_program
 
 
 def native_count(program, seed=42):

@@ -1,8 +1,7 @@
 """Signature recording, quick-register selection, detection (§4.4)."""
 
-import pytest
 
-from repro.isa import abi, assemble
+from repro.isa import assemble
 from repro.isa.registers import RA, SP
 from repro.machine import Kernel, load_program
 from repro.machine.cpu import CpuState
@@ -11,7 +10,6 @@ from repro.superpin import (DEFAULT_QUICK_REGS, record_signature,
                             run_superpin, select_quick_registers,
                             SuperPinConfig)
 from repro.tools import ICount2
-from tests.conftest import MULTISLICE
 
 
 class TestRecording:

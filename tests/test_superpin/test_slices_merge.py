@@ -5,11 +5,10 @@ import pytest
 from repro.errors import InstrumentationError, RunawaySliceError
 from repro.isa import abi, assemble
 from repro.machine import Kernel
-from repro.pin import IPOINT_BEFORE, IARG_END, Pintool
-from repro.superpin import (AutoMerge, run_superpin, SliceEnd, SPControl,
+from repro.pin import Pintool
+from repro.superpin import (AutoMerge, run_superpin, SPControl,
                             SuperPinConfig)
 from repro.tools import ICount2
-from tests.conftest import MULTISLICE
 
 
 class MergeOrderTool(Pintool):

@@ -15,8 +15,8 @@ from repro.isa import assemble
 from repro.machine import Kernel
 from repro.superpin import (FaultKind, FaultPlan, FaultSpec, run_superpin,
                             slice_deadline, SuperPinConfig)
-from repro.superpin.faults import (CORRUPT_BLOB, CorruptResultFault,
-                                   maybe_inject, WorkerCrashFault)
+from repro.superpin.faults import (CORRUPT_BLOB, maybe_inject,
+                                   WorkerCrashFault)
 from repro.tools import ICount2, ITrace
 from tests.conftest import MULTISLICE
 

@@ -8,8 +8,8 @@ from repro.isa.registers import A0, A1, A2, A3, RV
 from repro.machine import (Kernel, load_program, MemLayout, Memory,
                            SyscallRecord)
 from repro.machine.cpu import CpuState
-from repro.superpin import (ControlProcess, PlaybackHandler,
-                            RecordedSyscall, run_superpin, SuperPinConfig)
+from repro.superpin import (PlaybackHandler, RecordedSyscall,
+                            run_superpin, SuperPinConfig)
 from repro.tools import ICount2
 
 

@@ -7,7 +7,7 @@ from repro.machine import Kernel
 from repro.pin import run_with_pin
 from repro.superpin import run_superpin, SuperPinConfig
 from repro.tools import MemCheck
-from tests.conftest import MULTISLICE, random_program
+from tests.conftest import random_program
 
 CFG = SuperPinConfig(spmsec=300, clock_hz=10_000)
 

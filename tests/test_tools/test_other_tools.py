@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa import assemble, Op
+from repro.isa import assemble
 from repro.machine import Kernel
 from repro.pin import run_with_pin
 from repro.superpin import run_superpin, SliceEnd, SuperPinConfig
