@@ -51,6 +51,15 @@ WALLCLOCK_KEYS = (
     "slice_run_seconds",
 )
 
+#: Counters that must stay nonzero: a zero means the optimisation
+#: (trace linking / warm code cache, both default-on) silently stopped
+#: engaging, which the 2x band alone would only catch as a huge swing
+#: in its neighbours.
+REQUIRED_NONZERO = (
+    "pin.cache.linked_dispatches",
+    "pin.cache.warm_starts",
+)
+
 
 def measure(trace_path=None):
     """Run the bench-smoke workload once; return the gated figures."""
@@ -84,6 +93,12 @@ def compare(current, baseline):
             failures.append(
                 f"wallclock {key}: {now:.4f}s exceeds "
                 f"{TOLERANCE}x baseline ({base:.4f}s)"
+            )
+    for name in REQUIRED_NONZERO:
+        if not current["counters"].get(name):
+            failures.append(
+                f"counter {name}: expected nonzero "
+                f"(got {current['counters'].get(name, 0)})"
             )
     base_counters = baseline["counters"]
     for name in sorted(set(base_counters) | set(current["counters"])):

@@ -1,0 +1,155 @@
+"""Dispatch-overhead microbenchmark: trace linking and the warm cache.
+
+Measures the two host-level costs this optimisation pair removes:
+
+- **dict dispatch** — a call-heavy guest maximises trace-to-trace
+  transitions; with ``-splinktraces`` each transition chains through a
+  patched direct link instead of the dispatcher's hash lookup;
+- **re-JIT** — a multi-slice run re-compiles the same working set in
+  every slice; with ``-spwarmcache`` later slices install the pilot's
+  traces instead of invoking the JIT cold.
+
+Functional parity is asserted unconditionally; the wall-clock
+comparisons are printed (and exported by the bench-smoke CI job) with
+only generous sanity bounds, because shared CI hosts jitter.
+"""
+
+import time
+
+from repro.harness import format_table
+from repro.isa import assemble
+from repro.machine import Kernel, load_program
+from repro.pin import PinVM
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import ICount2
+from repro.workloads import build
+
+#: Tiny leaf calls split execution into many short traces: the loop
+#: body is ~10 traces, so per-transition dispatch cost dominates.
+CALL_HEAVY = """
+.entry main
+main:
+    li   t0, 0
+    li   t1, 8000
+lp:
+    call f1
+    call f2
+    call f3
+    call f4
+    addi t0, t0, 1
+    bne  t0, t1, lp
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+f1: ret
+f2: ret
+f3: ret
+f4: ret
+"""
+
+REPEATS = 3
+
+
+def _run_vm(program, backend, linked):
+    process = load_program(program, Kernel(seed=42))
+    vm = PinVM(process, jit_backend=backend, link_traces=linked)
+    t0 = time.perf_counter()
+    result = vm.run()
+    elapsed = time.perf_counter() - t0
+    return result, vm.cache.stats, elapsed
+
+
+def _best_of(program, backend, linked):
+    runs = [_run_vm(program, backend, linked) for _ in range(REPEATS)]
+    return min(runs, key=lambda r: r[2])
+
+
+def test_dispatch_linked_vs_unlinked(save_figure):
+    program = assemble(CALL_HEAVY)
+    rows = []
+    for backend in ("closure", "source"):
+        linked_res, linked_stats, linked_s = _best_of(
+            program, backend, True)
+        plain_res, plain_stats, plain_s = _best_of(
+            program, backend, False)
+
+        # Architectural identity: linking changes nothing observable.
+        assert linked_res.instructions == plain_res.instructions
+        assert linked_res.traces_executed == plain_res.traces_executed
+        assert linked_res.exit_code == plain_res.exit_code
+        assert linked_stats.compiles == plain_stats.compiles
+
+        # The dispatch accounting moves wholesale to the links: in
+        # steady state only cold exits touch the dispatcher dict.
+        assert plain_res.linked_dispatches == 0
+        assert linked_res.linked_dispatches \
+            > 0.9 * plain_res.traces_executed
+        assert linked_stats.lookups + linked_res.linked_dispatches \
+            == plain_stats.lookups
+
+        # Generous sanity bound only; the printed table is the figure.
+        assert linked_s < plain_s * 1.5
+
+        rows.append([backend,
+                     str(plain_res.traces_executed),
+                     str(plain_stats.lookups),
+                     str(linked_stats.lookups),
+                     str(linked_res.linked_dispatches),
+                     f"{plain_s * 1e3:.1f}",
+                     f"{linked_s * 1e3:.1f}",
+                     f"{plain_s / linked_s:.2f}x"])
+    table = format_table(
+        ["backend", "transitions", "dict dispatches (off)",
+         "dict dispatches (on)", "linked", "unlinked (ms)",
+         "linked (ms)", "speedup"], rows)
+    save_figure("dispatch_overhead",
+                "Trace linking: dispatcher dict traffic and wall clock\n"
+                f"(call-heavy guest, best of {REPEATS})\n\n{table}")
+
+
+def test_warm_cache_rejit_overhead(bench_scale, save_figure):
+    """Cross-slice re-JIT: cold JIT invocations and slice-phase wall
+    clock with the warm cache on vs off (source backend, where a warm
+    start skips CPython ``compile()``)."""
+    scale = max(bench_scale, 0.25)
+    built = build("gzip", scale=scale)
+    rows = []
+    results = {}
+    for label, warm in (("cold", False), ("warm", True)):
+        tool = ICount2()
+        config = SuperPinConfig(spworkers=2, spmetrics=True,
+                                jit_backend="source",
+                                spwarmcache=warm, splinktraces=warm)
+        t0 = time.perf_counter()
+        report = run_superpin(built.program, tool, config,
+                              kernel=Kernel(seed=42))
+        elapsed = time.perf_counter() - t0
+        counters = dict(report.metrics.counters)
+        results[label] = (report, tool, counters, elapsed)
+        rows.append([label,
+                     str(counters["pin.cache.compiles"]),
+                     str(counters["pin.jit.compiles"]),
+                     str(counters.get("pin.cache.warm_starts", 0)),
+                     str(counters.get("pin.cache.linked_dispatches", 0)),
+                     f"{elapsed:.3f}"])
+
+    cold_report, cold_tool, cold_counters, _ = results["cold"]
+    warm_report, warm_tool, warm_counters, _ = results["warm"]
+    # Parity first: the optimisation must be invisible in the output.
+    assert warm_tool.total == cold_tool.total
+    assert warm_report.stdout == cold_report.stdout
+    assert warm_counters["pin.cache.compiles"] \
+        == cold_counters["pin.cache.compiles"]
+    # The actual savings: fewer cold JIT invocations, nonzero warm
+    # starts, dispatcher traffic replaced by linked dispatches.
+    assert warm_counters["pin.cache.warm_starts"] > 0
+    assert warm_counters["pin.jit.compiles"] \
+        < cold_counters["pin.jit.compiles"]
+    assert warm_counters["pin.cache.linked_dispatches"] > 0
+
+    table = format_table(
+        ["mode", "cache compiles", "cold JIT compiles", "warm starts",
+         "linked dispatches", "total (s)"], rows)
+    save_figure("dispatch_warm_cache",
+                f"Warm code cache: re-JIT work across slices "
+                f"(gzip, scale {scale}, 2 workers)\n\n{table}")

@@ -59,6 +59,21 @@ def test_pinvm_uninstrumented_throughput(benchmark):
     assert count == 2 + 60000 * 5 + 3
 
 
+def test_pinvm_unlinked_throughput(benchmark):
+    """Dispatcher-dict-only dispatch (-splinktraces 0) against the
+    linked default above; test_dispatch_overhead.py breaks the gap
+    down by transition counts."""
+    program = _program()
+
+    def run():
+        process = load_program(program, Kernel())
+        vm = PinVM(process, link_traces=False)
+        return vm.run().instructions
+
+    count = benchmark(run)
+    assert count == 2 + 60000 * 5 + 3
+
+
 def test_pinvm_icount2_throughput(benchmark):
     program = _program()
 

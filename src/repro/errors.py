@@ -105,5 +105,15 @@ class SliceExecutionError(ReproError):
         super().__init__(message)
 
 
+class CodeCacheOverflowError(ReproError):
+    """A single compiled trace cannot fit in the code-cache bubble.
+
+    Flushing cannot help: the trace needs more words than the entire
+    bubble provides.  This indicates a bubble sized far below the
+    trace-length limit (``MAX_TRACE_INS``) — a configuration problem,
+    not a transient cache-pressure condition.
+    """
+
+
 class ConfigError(ReproError):
     """Invalid SuperPin switch or configuration value."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import CodeCacheOverflowError
 from ..isa import abi
 from ..obs.metrics import NULL_METRICS
 
@@ -32,6 +33,14 @@ class CacheStats:
     hits: int = 0
     flushes: int = 0
     allocated_words: int = 0
+    #: Trace-to-trace transitions that bypassed the dispatcher entirely
+    #: via a direct link (see repro.pin.engine).  Deliberately *not*
+    #: part of ``lookups``/``hits``: hit_rate stays an honest dispatcher
+    #: statistic, and linked dispatches are counted separately.
+    linked_dispatches: int = 0
+    #: Traces installed from a cross-slice warm payload rather than
+    #: compiled from guest memory (see repro.superpin.sharedcache).
+    warm_starts: int = 0
 
     @property
     def misses(self) -> int:
@@ -39,6 +48,7 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Dispatcher hit rate; excludes linked dispatches by design."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
@@ -68,9 +78,22 @@ class CodeCache:
             self.stats.hits += 1
         return trace
 
+    def can_fit(self, num_ins: int) -> bool:
+        """True if a trace of ``num_ins`` instructions fits right now."""
+        need = TRACE_HEADER_WORDS + num_ins * WORDS_PER_COMPILED_INS
+        return self._cursor + need <= self.bubble_base + self.bubble_words
+
     def insert(self, address: int, trace, num_ins: int) -> None:
         """Store a compiled trace, charging bubble space; flush if full."""
         need = TRACE_HEADER_WORDS + num_ins * WORDS_PER_COMPILED_INS
+        if need > self.bubble_words:
+            # One flush cannot help: the trace is bigger than the whole
+            # bubble, and silently overrunning would let _cursor walk
+            # past the bubble forever.
+            raise CodeCacheOverflowError(
+                f"trace at {address:#x} needs {need} cache words "
+                f"({num_ins} instructions) but the bubble holds only "
+                f"{self.bubble_words}")
         if self._cursor + need > self.bubble_base + self.bubble_words:
             self.flush()
         self._cursor += need
@@ -83,12 +106,27 @@ class CodeCache:
         self.metrics.inc("pin.cache.compiled_ins", num_ins)
 
     def flush(self) -> None:
-        """Drop every compiled trace (bubble exhausted or invalidation)."""
+        """Drop every compiled trace (bubble exhausted or invalidation).
+
+        Every evicted trace is also *unlinked*: direct trace-to-trace
+        links (repro.pin.engine) reference successor trace objects, and
+        a link that survives a flush would let execution reach evicted
+        code the dispatcher can no longer see — the classic stale-link
+        bug real Pin's exit-stub unpatching prevents.
+        """
         self.metrics.inc("pin.cache.evicted_traces", len(self._traces))
         self.metrics.inc("pin.cache.flushes")
+        for trace in self._traces.values():
+            links = getattr(trace, "links", None)
+            if links:
+                links.clear()
         self._traces.clear()
         self._cursor = self.bubble_base
         self.stats.flushes += 1
+
+    def live_traces(self):
+        """The currently cached traces (for warm-cache export)."""
+        return self._traces.values()
 
     def __len__(self) -> int:
         return len(self._traces)

@@ -43,6 +43,9 @@ class PinRunResult:
     exit_code: int = 0
     #: Payload attached by the StopRun raiser (e.g. the signature detector).
     stop_token: object | None = None
+    #: Trace transitions taken through a direct link, bypassing the
+    #: dispatcher (0 when linking is disabled).
+    linked_dispatches: int = 0
 
 
 class PinVM:
@@ -53,6 +56,7 @@ class PinVM:
                  forced_boundaries: frozenset[int] | None = None,
                  code_cache: CodeCache | None = None,
                  jit_backend: str = "closure",
+                 link_traces: bool = True,
                  metrics=NULL_METRICS):
         self.process = process
         self.cpu = process.cpu
@@ -79,6 +83,17 @@ class PinVM:
                 f"unknown jit_backend {jit_backend!r}; "
                 f"choose 'closure' or 'source'")
         self.jit_backend = jit_backend
+        #: Direct trace linking (Pin's exit-stub patching): steady-state
+        #: execution chains trace -> trace through per-trace ``links``
+        #: dicts, patched lazily on first transition, touching the
+        #: dispatcher only on cold exits.  Architecturally invisible —
+        #: differential tests enforce identical results either way.
+        self.link_traces = link_traces
+        #: Cross-slice warm-start directory (``WarmStartSet``) consulted
+        #: by the dispatcher miss path, or None.  Entries are lowered
+        #: lazily with *this* engine's instrumentation, so a warm trace
+        #: is architecturally identical to a cold compile.
+        self.warm_traces = None
         #: Unwind markers maintained by generated code (source backend).
         self._stop_pc = 0
         self._stop_count = 0
@@ -109,6 +124,15 @@ class PinVM:
     def add_syscall_observer(self, observer) -> None:
         """Register ``observer(outcome)`` called after every syscall."""
         self.syscall_observers.append(observer)
+
+    def install_warm(self, warm) -> None:
+        """Attach a warm-start directory (see superpin.sharedcache).
+
+        Installation is lazy: nothing compiles until the dispatcher
+        actually misses on a warm address, so cache statistics, compile
+        order and bubble accounting stay identical to a cold run.
+        """
+        self.warm_traces = warm
 
     # -- syscall plumbing ----------------------------------------------------
 
@@ -142,23 +166,40 @@ class PinVM:
         start_syscalls = self.total_syscalls
         executed = 0
         traces_executed = 0
+        linking = self.link_traces
+        linked = 0
         budget = max_instructions if max_instructions is not None else -1
         state = RunState.EXIT
         stop_token: object | None = None
 
         pc = cpu.pc
+        # ``trace`` carries a linked successor into the next iteration;
+        # ``prev`` is the trace that just executed, awaiting a patch.
+        trace: CompiledTrace | None = None
+        prev: CompiledTrace | None = None
         while not self.exited:
             if budget >= 0 and executed >= budget:
                 state = RunState.BUDGET
                 break
-            trace: CompiledTrace | None = cache.lookup(pc)
             if trace is None:
-                trace = jit.compile(pc)
-                cache.insert(pc, trace, trace.num_ins)
-                if self.metrics.enabled:
-                    self.metrics.inc("pin.jit.compiles")
-                    self.metrics.observe("pin.jit.trace_ins",
-                                         trace.num_ins)
+                trace = cache.lookup(pc)
+                if trace is None:
+                    warm = self.warm_traces
+                    trace = warm.build(pc, jit) if warm is not None \
+                        else None
+                    if trace is not None:
+                        cache.stats.warm_starts += 1
+                    else:
+                        trace = jit.compile(pc)
+                        if self.metrics.enabled:
+                            self.metrics.inc("pin.jit.compiles")
+                            self.metrics.observe("pin.jit.trace_ins",
+                                                 trace.num_ins)
+                    cache.insert(pc, trace, trace.num_ins)
+                if linking and prev is not None:
+                    # Patch the predecessor's exit stub: the next time
+                    # it exits to ``pc`` the dispatcher is bypassed.
+                    prev.links[pc] = trace
             traces_executed += 1
 
             if trace.is_source:
@@ -174,6 +215,7 @@ class PinVM:
                 except GuestFault:
                     self.total_instructions += executed + self._stop_count
                     self.total_traces_executed += traces_executed
+                    cache.stats.linked_dispatches += linked
                     raise
                 executed += completed
                 if result is None:
@@ -183,47 +225,58 @@ class PinVM:
                     break
                 else:
                     pc = result
-                cpu.pc = pc
-                continue
-
-            steps = trace.steps
-            n = trace.num_ins
-            i = 0
-            result: int | None = None
-            try:
-                while i < n:
-                    result = steps[i]()
-                    if result is None:
-                        i += 1
-                        continue
-                    break
-            except StopRun as stop:
-                executed += i
-                cpu.pc = trace.addresses[i]
-                state = RunState.STOPPED
-                stop_token = stop.args[0] if stop.args else None
-                break
-            except GuestFault:
-                self.total_instructions += executed + i
-                self.total_traces_executed += traces_executed
-                raise
-
-            if result is None:  # fell off the end of the trace
-                executed += n
-                assert trace.fall_address is not None
-                pc = trace.fall_address
-            elif result == EXIT_GUEST:
-                executed += i + 1
-                break
             else:
-                executed += i + 1
-                pc = result
+                steps = trace.steps
+                n = trace.num_ins
+                i = 0
+                result: int | None = None
+                try:
+                    while i < n:
+                        result = steps[i]()
+                        if result is None:
+                            i += 1
+                            continue
+                        break
+                except StopRun as stop:
+                    executed += i
+                    cpu.pc = trace.addresses[i]
+                    state = RunState.STOPPED
+                    stop_token = stop.args[0] if stop.args else None
+                    break
+                except GuestFault:
+                    self.total_instructions += executed + i
+                    self.total_traces_executed += traces_executed
+                    cache.stats.linked_dispatches += linked
+                    raise
+
+                if result is None:  # fell off the end of the trace
+                    executed += n
+                    assert trace.fall_address is not None
+                    pc = trace.fall_address
+                elif result == EXIT_GUEST:
+                    executed += i + 1
+                    break
+                else:
+                    executed += i + 1
+                    pc = result
             cpu.pc = pc
+            if linking:
+                # Linked fast path: chain straight to the successor if
+                # this exit was patched on an earlier transition.  A
+                # flush clears every ``links`` dict, so a stale link can
+                # never survive an invalidation.
+                prev = trace
+                trace = prev.links.get(pc)
+                if trace is not None:
+                    linked += 1
+            else:
+                trace = None
 
         if self.exited:
             state = RunState.EXIT
         self.total_instructions += executed
         self.total_traces_executed += traces_executed
+        cache.stats.linked_dispatches += linked
         return PinRunResult(
             state=state,
             instructions=executed,
@@ -233,4 +286,5 @@ class PinVM:
             syscalls=self.total_syscalls - start_syscalls,
             exit_code=self.exit_code,
             stop_token=stop_token,
+            linked_dispatches=linked,
         )

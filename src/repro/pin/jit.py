@@ -44,7 +44,7 @@ class CompiledTrace:
     """Executable form of one trace (threaded-code backend)."""
 
     __slots__ = ("start", "steps", "addresses", "fall_address", "num_ins",
-                 "bbl_sizes")
+                 "bbl_sizes", "links")
 
     is_source = False
 
@@ -56,6 +56,10 @@ class CompiledTrace:
         self.fall_address = fall_address
         self.num_ins = len(steps)
         self.bbl_sizes = bbl_sizes
+        #: Direct trace links: exit pc -> successor trace, patched lazily
+        #: by the engine (Pin's exit-stub patching).  Cleared wholesale
+        #: by CodeCache.flush — a link must never outlive its target.
+        self.links: dict[int, object] = {}
 
 
 class Jit:

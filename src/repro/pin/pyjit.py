@@ -24,6 +24,9 @@ Select it with ``PinVM(..., jit_backend="source")`` or
 
 from __future__ import annotations
 
+import marshal
+import types
+
 from ..errors import ArithmeticFault
 from ..isa.instructions import MASK64, Op
 from .args import build_resolver
@@ -41,7 +44,7 @@ class SourceCompiledTrace:
     """
 
     __slots__ = ("start", "fn", "num_ins", "fall_address", "source",
-                 "bbl_sizes")
+                 "bbl_sizes", "links")
 
     is_source = True
 
@@ -54,6 +57,9 @@ class SourceCompiledTrace:
         self.fall_address = fall_address
         self.source = source
         self.bbl_sizes = bbl_sizes
+        #: Direct trace links: exit pc -> successor trace (see
+        #: repro.pin.jit.CompiledTrace.links).
+        self.links: dict[int, object] = {}
 
 
 class SourceJit:
@@ -61,9 +67,9 @@ class SourceJit:
 
     def __init__(self, engine):
         self._engine = engine
-        self._serial = 0
 
-    def compile(self, address: int) -> SourceCompiledTrace:
+    def _lower(self, address: int):
+        """Build, instrument and emit one trace; no compile() yet."""
         engine = self._engine
         trace_obj = build_trace(engine.mem, address,
                                 forced_boundaries=engine.forced_boundaries,
@@ -72,17 +78,55 @@ class SourceJit:
             callback(trace_obj, value)
 
         emitter = _Emitter(engine)
-        instructions = trace_obj.instructions
-        for index, ins in enumerate(instructions):
+        for index, ins in enumerate(trace_obj.instructions):
             emitter.lower(index, ins)
-        fall = trace_obj.fall_address
-        emitter.line(f"return (None, {len(instructions)})")
-        source, namespace = emitter.finish(self._serial, address)
-        self._serial += 1
+        emitter.line(f"return (None, {len(trace_obj.instructions)})")
+        return trace_obj, emitter
+
+    def _build(self, address: int, trace_obj, emitter,
+               code=None) -> SourceCompiledTrace:
+        if code is None:
+            source, namespace = emitter.finish(address)
+            fn = namespace["__trace__"]
+        else:
+            # Warm path: ``code`` is the function's own (marshalled)
+            # code object; rebinding it over this emitter's namespace
+            # skips compile() entirely.
+            source = emitter.source_text(address)
+            fn = types.FunctionType(code, emitter.namespace, "__trace__")
         return SourceCompiledTrace(
-            start=address, fn=namespace["__trace__"],
-            num_ins=len(instructions), fall_address=fall, source=source,
+            start=address, fn=fn,
+            num_ins=len(trace_obj.instructions),
+            fall_address=trace_obj.fall_address, source=source,
             bbl_sizes=[bbl.num_ins for bbl in trace_obj.bbls])
+
+    def compile(self, address: int) -> SourceCompiledTrace:
+        trace_obj, emitter = self._lower(address)
+        return self._build(address, trace_obj, emitter)
+
+    def compile_warm(self, address: int, source: str,
+                     code_bytes: bytes) -> SourceCompiledTrace | None:
+        """Install a trace from a warm-cache entry, or None on mismatch.
+
+        Lowering and instrumentation still run locally (the analysis
+        resolvers must bind *this* slice's tool closures), and the
+        regenerated source text is compared against the warm entry —
+        that string comparison is the §8 "consistency check".  On a
+        match the marshalled code object is exec'd directly, skipping
+        ``compile()`` — the dominant cost of a cold source-backend
+        compile.  A mismatch (different instrumentation, different
+        guest bytes) falls back to a cold compile at the caller.
+        """
+        trace_obj, emitter = self._lower(address)
+        if emitter.source_text(address) != source:
+            return None
+        return self._build(address, trace_obj, emitter,
+                           code=marshal.loads(code_bytes))
+
+    @staticmethod
+    def export_code(trace: SourceCompiledTrace) -> bytes:
+        """Marshal a compiled trace's code object for the warm payload."""
+        return marshal.dumps(trace.fn.__code__)
 
 
 class _Emitter:
@@ -342,10 +386,16 @@ class _Emitter:
 
     # -- finalization ---------------------------------------------------------
 
-    def finish(self, serial: int, address: int) -> tuple[str, dict]:
-        header = (f"def __trace__():  # trace {serial} @ {address:#x}\n")
-        source = header + "\n".join(self._lines) + "\n"
-        code = compile(source, f"<superpin-trace-{serial}-{address:#x}>",
-                       "exec")
+    def source_text(self, address: int) -> str:
+        """The trace's full source.  Deterministic for a given trace
+        shape + instrumentation, so two slices lowering the same trace
+        produce byte-identical text — the warm-cache consistency key.
+        """
+        header = f"def __trace__():  # trace @ {address:#x}\n"
+        return header + "\n".join(self._lines) + "\n"
+
+    def finish(self, address: int) -> tuple[str, dict]:
+        source = self.source_text(address)
+        code = compile(source, f"<superpin-trace-{address:#x}>", "exec")
         exec(code, self.namespace)  # noqa: S102 - this *is* the JIT
         return source, self.namespace

@@ -179,6 +179,24 @@ def _end_signature(signatures: list[Signature], k: int) -> Signature | None:
     return signatures[k] if k < len(signatures) else None
 
 
+def _slice_payload(timeline: MasterTimeline, signatures: list[Signature],
+                   template: SliceToolContext, sp: SPControl,
+                   config: SuperPinConfig, k: int, tracer,
+                   warm=None, export_warm: bool = False) -> bytes:
+    """Pickle one slice's full worker payload (traced as slice.pickle).
+
+    ``warm`` is the frozen warm-cache payload shipped to the slice;
+    ``export_warm`` marks the pilot, which returns its compiled traces
+    for the control process to fold.
+    """
+    with tracer.span("slice.pickle", cat="slice", args={"slice": k}):
+        return pickle.dumps(
+            (timeline.boundaries[k], timeline.intervals[k],
+             _end_signature(signatures, k), template, sp, config,
+             warm, export_warm),
+            pickle.HIGHEST_PROTOCOL)
+
+
 def _worker_run_slice(payload: bytes) -> bytes:
     """Process-pool entry point: one pickled payload in, one result out.
 
@@ -189,12 +207,13 @@ def _worker_run_slice(payload: bytes) -> bytes:
     """
     t0 = time.perf_counter()
     (boundary, interval, end_signature, template, sp,
-     config) = pickle.loads(payload)
+     config, warm, export_warm) = pickle.loads(payload)
     fork_seconds = time.perf_counter() - t0
     metrics = metrics_for(config.spmetrics)
     t0 = time.perf_counter()
     result = run_slice(boundary, interval, end_signature, template, sp,
-                       config, metrics=metrics)
+                       config, metrics=metrics, warm=warm,
+                       export_warm=export_warm)
     run_seconds = time.perf_counter() - t0
     return pickle.dumps(
         (result, fork_seconds, run_seconds, metrics.snapshot()),
@@ -261,7 +280,16 @@ def _execute_sequential(timeline: MasterTimeline,
                         template: SliceToolContext, sp: SPControl,
                         config: SuperPinConfig, tracer, metrics
                         ) -> list[SliceResult]:
-    """In-process execution (``-spworkers 0``): no pickling, no pool."""
+    """In-process execution (``-spworkers 0``): no pickling, no pool.
+
+    Warm cache: slice 0 is the pilot; its exports freeze the payload
+    every later slice installs — the same pilot-then-rest protocol the
+    parallel executor uses, so results match for any worker count.
+    """
+    from .sharedcache import WarmTraceStore
+    n_slices = len(timeline.intervals)
+    pilot = config.spwarmcache and n_slices > 1
+    warm = None
     results: list[SliceResult] = []
     for k, interval in enumerate(timeline.intervals):
         with tracer.span("slice", cat="slice", args={"slice": k}):
@@ -270,7 +298,10 @@ def _execute_sequential(timeline: MasterTimeline,
                 results.append(run_slice(timeline.boundaries[k], interval,
                                          _end_signature(signatures, k),
                                          template, sp, config,
-                                         metrics=metrics))
+                                         metrics=metrics, warm=warm,
+                                         export_warm=pilot and k == 0))
+        if pilot and k == 0:
+            warm = WarmTraceStore().fold_pilot(results[0])
     return results
 
 
@@ -285,40 +316,55 @@ def _execute_parallel(timeline: MasterTimeline,
     serialization cost is measured, and — because tool, SP handle and
     area references travel inside one tuple — the worker sees the same
     object graph a deep copy would have produced.
+
+    Warm cache: the pilot (slice 0) is submitted alone and awaited; its
+    exports freeze the warm payload, then slices 1..n-1 are submitted
+    all at once with it.  The pilot serialization point costs one slice
+    of latency and buys every other slice a hot working set.
     """
+    from .sharedcache import WarmTraceStore
     n_slices = len(timeline.intervals)
     workers = min(config.spworkers, n_slices) or 1
-    payloads: list[bytes] = []
-    for k, interval in enumerate(timeline.intervals):
-        with tracer.span("slice.pickle", cat="slice",
-                         args={"slice": k}):
-            payloads.append(pickle.dumps(
-                (timeline.boundaries[k], interval,
-                 _end_signature(signatures, k), template, sp, config),
-                pickle.HIGHEST_PROTOCOL))
+    pilot = config.spwarmcache and n_slices > 1
 
     results: dict[int, SliceResult] = {}
     tracks = TrackAllocator()
+
+    def collect(k: int, blob: bytes) -> SliceResult:
+        done_at = tracer.now()
+        with tracer.span("slice.pickle", cat="slice",
+                         args={"slice": k, "op": "decode"}):
+            with resolve_shared_areas(sp.areas):
+                (result, fork_seconds, run_seconds,
+                 snapshot) = pickle.loads(blob)
+        metrics.merge(snapshot)
+        synthesize_slice_spans(tracer, tracks, k, done_at,
+                               fork_seconds, run_seconds)
+        results[k] = result
+        return result
+
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
-        futures = {pool.submit(_worker_run_slice, payload): k
-                   for k, payload in enumerate(payloads)}
+        warm = None
+        first = 0
+        if pilot:
+            payload = _slice_payload(timeline, signatures, template, sp,
+                                     config, 0, tracer, export_warm=True)
+            blob = pool.submit(_worker_run_slice, payload).result()
+            warm = WarmTraceStore().fold_pilot(collect(0, blob))
+            first = 1
+        futures = {}
+        for k in range(first, n_slices):
+            payload = _slice_payload(timeline, signatures, template, sp,
+                                     config, k, tracer, warm=warm)
+            futures[pool.submit(_worker_run_slice, payload)] = k
         pending = set(futures)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 k = futures[future]
                 blob = future.result()  # re-raises worker exceptions
-                done_at = tracer.now()
-                with tracer.span("slice.pickle", cat="slice",
-                                 args={"slice": k, "op": "decode"}):
-                    with resolve_shared_areas(sp.areas):
-                        (result, fork_seconds, run_seconds,
-                         snapshot) = pickle.loads(blob)
-                metrics.merge(snapshot)
-                synthesize_slice_spans(tracer, tracks, k, done_at,
-                                       fork_seconds, run_seconds)
-                results[k] = result
+                collect(k, blob)
     except BaseException:
         # Fail fast: abort the run promptly instead of draining every
         # still-queued slice through the pool (which is what the plain

@@ -17,11 +17,38 @@ signature pc) never alias with the shared body of the application.
 Enabled with ``-spsharedcache 1``; the ablation benchmark quantifies the
 win on the gcc workload, whose per-slice recompilation is the paper's
 compilation-slowdown poster child.
+
+Warm code cache (``-spwarmcache``, on by default)
+-------------------------------------------------
+
+Where ``-spsharedcache`` *models* the §8 shared cache in the virtual
+timing figures, the warm cache implements its host-level counterpart
+for real wall-clock time.  Slice 0 runs first (the *pilot*); the traces
+it compiled are exported as :class:`WarmTrace` entries — for the source
+backend including the generated source text and a marshalled code
+object — folded into a :class:`WarmTraceStore` and frozen.  Every later
+slice ships with that same frozen payload, so results are identical for
+any worker count and any completion order.
+
+Inside a slice the payload becomes a :class:`WarmStartSet` consulted by
+the engine's dispatcher *miss* path.  A warm entry is still lowered and
+instrumented locally (analysis resolvers must bind this slice's own
+tool closures), and the regenerated source text is compared against the
+pilot's — the paper's "consistency check".  On a match the source
+backend execs the pilot's code object directly, skipping ``compile()``
+— the dominant cost of a cold source-backend build.  The closure
+backend cannot transport executable closures across processes, so its
+warm starts are directory hits that rebuild locally: the working set is
+pre-seeded but no host compile work is saved.  Either way the install
+goes through the ordinary ``CodeCache.insert``, so ``compiles``,
+``compile_log``, bubble accounting and every virtual-timing input are
+byte-identical to a cold run — warm execution is architecturally
+invisible, exactly like trace linking.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -76,6 +103,122 @@ def charge_result(result, directory: SharedCodeCacheDirectory) -> None:
     result.compiles = compiles
     result.compiled_ins = compiled_ins
     result.shared_cache_reuses = reuses
+
+
+@dataclass(frozen=True)
+class WarmTrace:
+    """One transportable trace for the cross-slice warm code cache.
+
+    ``source``/``code`` are None for the closure backend, whose traces
+    (closures over live VM state) cannot cross a process boundary; the
+    entry then only seeds the working-set directory.
+    """
+
+    address: int
+    num_ins: int
+    #: Generated source text (source backend) — the consistency key.
+    source: str | None = None
+    #: ``marshal.dumps`` of the compiled code object (source backend).
+    code: bytes | None = None
+
+
+@dataclass
+class WarmTraceStore:
+    """Control-process side: folds pilot exports, freezes the payload.
+
+    The payload is frozen after the pilot slice so every later slice —
+    including supervisor retries — receives the *same* warm set,
+    keeping results independent of worker count and completion order.
+    """
+
+    _entries: dict[tuple[int, int], WarmTrace] = field(
+        default_factory=dict)
+    _frozen: tuple[WarmTrace, ...] | None = None
+
+    def fold(self, exports) -> None:
+        """Merge one slice's :class:`WarmTrace` exports (first wins)."""
+        if self._frozen is not None:
+            return
+        for entry in exports:
+            self._entries.setdefault((entry.address, entry.num_ins),
+                                     entry)
+
+    def freeze(self) -> tuple[WarmTrace, ...]:
+        """Freeze and return the payload, sorted for determinism."""
+        if self._frozen is None:
+            self._frozen = tuple(sorted(
+                self._entries.values(),
+                key=lambda e: (e.address, e.num_ins)))
+        return self._frozen
+
+    def fold_pilot(self, result) -> tuple[WarmTrace, ...]:
+        """Fold the pilot slice's exports and freeze the payload.
+
+        Strips the exports off the result afterwards so reports don't
+        drag trace sources around.
+        """
+        self.fold(result.warm_exports)
+        result.warm_exports = ()
+        return self.freeze()
+
+
+class WarmStartSet:
+    """Slice side: a consumable pc -> :class:`WarmTrace` directory.
+
+    Consulted by the engine's dispatcher miss path; each entry serves
+    at most once (after that the trace is cached normally).
+    """
+
+    def __init__(self, entries):
+        self._by_pc: dict[int, WarmTrace] = {}
+        for entry in entries:
+            self._by_pc.setdefault(entry.address, entry)
+        #: Entries whose consistency check failed (different local
+        #: instrumentation or guest bytes); the caller compiled cold.
+        self.mismatches = 0
+
+    def __len__(self) -> int:
+        return len(self._by_pc)
+
+    def build(self, pc: int, jit):
+        """Build the warm trace at ``pc``, or None for a cold compile.
+
+        Source backend: re-lower locally, string-compare the generated
+        source against the pilot's (the consistency check), and on a
+        match exec the marshalled code object — skipping ``compile()``.
+        Closure backend (no transportable code): rebuild through the
+        ordinary JIT; the hit still counts as a warm start because the
+        directory, not guest discovery, named the trace.
+        """
+        entry = self._by_pc.pop(pc, None)
+        if entry is None:
+            return None
+        if entry.code is None:
+            return jit.compile(pc)
+        trace = jit.compile_warm(pc, entry.source, entry.code)
+        if trace is None:
+            self.mismatches += 1
+        return trace
+
+
+def export_warm_traces(cache, jit_backend: str) -> tuple[WarmTrace, ...]:
+    """Export a slice's live traces as warm-cache entries.
+
+    Reads the surviving (post-flush) cache contents; for the source
+    backend each entry carries the generated source and the marshalled
+    code object.
+    """
+    entries = []
+    for trace in cache.live_traces():
+        if jit_backend == "source":
+            from ..pin.pyjit import SourceJit
+            entries.append(WarmTrace(
+                address=trace.start, num_ins=trace.num_ins,
+                source=trace.source, code=SourceJit.export_code(trace)))
+        else:
+            entries.append(WarmTrace(address=trace.start,
+                                     num_ins=trace.num_ins))
+    return tuple(entries)
 
 
 def charge_slices_in_order(results,

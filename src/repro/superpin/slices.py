@@ -66,6 +66,18 @@ class SliceResult:
     #: attribution post-pass (kept even when the extension is off, so
     #: attribution can be recomputed after parallel execution).
     compile_log: tuple[tuple[int, int], ...] = ()
+    #: Trace transitions that chained through a direct link instead of
+    #: the dispatcher dict (``-splinktraces``; informational).
+    linked_dispatches: int = 0
+    #: Traces installed from the warm payload (``-spwarmcache``); still
+    #: counted in ``compiles`` — warm execution is architecturally
+    #: identical to cold, only the host compile work differs.
+    warm_starts: int = 0
+    #: Warm entries whose consistency check failed (compiled cold).
+    warm_mismatches: int = 0
+    #: Warm-cache entries this slice exported for the control process
+    #: to fold (pilot slice only; cleared once folded).
+    warm_exports: tuple = ()
 
     @property
     def exact(self) -> bool:
@@ -78,7 +90,8 @@ def run_slice(boundary: Boundary, interval: Interval,
               end_signature: Signature | None,
               template: SliceToolContext, sp: SPControl,
               config: SuperPinConfig,
-              shared_directory=None, metrics=NULL_METRICS) -> SliceResult:
+              shared_directory=None, metrics=NULL_METRICS,
+              warm=None, export_warm: bool = False) -> SliceResult:
     """Execute slice ``interval.index`` and return its result.
 
     ``end_signature`` is the next boundary's signature (None for the
@@ -89,6 +102,10 @@ def run_slice(boundary: Boundary, interval: Interval,
     slice's observability counters (JIT compiles live, cache hit totals
     folded at slice end); in a worker process it is a worker-local
     registry whose snapshot the parent merges.
+
+    ``warm`` is the frozen warm-cache payload (WarmTrace entries, or
+    None); ``export_warm`` asks the slice to export its own compiled
+    traces on the result — set only for the pilot slice.
     """
     index = interval.index
 
@@ -109,7 +126,8 @@ def run_slice(boundary: Boundary, interval: Interval,
     cache = CodeCache(abi.BUBBLE_BASE, abi.BUBBLE_WORDS, metrics=metrics)
     forced = frozenset({end_signature.pc}) if end_signature else frozenset()
     vm = PinVM(process, forced_boundaries=forced, code_cache=cache,
-               jit_backend=config.jit_backend, metrics=metrics)
+               jit_backend=config.jit_backend,
+               link_traces=config.splinktraces, metrics=metrics)
 
     # 3. Fork the tool context and attach instrumentation.
     ctx: SliceToolContext = copy.deepcopy(template)
@@ -118,6 +136,13 @@ def run_slice(boundary: Boundary, interval: Interval,
     if end_signature is not None:
         detector = SignatureDetector(end_signature, vm)
         detector.attach()
+    # Warm cache last: installation is lazy, but keeping it after every
+    # add_trace_callback (each of which flushes) keeps the order obvious.
+    warm_set = None
+    if warm:
+        from .sharedcache import WarmStartSet
+        warm_set = WarmStartSet(warm)
+        vm.install_warm(warm_set)
 
     # 4. Slice-begin callbacks (reset local statistics; paper Figure 2).
     if ctx.reset_fun is not None:
@@ -163,7 +188,14 @@ def run_slice(boundary: Boundary, interval: Interval,
         tool_ctx=ctx,
         exit_code=result.exit_code,
         compile_log=tuple(cache.insert_log),
+        linked_dispatches=cache.stats.linked_dispatches,
+        warm_starts=cache.stats.warm_starts,
+        warm_mismatches=warm_set.mismatches if warm_set else 0,
     )
+    if export_warm:
+        from .sharedcache import export_warm_traces
+        result_record.warm_exports = export_warm_traces(
+            cache, config.jit_backend)
     if shared_directory is not None:
         from .sharedcache import charge_result
         charge_result(result_record, shared_directory)
@@ -178,6 +210,9 @@ def run_slice(boundary: Boundary, interval: Interval,
         metrics.inc("superpin.slices.emulated_syscalls", handler.emulated)
         metrics.inc("pin.cache.lookups", cache.stats.lookups)
         metrics.inc("pin.cache.hits", cache.stats.hits)
+        metrics.inc("pin.cache.linked_dispatches",
+                    cache.stats.linked_dispatches)
+        metrics.inc("pin.cache.warm_starts", cache.stats.warm_starts)
         metrics.observe("superpin.slice.instructions",
                         result_record.instructions)
     return result_record

@@ -66,7 +66,7 @@ from .api import SliceToolContext, SPControl
 from .control import Interval, MasterTimeline
 from .faults import (CORRUPT_BLOB, CorruptResultFault, FaultKind, FaultPlan,
                      maybe_inject)
-from .parallel import (SliceTimings, _end_signature, _worker_run_slice,
+from .parallel import (SliceTimings, _slice_payload, _worker_run_slice,
                        execute_slices, slice_timings_from_records,
                        synthesize_slice_spans)
 from .sharedmem import resolve_shared_areas
@@ -234,14 +234,47 @@ class _Supervisor:
         #: against ``spretries``.
         self.failures = [0] * self.n_slices
         self._pool: ProcessPoolExecutor | None = None
-        self.payloads: list[bytes] = []
-        for k, interval in enumerate(timeline.intervals):
-            with self.tracer.span("slice.pickle", cat="slice",
-                                  args={"slice": k}):
-                self.payloads.append(pickle.dumps(
-                    (timeline.boundaries[k], interval,
-                     _end_signature(signatures, k), template, sp, config),
-                    pickle.HIGHEST_PROTOCOL))
+        self._timeline = timeline
+        self._signatures = signatures
+        self._template = template
+        #: Warm-cache pilot protocol: slice 0 runs (and, if needed,
+        #: retries) to resolution first; its exports freeze the warm
+        #: payload baked into every later slice's pickled payload.
+        #: Retries re-run the slice's original payload, so a retried
+        #: slice automatically re-receives its warm set.
+        self._pilot = config.spwarmcache and self.n_slices > 1
+        self.payloads: list[bytes | None] = [None] * self.n_slices
+        if self._pilot:
+            self.payloads[0] = self._make_payload(0, warm=None,
+                                                  export_warm=True)
+        else:
+            for k in range(self.n_slices):
+                self.payloads[k] = self._make_payload(k)
+
+    def _make_payload(self, k: int, warm=None,
+                      export_warm: bool = False) -> bytes:
+        return _slice_payload(self._timeline, self._signatures,
+                              self._template, self.sp, self.config, k,
+                              self.tracer, warm=warm,
+                              export_warm=export_warm)
+
+    def _pilot_resolved(self) -> bool:
+        """True once slice 0 has a result or was given up on."""
+        return 0 in self.results or self.outcomes[0].status == "degraded"
+
+    def _release_rest(self) -> None:
+        """Pilot resolved: freeze the warm payload, build the rest.
+
+        A degraded pilot (no result) freezes an empty payload — later
+        slices simply run cold, the same as ``-spwarmcache 0``.
+        """
+        from .sharedcache import WarmTraceStore
+        warm = None
+        if 0 in self.results:
+            warm = WarmTraceStore().fold_pilot(self.results[0])
+        for k in range(1, self.n_slices):
+            self.payloads[k] = self._make_payload(k, warm=warm)
+        self._pilot = False
 
     # -- shared bookkeeping ------------------------------------------------
 
@@ -341,6 +374,8 @@ class _Supervisor:
         same attempt numbers regardless of worker count.
         """
         for k in range(self.n_slices):
+            if self.payloads[k] is None:
+                self._release_rest()
             while True:
                 self.executions[k] += 1
                 attempt = self.executions[k]
@@ -368,10 +403,16 @@ class _Supervisor:
     def run_parallel(self) -> SupervisedSlices:
         self._workers = min(self.config.spworkers, self.n_slices) or 1
         self._pool = ProcessPoolExecutor(max_workers=self._workers)
-        self._pending: deque[int] = deque(range(self.n_slices))
+        # The pilot runs to resolution alone; _release_rest then queues
+        # the remaining slices with the frozen warm payload.
+        self._pending: deque[int] = deque(
+            [0] if self._pilot else range(self.n_slices))
         self._flights: dict = {}
         try:
-            while self._pending or self._flights:
+            while self._pending or self._flights or self._pilot:
+                if self._pilot and self._pilot_resolved():
+                    self._release_rest()
+                    self._pending.extend(range(1, self.n_slices))
                 # Sliding window: at most `workers` futures in flight,
                 # so every submitted attempt is (approximately) running
                 # and its deadline clock is fair.

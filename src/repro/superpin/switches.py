@@ -26,6 +26,13 @@ Switch                  Meaning
                         writes Chrome-trace JSON (load in Perfetto)
 ``-spmetrics <0|1>``    collect named counters/gauges/histograms for
                         the run (off by default: the null registry)
+``-splinktraces <0|1>`` direct trace linking in slice engines: chain
+                        trace->trace through patched exit links,
+                        bypassing the dispatcher (on by default)
+``-spwarmcache <0|1>``  cross-slice warm code cache: the pilot slice's
+                        compiled traces ship with every later slice's
+                        payload so slices start hot (on by default;
+                        effective with ``-spworkers`` or sequential)
 ======================= ==================================================
 
 The reproduction adds knobs the paper fixes implicitly: the virtual clock
@@ -136,6 +143,17 @@ class SuperPinConfig:
     #: Collect metrics (counters/gauges/histograms).  Off by default:
     #: components then hold the allocation-free null registry.
     spmetrics: bool = False
+    # --- dispatch/compile overhead killers (on by default) -----------------
+    #: Direct trace linking in slice engines (Pin's exit-stub patching):
+    #: compiled traces chain straight to their successors, touching the
+    #: dispatcher only on cold exits.  Architecturally invisible.
+    splinktraces: bool = True
+    #: Cross-slice warm code cache: slice 0 runs first (the pilot), its
+    #: compiled traces are folded into a warm payload, and every later
+    #: slice installs them before running instead of re-JITting the
+    #: working set from guest memory.  The payload is frozen after the
+    #: pilot so results stay identical for any worker count.
+    spwarmcache: bool = True
 
     def __post_init__(self) -> None:
         if self.spmsec <= 0:
@@ -222,6 +240,8 @@ _FLAG_PARSERS = {
     "-spjit": ("jit_backend", str),
     "-sptrace": ("sptrace", str),
     "-spmetrics": ("spmetrics", lambda v: bool(int(v))),
+    "-splinktraces": ("splinktraces", lambda v: bool(int(v))),
+    "-spwarmcache": ("spwarmcache", lambda v: bool(int(v))),
 }
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import InstrumentationError
+from repro.errors import CodeCacheOverflowError, InstrumentationError
 from repro.isa import abi, assemble
 from repro.machine import Kernel, load_program
 from repro.pin import (CodeCache, IARG_END, IARG_INST_PTR, IARG_REG_VALUE,
@@ -29,12 +29,27 @@ class TestExecution:
         assert result.instructions == native_interp.total_instructions
 
     def test_code_cache_reuse(self):
-        vm, _, _ = make_vm(LOOP_SUM)
+        # With linking off, the loop re-dispatches through the cache.
+        vm, _, _ = make_vm(LOOP_SUM, link_traces=False)
         vm.run()
         stats = vm.cache.stats
         assert stats.compiles >= 1
         assert stats.hits > stats.compiles  # the loop re-dispatches
         assert stats.hit_rate > 0.9
+        assert stats.linked_dispatches == 0
+
+    def test_linking_bypasses_dispatcher(self):
+        # Default linking: once patched, the loop's back-edge never
+        # touches the dispatcher dict again.
+        vm, _, _ = make_vm(LOOP_SUM)
+        result = vm.run()
+        stats = vm.cache.stats
+        assert stats.linked_dispatches > stats.lookups
+        assert result.linked_dispatches == stats.linked_dispatches
+        # linked + dict dispatches cover every trace transition but the
+        # first (the initial dispatch has no predecessor to chain from).
+        assert (stats.lookups + stats.linked_dispatches
+                == result.traces_executed)
 
     def test_budget_guard(self):
         vm, _, _ = make_vm(LOOP_SUM)
@@ -214,3 +229,23 @@ class TestCodeCache:
         assert cache.lookup(5) == "trace"
         assert cache.stats.lookups == 2
         assert cache.stats.hits == 1
+
+    def test_oversized_trace_rejected(self):
+        # A trace bigger than the whole bubble can never fit; before the
+        # explicit guard, insert flushed and then let _cursor overrun
+        # the bubble silently.
+        cache = CodeCache(bubble_base=0, bubble_words=100)
+        assert not cache.can_fit(30)
+        with pytest.raises(CodeCacheOverflowError, match="136 cache"):
+            cache.insert(0x40, object(), num_ins=30)  # 16 + 120 words
+        # Nothing was charged or stored by the failed insert.
+        assert cache.stats.compiles == 0
+        assert cache.stats.allocated_words == 0
+        assert cache.stats.flushes == 0
+        assert len(cache) == 0
+
+    def test_can_fit_tracks_cursor(self):
+        cache = CodeCache(bubble_base=0, bubble_words=200)
+        assert cache.can_fit(30)
+        cache.insert(1, object(), num_ins=30)   # 16 + 120 words
+        assert not cache.can_fit(30)            # 64 words left

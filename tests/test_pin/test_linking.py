@@ -1,0 +1,189 @@
+"""Direct trace linking (-splinktraces) must be architecturally invisible.
+
+Linking replaces dispatcher-dict lookups with direct trace-to-trace
+references (Pin's exit-stub patching, paper §2.2), so every observable
+quantity — instruction counts, analysis-call order, StopRun unwind
+points, final machine state — must be bit-identical with linking on or
+off, on both JIT backends.  The one thing allowed to change is *where*
+dispatches are counted (``linked_dispatches`` vs ``lookups``).
+
+The flush tests guard the classic stale-link bug: a link that survives
+cache invalidation would chain execution into evicted code the
+dispatcher can no longer see.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Kernel, load_program
+from repro.pin import (CodeCache, IARG_END, IARG_INST_PTR, IARG_REG_VALUE,
+                       IPOINT_BEFORE, PinVM, RunState, StopRun)
+from tests.conftest import LOOP_SUM, run_native
+
+BACKENDS = ["closure", "source"]
+
+
+def _make_vm(program, backend, linked, seed=42, **kwargs):
+    process = load_program(program, Kernel(seed=seed))
+    return PinVM(process, jit_backend=backend, link_traces=linked,
+                 **kwargs)
+
+
+def _trace_pcs(program, backend, linked, instrument=None):
+    """Run fully instrumented; return (result, vm, per-call pc list)."""
+    vm = _make_vm(program, backend, linked)
+    pcs = []
+
+    def default_instrument(trace, value):
+        for ins in trace.instructions:
+            ins.insert_call(IPOINT_BEFORE, pcs.append,
+                            IARG_INST_PTR, IARG_END)
+
+    vm.add_trace_callback(instrument or default_instrument, pcs)
+    result = vm.run()
+    return result, vm, pcs
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_linked_matches_unlinked_state(backend, multislice_program):
+    """Final machine state and counts agree; only dispatch accounting
+    moves from the lookup dict to the link chains."""
+    on = _make_vm(multislice_program, backend, True)
+    off = _make_vm(multislice_program, backend, False)
+    r_on, r_off = on.run(), off.run()
+
+    assert r_on.state is r_off.state is RunState.EXIT
+    assert r_on.exit_code == r_off.exit_code
+    assert r_on.instructions == r_off.instructions
+    assert r_on.traces_executed == r_off.traces_executed
+    assert on.cpu.regs == off.cpu.regs
+    assert on.cpu.pc == off.cpu.pc
+    assert on.cache.stats.compiles == off.cache.stats.compiles
+
+    assert r_off.linked_dispatches == 0
+    assert r_on.linked_dispatches > 0
+    # Every transition is a lookup or a linked dispatch — never both.
+    assert (on.cache.stats.lookups + r_on.linked_dispatches
+            == off.cache.stats.lookups)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_analysis_call_order_identical(backend):
+    """The exact per-call pc sequence is preserved under linking."""
+    program = assemble(LOOP_SUM)
+    r_on, _, pcs_on = _trace_pcs(program, backend, True)
+    r_off, _, pcs_off = _trace_pcs(program, backend, False)
+    assert pcs_on == pcs_off
+    assert len(pcs_on) == r_on.instructions == r_off.instructions
+    assert r_on.analysis_calls == r_off.analysis_calls
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("linked", [True, False])
+def test_stoprun_unwind_point_identical(backend, linked, loop_program):
+    """StopRun mid-trace unwinds to the same pc/register state whether
+    the trace was entered through a link or the dispatcher."""
+    vm = _make_vm(loop_program, backend, linked)
+    token = object()
+
+    def instrument(trace, value):
+        for ins in trace.instructions:
+            if ins.mnemonic == "add":
+                def check(v):
+                    if v == 37:
+                        raise StopRun(token)
+                ins.insert_call(IPOINT_BEFORE, check,
+                                IARG_REG_VALUE, 8, IARG_END)
+
+    vm.add_trace_callback(instrument)
+    result = vm.run()
+    assert result.state is RunState.STOPPED
+    assert result.stop_token is token
+    # By iteration 37 the loop back-edge is linked (when enabled), so
+    # the stop unwinds out of a linked dispatch; the observable state
+    # must not depend on that.
+    assert vm.cpu.regs[8] == 37
+    assert vm.cpu.regs[10] == sum(range(37))
+    if linked:
+        assert result.linked_dispatches > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_flush_mid_run_unlinks(backend, multislice_program):
+    """An analysis-triggered flush mid-run must sever every link; the
+    run recompiles and still produces native-exact results."""
+    _, interp, _ = run_native(multislice_program)
+    vm = _make_vm(multislice_program, backend, True)
+    seen = [0]
+
+    def instrument(trace, value):
+        for ins in trace.instructions:
+            def count():
+                seen[0] += 1
+                # Well into steady (linked) state: invalidate twice.
+                if seen[0] in (10_000, 20_000):
+                    vm.cache.flush()
+            ins.insert_call(IPOINT_BEFORE, count, IARG_END)
+
+    vm.add_trace_callback(instrument)
+    result = vm.run()
+    assert result.state is RunState.EXIT
+    assert result.instructions == interp.total_instructions
+    assert seen[0] == interp.total_instructions
+    assert vm.cache.stats.flushes >= 2
+    # Steady-state linking resumed after each flush.
+    assert result.linked_dispatches > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_late_callback_severs_links(backend, multislice_program):
+    """add_trace_callback after partial execution flushes *and* unlinks:
+    the new instrumentation sees every subsequent instruction, which a
+    surviving stale link would silently skip."""
+    _, interp, _ = run_native(multislice_program)
+    vm = _make_vm(multislice_program, backend, True)
+    first = vm.run(max_instructions=5_000)
+    assert first.state is RunState.BUDGET
+    assert first.linked_dispatches > 0  # links exist to go stale
+
+    calls = []
+
+    def instrument(trace, value):
+        for ins in trace.instructions:
+            ins.insert_call(IPOINT_BEFORE, lambda: calls.append(1),
+                            IARG_END)
+
+    vm.add_trace_callback(instrument)
+    second = vm.run()
+    assert second.state is RunState.EXIT
+    assert first.instructions + second.instructions \
+        == interp.total_instructions
+    assert len(calls) == second.instructions
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cache_pressure_flushes_never_leak_links(backend,
+                                                 multislice_program):
+    """A bubble too small for the working set flushes constantly; every
+    flush must unlink, and counts must stay native-exact."""
+    _, interp, _ = run_native(multislice_program)
+    cache = CodeCache(bubble_base=0, bubble_words=200)
+    process = load_program(multislice_program, Kernel(seed=42))
+    vm = PinVM(process, code_cache=cache, jit_backend=backend,
+               link_traces=True)
+    result = vm.run()
+    assert result.state is RunState.EXIT
+    assert result.instructions == interp.total_instructions
+    assert cache.stats.flushes > 0
+
+
+def test_flush_clears_link_dicts(loop_program):
+    """Unit-level: flush empties every trace's links dict in place, so
+    even a caller holding a trace reference cannot follow a stale link."""
+    vm = _make_vm(loop_program, "closure", True)
+    vm.run()
+    live = list(vm.cache.live_traces())
+    assert any(trace.links for trace in live)
+    vm.cache.flush()
+    assert all(not trace.links for trace in live)
+    assert len(vm.cache) == 0

@@ -92,6 +92,30 @@ class TestSupervisionSwitches:
         assert config.spfaults == "failfast"
 
 
+class TestCacheSwitches:
+    def test_defaults_on(self):
+        config = SuperPinConfig()
+        assert config.splinktraces is True
+        assert config.spwarmcache is True
+
+    def test_parse_disable(self):
+        config = parse_switches(["-splinktraces", "0",
+                                 "-spwarmcache", "0"])
+        assert config.splinktraces is False
+        assert config.spwarmcache is False
+
+    def test_parse_explicit_enable(self):
+        config = parse_switches(["-splinktraces", "1",
+                                 "-spwarmcache", "1"])
+        assert config.splinktraces is True
+        assert config.spwarmcache is True
+
+    def test_independent(self):
+        config = parse_switches(["-spwarmcache", "0"])
+        assert config.splinktraces is True
+        assert config.spwarmcache is False
+
+
 class TestValidation:
     @pytest.mark.parametrize("kwargs", [
         {"spmsec": 0}, {"spmsec": -5}, {"spmp": 0},

@@ -1,0 +1,199 @@
+"""Cross-slice warm code cache (-spwarmcache): fast, invisible, durable.
+
+Slice 0 (the pilot) exports its compiled traces; the control process
+freezes them into a warm payload shipped with every later slice.  The
+properties under test:
+
+- warm starts actually happen (the payload is consumed, not decorative);
+- warm execution is *architecturally invisible* — tool output and every
+  per-slice figure are byte-identical with the switch on or off, for
+  both backends and any worker count;
+- supervisor retries re-receive the same frozen payload;
+- a degraded pilot falls back to an all-cold run instead of wedging;
+- consistency-check mismatches compile cold and are counted.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Kernel, load_program
+from repro.pin import PinVM, RunState
+from repro.superpin import (FaultPlan, run_superpin, SuperPinConfig)
+from repro.superpin.sharedcache import (WarmStartSet, WarmTrace,
+                                        WarmTraceStore)
+from repro.tools import ICount2
+from tests.conftest import LOOP_SUM, MULTISLICE
+
+BACKENDS = ["closure", "source"]
+WORKER_MODES = [0, 2]
+
+
+def _report(program, **kwargs):
+    kwargs.setdefault("spmsec", 500)
+    kwargs.setdefault("clock_hz", 10_000)
+    tool = ICount2()
+    report = run_superpin(program, tool, SuperPinConfig(**kwargs),
+                          kernel=Kernel(seed=42))
+    return report, tool
+
+
+def _fingerprint(report):
+    return [(s.index, s.reason, s.exact, s.instructions,
+             s.expected_instructions, s.traces_executed, s.analysis_calls,
+             s.compiles, s.compiled_ins, s.replayed_syscalls,
+             s.emulated_syscalls, s.cow_faults, s.compile_log)
+            for s in report.slices]
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(MULTISLICE)
+
+
+class TestWarmStartsHappen:
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_later_slices_start_warm(self, program, backend, spworkers):
+        report, _ = _report(program, jit_backend=backend,
+                            spworkers=spworkers)
+        assert report.num_slices >= 3
+        by_index = {s.index: s for s in report.slices}
+        # The pilot runs cold and its exports are folded then stripped.
+        assert by_index[0].warm_starts == 0
+        assert by_index[0].warm_exports == ()
+        # The application working set recurs, so later slices hit the
+        # payload — and warm installs still count as ordinary compiles.
+        assert sum(s.warm_starts for s in report.slices) > 0
+        for s in report.slices:
+            # Warm installs flow through the ordinary insert path, so
+            # they are a subset of this slice's compiles.  Mismatches
+            # (boundary-split traces whose shape differs from the
+            # pilot's) legitimately compile cold instead.
+            assert s.warm_starts <= s.compiles
+            assert s.warm_starts + s.warm_mismatches <= s.compiles
+
+    def test_metrics_counter_folded(self, program):
+        report, _ = _report(program, spworkers=2, spmetrics=True,
+                            jit_backend="source")
+        counters = dict(report.metrics.counters)
+        assert counters["pin.cache.warm_starts"] > 0
+        assert counters["pin.cache.linked_dispatches"] > 0
+        # Warm starts replace cold JIT invocations, not cache inserts.
+        assert counters["pin.jit.compiles"] \
+            == counters["pin.cache.compiles"] \
+            - counters["pin.cache.warm_starts"]
+
+    def test_switch_off_runs_cold(self, program):
+        report, _ = _report(program, spwarmcache=False, spworkers=2)
+        assert all(s.warm_starts == 0 for s in report.slices)
+        assert all(s.warm_exports == () for s in report.slices)
+
+
+class TestArchitecturalIdentity:
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_warm_on_off_identical(self, program, backend, spworkers):
+        warm_report, warm_tool = _report(program, jit_backend=backend,
+                                         spworkers=spworkers)
+        cold_report, cold_tool = _report(program, jit_backend=backend,
+                                         spworkers=spworkers,
+                                         spwarmcache=False,
+                                         splinktraces=False)
+        assert warm_tool.total == cold_tool.total
+        assert warm_report.stdout == cold_report.stdout
+        assert warm_report.exit_code == cold_report.exit_code
+        assert _fingerprint(warm_report) == _fingerprint(cold_report)
+        assert warm_report.detection_summary() \
+            == cold_report.detection_summary()
+
+    def test_timing_model_unaffected(self, program):
+        """The virtual timing figures are computed from compile counts
+        a warm start must not perturb."""
+        warm_report, _ = _report(program, spworkers=2)
+        cold_report, _ = _report(program, spworkers=2, spwarmcache=False)
+        assert warm_report.timing.total_cycles \
+            == cold_report.timing.total_cycles
+
+
+class TestSupervisionInteraction:
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    def test_retried_slice_rereceives_payload(self, program, spworkers):
+        """A crash-then-retry on a non-pilot slice must re-ship the same
+        frozen warm payload — the retried attempt still starts warm and
+        the output is identical to a clean run."""
+        clean_report, clean_tool = _report(program, spworkers=spworkers)
+        report, tool = _report(program, spworkers=spworkers,
+                               spfaults="retry",
+                               fault_plan=FaultPlan.parse("crash@2"))
+        assert report.slice_outcomes[2].recovered
+        by_index = {s.index: s for s in report.slices}
+        assert by_index[2].warm_starts > 0
+        assert tool.total == clean_tool.total
+        assert _fingerprint(report) == _fingerprint(clean_report)
+
+    @pytest.mark.parametrize("spworkers", WORKER_MODES)
+    def test_degraded_pilot_falls_back_cold(self, program, spworkers):
+        """If the pilot slice itself is unrecoverable under -spfaults
+        degrade, the rest of the run proceeds cold rather than waiting
+        for exports that will never come."""
+        report, _ = _report(program, spworkers=spworkers,
+                            spfaults="degrade", spretries=1,
+                            fault_plan=FaultPlan.parse("crash@0:*"))
+        assert report.degraded_slices == [0]
+        assert 0 not in {s.index for s in report.slices}
+        assert all(s.warm_starts == 0 for s in report.slices)
+        assert all(s.exact for s in report.slices)
+
+
+class TestConsistencyCheck:
+    def test_mismatched_source_compiles_cold(self):
+        """A payload entry whose source text does not match the locally
+        regenerated trace is rejected (counted), and the dispatcher
+        compiles cold — never executes the foreign code object."""
+        program = assemble(LOOP_SUM)
+        process = load_program(program, Kernel(seed=42))
+        vm = PinVM(process, jit_backend="source")
+        bogus = WarmTrace(address=program.entry, num_ins=3,
+                          source="def __trace__():  # not this trace\n",
+                          code=b"never unmarshalled")
+        warm = WarmStartSet([bogus])
+        vm.install_warm(warm)
+        result = vm.run()
+        assert result.state is RunState.EXIT
+        assert warm.mismatches == 1
+        assert vm.cache.stats.warm_starts == 0
+        assert vm.cache.stats.compiles > 0
+
+    def test_entries_serve_at_most_once(self):
+        """After the first (mismatching) consultation the entry is gone;
+        re-execution of the same pc hits the code cache, not the set."""
+        program = assemble(LOOP_SUM)
+        process = load_program(program, Kernel(seed=42))
+        vm = PinVM(process, jit_backend="source")
+        warm = WarmStartSet([WarmTrace(address=program.entry, num_ins=3,
+                                       source="x", code=b"y")])
+        vm.install_warm(warm)
+        vm.run()
+        assert warm.mismatches == 1  # consulted exactly once
+        assert len(warm) == 0
+
+
+class TestStoreSemantics:
+    def test_fold_first_wins_and_freeze_sorts(self):
+        store = WarmTraceStore()
+        first = WarmTrace(address=8, num_ins=2, source="a")
+        store.fold([WarmTrace(address=16, num_ins=1), first])
+        store.fold([WarmTrace(address=8, num_ins=2, source="b")])
+        payload = store.freeze()
+        assert [e.address for e in payload] == [8, 16]
+        assert payload[0] is first
+
+    def test_fold_after_freeze_is_noop(self):
+        """Retries must never mutate the frozen payload: every slice,
+        on any attempt, sees the same warm set."""
+        store = WarmTraceStore()
+        store.fold([WarmTrace(address=8, num_ins=2)])
+        payload = store.freeze()
+        store.fold([WarmTrace(address=99, num_ins=1)])
+        assert store.freeze() is payload
+        assert len(payload) == 1
