@@ -161,6 +161,16 @@ def _cmd_run(args, extra: list[str]) -> int:
         from .harness.report import gantt_chart
         print()
         print(gantt_chart(timing))
+    if report.audit is not None:
+        print(report.audit.summary())
+        for divergence in report.audit.divergences[:10]:
+            print(f"  {divergence}")
+        if len(report.audit.divergences) > 10:
+            print(f"  ... and {len(report.audit.divergences) - 10} more")
+        if not report.audit.ok:
+            # Distinct from argparse's 2: the run completed but failed
+            # its audit.
+            return 3
     return 0
 
 

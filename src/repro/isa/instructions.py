@@ -29,6 +29,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from .registers import RA, RV, SP
+
 
 class Format(enum.Enum):
     """Operand format of an opcode (see module docstring)."""
@@ -169,6 +171,32 @@ WRITES_RD = frozenset(
     if info.format in (Format.RRR, Format.RRI, Format.RI, Format.MEM_L,
                        Format.RD)
 )
+
+#: Registers an opcode writes *besides* its explicit ``rd`` operand:
+#: PUSH/POP move the stack pointer, calls write the link register, and
+#: SYSCALL delivers its result in ``rv``.  Together with
+#: :data:`WRITES_RD` this is the single source of truth for register
+#: write-sets; consumers must not re-derive it from format names.
+IMPLICIT_WRITES: dict[Op, tuple[int, ...]] = {
+    Op.PUSH: (SP,),
+    Op.POP: (SP,),
+    Op.CALL: (RA,),
+    Op.CALLR: (RA,),
+    Op.SYSCALL: (RV,),
+}
+
+
+def written_registers(op: Op, rd: int = 0) -> tuple[int, ...]:
+    """Architectural registers ``op`` writes, given its decoded ``rd``.
+
+    Register 0 is hardwired to zero, so it is never reported even when
+    it appears as the encoded destination (stores, for example, encode
+    their value register in ``rt`` and leave ``rd`` zero).
+    """
+    dests: tuple[int, ...] = ()
+    if rd != 0 and op in WRITES_RD:
+        dests = (rd,)
+    return dests + IMPLICIT_WRITES.get(op, ())
 
 MASK64 = (1 << 64) - 1
 SIGN64 = 1 << 63

@@ -7,7 +7,23 @@ to register 0 or call :meth:`CpuState.set_reg`, which enforces it.
 
 from __future__ import annotations
 
+import hashlib
+
 from ..isa.registers import NUM_REGS, SP
+
+
+def fingerprint_state(pc: int, regs) -> str:
+    """Collision-resistant hash of an architectural state (pc + registers).
+
+    Used by the differential audit to compare register files across runs
+    without shipping the full state around; identical states always hash
+    identically (sha256 over the little-endian word images).
+    """
+    h = hashlib.sha256()
+    h.update(pc.to_bytes(8, "little"))
+    for value in regs:
+        h.update(int(value).to_bytes(8, "little"))
+    return h.hexdigest()
 
 
 class CpuState:
@@ -44,6 +60,11 @@ class CpuState:
     def snapshot(self) -> tuple[int, tuple[int, ...]]:
         """Return an immutable ``(pc, regs)`` snapshot, hashable/comparable."""
         return (self.pc, tuple(self.regs))
+
+    def fingerprint(self) -> str:
+        """Hash of the current architectural state (see
+        :func:`fingerprint_state`)."""
+        return fingerprint_state(self.pc, self.regs)
 
     def restore(self, snap: tuple[int, tuple[int, ...]]) -> None:
         """Restore a snapshot produced by :meth:`snapshot`.

@@ -11,6 +11,9 @@ Public surface:
 """
 
 from .api import END_SLICE_TOKEN, SliceToolContext, SPControl
+from .audit import (AuditInputs, AuditReport, compare_run, Divergence,
+                    perform_audit, record_reference, ReferenceRun,
+                    run_serial_baseline, SerialBaseline)
 from .control import (Boundary, BoundaryReason, ControlProcess, Interval,
                       MasterTimeline)
 from .faults import FaultKind, FaultPlan, FaultSpec
@@ -32,7 +35,10 @@ from .switches import (DEFAULT_CLOCK_HZ, FAULT_POLICIES, parse_switches,
 from .sysrecord import PlaybackHandler, RecordedSyscall
 
 __all__ = [
-    "END_SLICE_TOKEN", "SliceToolContext", "SPControl", "Boundary",
+    "END_SLICE_TOKEN", "SliceToolContext", "SPControl", "AuditInputs",
+    "AuditReport", "compare_run", "Divergence", "perform_audit",
+    "record_reference", "ReferenceRun", "run_serial_baseline",
+    "SerialBaseline", "Boundary",
     "BoundaryReason", "ControlProcess", "Interval", "MasterTimeline",
     "FaultKind", "FaultPlan", "FaultSpec", "merge_slices",
     "execute_slices", "record_boundary_signature",

@@ -31,7 +31,7 @@ from ..isa.program import Program
 from ..obs.metrics import NULL_METRICS
 from ..obs.tracer import NULL_TRACER
 from .switches import SuperPinConfig
-from .sysrecord import RecordedSyscall
+from .sysrecord import RecordedSyscall, StreamDigest
 
 
 class BoundaryReason(enum.Enum):
@@ -78,6 +78,12 @@ class Interval:
     end_reason: BoundaryReason | None = None
     #: True for the final interval (ends at program exit).
     is_last: bool = False
+    #: Digest of this interval's records *as they were recorded*
+    #: (``-spaudit`` only; empty otherwise).  The audit cross-checks it
+    #: against the record list and the reference run, so a record
+    #: mutated after recording is distinguishable from one recorded
+    #: wrong.
+    stream_digest: str = ""
 
 
 @dataclass
@@ -112,6 +118,8 @@ class ControlProcess:
         self.process: Process = load_program(self.program, self.kernel)
         self._reserve_bubble()
         self._record_counter = 0
+        #: Incremental at-record-time stream digest (audit runs only).
+        self._digest = StreamDigest() if config.spaudit else None
 
     def _reserve_bubble(self) -> None:
         """Reserve the code-cache bubble before the application runs (§4.1).
@@ -155,6 +163,7 @@ class ControlProcess:
                 current.is_last = True
                 current.master_cow_faults = (process.mem.cow_faults
                                              - cow_mark)
+                self._seal_interval(current)
                 intervals.append(current)
                 break
 
@@ -180,6 +189,7 @@ class ControlProcess:
             current.end_reason = boundary_reason
             current.master_cow_faults = process.mem.cow_faults - cow_mark
             cow_mark = process.mem.cow_faults
+            self._seal_interval(current)
             intervals.append(current)
             boundaries.append(self._take_boundary(
                 len(boundaries), boundary_reason,
@@ -265,6 +275,14 @@ class ControlProcess:
         interval.records.append(
             RecordedSyscall(record=record, global_index=self._record_counter))
         self._record_counter += 1
+        if self._digest is not None:
+            self._digest.fold(record)
+
+    def _seal_interval(self, interval: Interval) -> None:
+        """Freeze the interval's at-record-time digest (audit runs only)."""
+        if self._digest is not None:
+            interval.stream_digest = self._digest.hexdigest
+            self._digest = StreamDigest()
 
     def _take_boundary(self, index: int, reason: BoundaryReason,
                        master_instructions: int) -> Boundary:

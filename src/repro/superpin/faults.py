@@ -19,6 +19,12 @@ ways the paper's control process must survive:
 * ``runaway`` — the attempt raises
   :class:`~repro.errors.RunawaySliceError`, the §4.3/§4.4 failure mode
   of a slice that never finds its ending signature.
+* ``tamper`` — the slice runs normally but its result is *silently*
+  falsified (:func:`tamper_result`): instruction count, end-state
+  fingerprint and syscall digest are wrong, yet the blob decodes fine
+  and the supervisor sees a clean success.  Nothing in the pipeline
+  can catch it — only the ``-spaudit`` differential oracle, which is
+  exactly what it mutation-tests.
 
 Every fault is scoped to one slice index and to its first ``attempts``
 execution attempts (``None`` = every attempt, i.e. unrecoverable), so a
@@ -30,12 +36,14 @@ Spec strings (for ``-spinject`` and CI) are comma-separated
     crash@0            worker for slice 0 dies on its first attempt
     hang@2:*           slice 2 hangs on every attempt (unrecoverable)
     runaway@1:2        slice 1 raises RunawaySliceError on attempts 1-2
+    tamper@1           slice 1's result is silently falsified
 """
 
 from __future__ import annotations
 
 import enum
 import os
+import pickle
 import time
 from dataclasses import dataclass
 
@@ -50,6 +58,7 @@ class FaultKind(enum.Enum):
     HANG = "hang"
     CORRUPT = "corrupt"
     RUNAWAY = "runaway"
+    TAMPER = "tamper"
 
 
 class WorkerCrashFault(ReproError):
@@ -128,16 +137,41 @@ class FaultPlan:
         return cls(specs=tuple(specs))
 
 
+def tamper_result(result) -> None:
+    """Silently falsify a :class:`~repro.superpin.slices.SliceResult`.
+
+    The mutations are architectural lies — wrong instruction count,
+    scrambled end-state fingerprint and syscall digest, shifted end pc —
+    chosen so the result still decodes, merges and simulates cleanly.
+    Deterministic, so the same run tampers the same way.
+    """
+    result.instructions += 1
+    result.end_pc ^= 1
+    if result.end_cpu_hash:
+        result.end_cpu_hash = "tampered:" + result.end_cpu_hash[:16]
+    if result.syscall_digest:
+        result.syscall_digest = "tampered:" + result.syscall_digest[:16]
+
+
+def tamper_blob(blob: bytes) -> bytes:
+    """Apply :func:`tamper_result` to a pickled worker result blob."""
+    result, fork_seconds, run_seconds, snapshot = pickle.loads(blob)
+    tamper_result(result)
+    return pickle.dumps((result, fork_seconds, run_seconds, snapshot),
+                        pickle.HIGHEST_PROTOCOL)
+
+
 def maybe_inject(plan: FaultPlan | None, index: int, attempt: int,
                  where: str) -> FaultSpec | None:
     """Fire the plan's fault for this attempt, if any.
 
     ``where`` is ``"worker"`` inside a pool process (real crash, real
     sleep) or ``"inprocess"`` in the parent (simulated equivalents that
-    must not take the parent down).  Returns the matched ``corrupt``
-    spec — the caller substitutes :data:`CORRUPT_BLOB` (worker) or
-    raises :class:`CorruptResultFault` (parent) — and None when no
-    fault fires.
+    must not take the parent down).  Returns the matched ``corrupt`` or
+    ``tamper`` spec — for ``corrupt`` the caller substitutes
+    :data:`CORRUPT_BLOB` (worker) or raises :class:`CorruptResultFault`
+    (parent); for ``tamper`` it runs the slice and passes the result
+    blob through :func:`tamper_blob` — and None when no fault fires.
     """
     spec = plan.spec_for(index, attempt) if plan is not None else None
     if spec is None:
@@ -158,4 +192,6 @@ def maybe_inject(plan: FaultPlan | None, index: int, attempt: int,
     if spec.kind is FaultKind.RUNAWAY:
         raise RunawaySliceError(
             f"injected runaway: slice {index} attempt {attempt}")
-    return spec  # FaultKind.CORRUPT: the caller corrupts its result
+    # FaultKind.CORRUPT / FaultKind.TAMPER: the caller corrupts the
+    # result (loudly or silently, respectively).
+    return spec

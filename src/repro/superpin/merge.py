@@ -12,6 +12,7 @@ the slices (conceptually) finished in.  Two mechanisms compose:
 
 from __future__ import annotations
 
+from ..obs.metrics import NULL_METRICS
 from ..obs.tracer import ensure_tracer
 from .api import SPControl
 from .sharedmem import AutoMerge
@@ -19,7 +20,7 @@ from .slices import SliceResult
 
 
 def merge_slices(sp: SPControl, results: list[SliceResult],
-                 tracer=None) -> dict[int, float]:
+                 tracer=None, metrics=NULL_METRICS) -> dict[int, float]:
     """Fold every slice's results into the shared state, in slice order.
 
     Emits one ``slice.merge`` span per merged slice into ``tracer`` (a
@@ -33,6 +34,7 @@ def merge_slices(sp: SPControl, results: list[SliceResult],
     them.
     """
     tracer = ensure_tracer(tracer)
+    holes = sum(1 for r in results if r is None)
     ordered = sorted((r for r in results if r is not None),
                      key=lambda r: r.index)
     seconds: dict[int, float] = {}
@@ -41,6 +43,10 @@ def merge_slices(sp: SPControl, results: list[SliceResult],
                          args={"slice": result.index}) as span:
             _merge_one(sp, result)
         seconds[result.index] = span.duration
+    if metrics.enabled:
+        metrics.inc("superpin.merge.merged_slices", len(ordered))
+        if holes:
+            metrics.inc("superpin.merge.holes", holes)
     return seconds
 
 

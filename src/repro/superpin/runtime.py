@@ -34,6 +34,7 @@ compared.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
@@ -47,6 +48,7 @@ from ..sched.machine_model import MachineModel, PAPER_MACHINE
 from ..sched.stats import TimingReport
 from ..sched.timing import CostModel, DEFAULT_COST_MODEL
 from .api import SliceToolContext, SPControl
+from .audit import AuditInputs, AuditReport, perform_audit
 from .control import ControlProcess, MasterTimeline
 from .merge import merge_slices
 from .parallel import SliceTimings, record_signatures
@@ -85,6 +87,8 @@ class SuperPinReport:
     #: The run's metrics registry (populated under ``-spmetrics``; the
     #: null registry otherwise).  None only for hand-built reports.
     metrics: MetricsRegistry | None = None
+    #: Differential audit outcome (``-spaudit`` only; None otherwise).
+    audit: AuditReport | None = None
 
     @property
     def num_slices(self) -> int:
@@ -237,6 +241,20 @@ def run_superpin(program: Program, tool: Pintool,
     tracer = ensure_tracer(tracer)
     metrics = metrics_for(config.spmetrics)
 
+    # The differential audit (-spaudit) re-runs the program from scratch
+    # twice, so it needs pristine copies of everything the audited run
+    # is about to mutate: the tool *before* setup registers state on it,
+    # and the kernel *before* the master consumes its clock/RNG/files.
+    audit_inputs: AuditInputs | None = None
+    if config.spaudit:
+        kernel = kernel if kernel is not None else Kernel()
+        audit_inputs = AuditInputs(
+            program=program,
+            tool=copy.deepcopy(tool),
+            reference_kernel=copy.deepcopy(kernel),
+            serial_kernel=copy.deepcopy(kernel),
+        )
+
     # 1. Tool setup through the SP API.
     sp = SPControl(config)
     tool.setup(sp)
@@ -273,7 +291,8 @@ def run_superpin(program: Program, tool: Pintool,
 
     # 5. Merge in slice order, then fini on the master tool.
     with tracer.span("merge_phase", cat="phase"):
-        merge_seconds = merge_slices(sp, results, tracer=tracer)
+        merge_seconds = merge_slices(sp, results, tracer=tracer,
+                                     metrics=metrics)
     for timing_record in timings:
         timing_record.merge_seconds = merge_seconds.get(
             timing_record.index, 0.0)
@@ -285,7 +304,7 @@ def run_superpin(program: Program, tool: Pintool,
         timing = (simulate(timeline, results, config, machine=machine,
                            cost=cost) if compute_timing and not degraded
                   else None)
-    return SuperPinReport(
+    report = SuperPinReport(
         config=config,
         timeline=timeline,
         slices=results,
@@ -301,3 +320,12 @@ def run_superpin(program: Program, tool: Pintool,
         trace=tracer,
         metrics=metrics,
     )
+
+    # 7. Differential audit (-spaudit): reference + serial baseline runs,
+    #    then the lockstep comparison.  Detection, not enforcement — a
+    #    divergent run still returns its report, with the evidence on it.
+    if audit_inputs is not None:
+        with tracer.span("audit_phase", cat="phase"):
+            report.audit = perform_audit(audit_inputs, report,
+                                         tracer=tracer, metrics=metrics)
+    return report

@@ -29,11 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..isa import abi
-from ..isa.registers import RA, SP, ZERO
+from ..isa.instructions import written_registers
+from ..isa.registers import RA, SP
 from ..machine.cpu import CpuState
 from ..machine.memory import Memory
 from ..machine.process import Process
-from ..pin.args import IARG_END, IARG_REG_VALUE, IPOINT_BEFORE
+from ..pin.args import IARG_END, IARG_PTR, IARG_REG_VALUE, IPOINT_BEFORE
 from ..pin.engine import PinVM
 from ..pin.jit import StopRun
 from .switches import SuperPinConfig
@@ -130,20 +131,25 @@ def select_quick_registers(snapshot_process: Process,
         if blocks_left[0] < 0:
             raise _LookaheadDone("lookahead-blocks")
 
+    def count_writes(dests: tuple[int, ...]) -> None:
+        for dest in dests:
+            writes[dest] += 1
+
     def instrument(trace, value) -> None:
         for bbl in trace.bbls:
             bbl.head.insert_call(IPOINT_BEFORE, count_block, IARG_END)
             for ins in bbl.instructions:
-                if ins.rd != ZERO and ins.op.name.lower() != "st":
-                    # Static destination register; count at execution time.
-                    dest = ins.rd
-                    if ins.info.format.name in ("RRR", "RRI", "RI", "MEM_L",
-                                                "RD"):
-                        ins.insert_call(
-                            IPOINT_BEFORE,
-                            lambda d=dest: writes.__setitem__(
-                                d, writes[d] + 1),
-                            IARG_END)
+                if ins.info.is_syscall:
+                    # The lookahead barrier stops *before* a syscall
+                    # executes, so its rv write never happens here.
+                    continue
+                # Static write-set from the ISA metadata: explicit rd
+                # plus implicit destinations (push/pop move sp, calls
+                # write ra) — counted at execution time.
+                dests = written_registers(ins.op, ins.rd)
+                if dests:
+                    ins.insert_call(IPOINT_BEFORE, count_writes,
+                                    IARG_PTR, dests, IARG_END)
 
     vm = PinVM(scratch)
     vm.add_trace_callback(instrument)

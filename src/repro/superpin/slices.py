@@ -78,6 +78,18 @@ class SliceResult:
     #: Warm-cache entries this slice exported for the control process
     #: to fold (pilot slice only; cleared once folded).
     warm_exports: tuple = ()
+    #: Architectural end state, for the differential audit: the pc the
+    #: slice stopped at and a fingerprint of its final register file.
+    end_pc: int = -1
+    end_cpu_hash: str = ""
+    #: Digest of the syscall records the slice actually consumed, in
+    #: consumption order (see sysrecord.StreamDigest).
+    syscall_digest: str = ""
+    #: Recorded calls still queued when the slice ended.  Nonzero on a
+    #: signature-matched slice means replay records were dropped —
+    #: counted as ``superpin.sysrecord.leftover`` and flagged by the
+    #: audit.
+    leftover_records: int = 0
 
     @property
     def exact(self) -> bool:
@@ -191,6 +203,10 @@ def run_slice(boundary: Boundary, interval: Interval,
         linked_dispatches=cache.stats.linked_dispatches,
         warm_starts=cache.stats.warm_starts,
         warm_mismatches=warm_set.mismatches if warm_set else 0,
+        end_pc=vm.cpu.pc,
+        end_cpu_hash=vm.cpu.fingerprint(),
+        syscall_digest=handler.stream_digest,
+        leftover_records=handler.remaining,
     )
     if export_warm:
         from .sharedcache import export_warm_traces
@@ -208,6 +224,9 @@ def run_slice(boundary: Boundary, interval: Interval,
         metrics.inc("superpin.slices.cow_faults", result_record.cow_faults)
         metrics.inc("superpin.slices.replayed_syscalls", handler.replayed)
         metrics.inc("superpin.slices.emulated_syscalls", handler.emulated)
+        if result_record.leftover_records:
+            metrics.inc("superpin.sysrecord.leftover",
+                        result_record.leftover_records)
         metrics.inc("pin.cache.lookups", cache.stats.lookups)
         metrics.inc("pin.cache.hits", cache.stats.hits)
         metrics.inc("pin.cache.linked_dispatches",

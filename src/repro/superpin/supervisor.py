@@ -65,7 +65,7 @@ from ..obs.tracer import ensure_tracer, TrackAllocator
 from .api import SliceToolContext, SPControl
 from .control import Interval, MasterTimeline
 from .faults import (CORRUPT_BLOB, CorruptResultFault, FaultKind, FaultPlan,
-                     maybe_inject)
+                     maybe_inject, tamper_blob)
 from .parallel import (SliceTimings, _slice_payload, _worker_run_slice,
                        execute_slices, slice_timings_from_records,
                        synthesize_slice_spans)
@@ -161,7 +161,12 @@ def _attempt_slice(payload: bytes, index: int, attempt: int,
             return CORRUPT_BLOB
         raise CorruptResultFault(
             f"injected corrupt result: slice {index} attempt {attempt}")
-    return _worker_run_slice(payload)
+    blob = _worker_run_slice(payload)
+    if spec is not None and spec.kind is FaultKind.TAMPER:
+        # Silent corruption: the attempt looks like a clean success to
+        # the supervisor; only the -spaudit oracle can catch it.
+        blob = tamper_blob(blob)
+    return blob
 
 
 def supervise_slices(timeline: MasterTimeline, signatures: list[Signature],

@@ -33,6 +33,11 @@ Switch                  Meaning
                         compiled traces ship with every later slice's
                         payload so slices start hot (on by default;
                         effective with ``-spworkers`` or sequential)
+``-spaudit <0|1>``      differential replay audit: re-run the program
+                        uninstrumented (and once under serial Pin) and
+                        compare every slice's architectural end state,
+                        syscall stream and tool results against the
+                        reference (see superpin.audit; off by default)
 ======================= ==================================================
 
 The reproduction adds knobs the paper fixes implicitly: the virtual clock
@@ -154,6 +159,14 @@ class SuperPinConfig:
     #: working set from guest memory.  The payload is frozen after the
     #: pilot so results stay identical for any worker count.
     spwarmcache: bool = True
+    # --- differential replay audit (off by default) ------------------------
+    #: Run the lockstep divergence oracle: a reference (uninstrumented)
+    #: run records per-boundary architectural checkpoints and syscall
+    #: stream digests, a serial-Pin run provides the tool baseline, and
+    #: every slice's end state / replayed stream / merged results are
+    #: compared.  The :class:`~repro.superpin.audit.AuditReport` lands
+    #: on ``SuperPinReport.audit``.  Roughly doubles run time.
+    spaudit: bool = False
 
     def __post_init__(self) -> None:
         if self.spmsec <= 0:
@@ -242,6 +255,7 @@ _FLAG_PARSERS = {
     "-spmetrics": ("spmetrics", lambda v: bool(int(v))),
     "-splinktraces": ("splinktraces", lambda v: bool(int(v))),
     "-spwarmcache": ("spwarmcache", lambda v: bool(int(v))),
+    "-spaudit": ("spaudit", lambda v: bool(int(v))),
 }
 
 

@@ -25,7 +25,9 @@ results.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..errors import DivergenceError
 from ..isa import abi
@@ -45,6 +47,49 @@ class RecordedSyscall:
     global_index: int
 
 
+def record_token(record: SyscallRecord) -> bytes:
+    """Canonical byte image of one syscall record.
+
+    Covers everything playback depends on — number, arguments, return
+    value, memory writes and classification — so two streams digest
+    equal iff a replay of one is indistinguishable from the other.
+    """
+    return (f"{record.number}|{record.args}|{record.retval}|"
+            f"{record.mem_writes}|{record.klass}").encode()
+
+
+class StreamDigest:
+    """Incremental sha256 digest over an ordered syscall stream.
+
+    The recorder (control process), the replayer (PlaybackHandler) and
+    the audit's reference interpreter each fold the calls they see, in
+    order; comparing hexdigests then checks entire streams in O(1)
+    without retaining them.
+    """
+
+    __slots__ = ("_hash", "count")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.count = 0
+
+    def fold(self, record: SyscallRecord) -> None:
+        self._hash.update(record_token(record))
+        self.count += 1
+
+    @property
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def stream_digest(records: Iterable[SyscallRecord]) -> str:
+    """Digest of a complete record stream (see :class:`StreamDigest`)."""
+    digest = StreamDigest()
+    for record in records:
+        digest.fold(record)
+    return digest.hexdigest
+
+
 class PlaybackHandler:
     """Syscall handler installed in slice processes.
 
@@ -62,10 +107,25 @@ class PlaybackHandler:
         self.thread_manager = thread_manager
         self.replayed = 0
         self.emulated = 0
+        #: Digest of the records actually consumed, in consumption
+        #: order — the audit compares it against the recorded stream.
+        self.digest = StreamDigest()
 
     @property
     def remaining(self) -> int:
+        """Recorded calls still queued (unconsumed).
+
+        Nonzero after a signature-matched slice means the slice ended
+        *before* re-issuing calls the master performed inside the
+        interval — records the old code dropped silently.  The slice
+        runner surfaces this on ``SliceResult.leftover_records`` and the
+        audit treats it as a divergence.
+        """
         return len(self._records) - self._pos
+
+    @property
+    def stream_digest(self) -> str:
+        return self.digest.hexdigest
 
     def do_syscall(self, cpu: CpuState, mem: Memory) -> SyscallOutcome:
         number = cpu.regs[A0]
@@ -84,6 +144,7 @@ class PlaybackHandler:
                 f"#{entry.global_index}: recorded "
                 f"{record.name}{record.args}, guest invoked "
                 f"{abi.SYSCALL_NAMES.get(number, number)}{args}")
+        self.digest.fold(record)
 
         if record.klass == THREAD:
             # Thread ops are deterministic process-local state changes:

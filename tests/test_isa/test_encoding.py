@@ -66,3 +66,32 @@ def test_encoding_is_injective_in_fields(op, rd, imm):
     other = imm - 1 if imm > IMM_MIN else imm + 1
     b = encode(op, rd=rd, imm=other)
     assert a != b
+
+
+class TestWrittenRegisters:
+    """Static write-set metadata (drives the quick-register lookahead)."""
+
+    def test_explicit_rd_formats(self):
+        from repro.isa.instructions import written_registers
+        assert written_registers(Op.ADD, 5) == (5,)
+        assert written_registers(Op.LI, 7) == (7,)
+        assert written_registers(Op.LD, 3) == (3,)
+
+    def test_rd_zero_is_discarded(self):
+        from repro.isa.instructions import written_registers
+        assert written_registers(Op.ADD, 0) == ()
+
+    def test_stores_and_branches_write_nothing(self):
+        from repro.isa.instructions import written_registers
+        assert written_registers(Op.ST, 0) == ()
+        assert written_registers(Op.BEQ, 0) == ()
+        assert written_registers(Op.J, 0) == ()
+
+    def test_implicit_destinations(self):
+        from repro.isa.instructions import written_registers
+        from repro.isa.registers import RA, RV, SP
+        assert written_registers(Op.PUSH, 0) == (SP,)
+        assert written_registers(Op.POP, 9) == (9, SP)
+        assert written_registers(Op.CALL, 0) == (RA,)
+        assert written_registers(Op.CALLR, 0) == (RA,)
+        assert written_registers(Op.SYSCALL, 0) == (RV,)

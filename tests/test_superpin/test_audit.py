@@ -1,0 +1,232 @@
+"""The differential replay audit: oracle correctness and sensitivity.
+
+Two families of tests:
+
+* **soundness** — a healthy pipeline run must audit divergence-free,
+  across sequential/worker and warm/cold configurations;
+* **sensitivity (mutation tests)** — every divergence kind in the
+  taxonomy must actually fire when the corresponding lie is planted,
+  either via the compare-level mutator registry (fast, surgical) or via
+  ``-spinject tamper``/``corrupt`` through the full pipeline.  An oracle
+  that cannot detect a seeded bug is worse than no oracle.
+"""
+
+from __future__ import annotations
+
+import copy
+from types import SimpleNamespace
+
+import pytest
+
+from repro.machine import Kernel, SyscallRecord
+from repro.superpin import (compare_run, FaultPlan, record_reference,
+                            RecordedSyscall, run_serial_baseline,
+                            run_superpin, SliceEnd, SuperPinConfig)
+from repro.tools import ICount2
+
+from repro.isa import assemble
+from tests.conftest import MULTISLICE
+
+SEED = 7
+
+
+def _audited_config(**overrides) -> SuperPinConfig:
+    base = dict(spmsec=400, clock_hz=10_000, spaudit=True, spmetrics=True)
+    base.update(overrides)
+    return SuperPinConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    """One audited multislice run plus its reference and serial legs."""
+    program = assemble(MULTISLICE)
+    config = _audited_config()
+    report = run_superpin(program, ICount2(), config,
+                          kernel=Kernel(seed=SEED))
+    guard = report.timeline.total_instructions * 2 + 100_000
+    reference = record_reference(
+        program, Kernel(seed=SEED),
+        [b.master_instructions for b in report.timeline.boundaries],
+        max_instructions=guard)
+    serial = run_serial_baseline(program, ICount2(), Kernel(seed=SEED),
+                                 max_instructions=guard)
+    return report, reference, serial
+
+
+def _clone(report):
+    """A mutable stand-in exposing exactly what compare_run reads."""
+    return SimpleNamespace(
+        timeline=copy.deepcopy(report.timeline),
+        signatures=report.signatures,
+        slices=copy.deepcopy(report.slices),
+        degraded_slices=list(report.degraded_slices),
+        tool=copy.deepcopy(report.tool),
+    )
+
+
+class TestSoundness:
+    def test_clean_run_is_divergence_free(self, clean_run):
+        report, reference, serial = clean_run
+        audit = compare_run(report, reference, serial)
+        assert audit.ok, audit.summary()
+        assert audit.checks > 100
+        assert audit.slices_checked == report.num_slices
+
+    def test_pipeline_audit_attached_and_counted(self, clean_run):
+        report, _, _ = clean_run
+        assert report.audit is not None and report.audit.ok
+        counters = report.metrics.counters
+        assert counters["superpin.audit.checks"] == report.audit.checks
+        assert counters.get("superpin.audit.divergences", 0) == 0
+
+    def test_reference_matches_master_shape(self, clean_run):
+        report, reference, _ = clean_run
+        timeline = report.timeline
+        assert len(reference.checkpoints) == len(timeline.boundaries)
+        assert reference.total_instructions == timeline.total_instructions
+        assert reference.exit_code == timeline.exit_code
+        assert not reference.truncated
+
+    def test_serial_baseline_agrees(self, clean_run):
+        report, reference, serial = clean_run
+        assert serial.completed
+        assert serial.instructions == reference.total_instructions
+        assert serial.tool_report == report.tool.report()
+
+    def test_report_json_round_trip(self, clean_run):
+        import json
+        report, reference, serial = clean_run
+        audit = compare_run(report, reference, serial)
+        blob = json.loads(json.dumps(audit.to_json()))
+        assert blob["ok"] is True
+        assert blob["checks"] == audit.checks
+
+    def test_truncated_reference_is_a_divergence(self, clean_run):
+        report, _, serial = clean_run
+        program = assemble(MULTISLICE)
+        short = record_reference(
+            program, Kernel(seed=SEED),
+            [b.master_instructions for b in report.timeline.boundaries],
+            max_instructions=50)  # nowhere near exit
+        assert short.truncated
+        audit = compare_run(report, short, serial)
+        assert "reference.truncated" in audit.by_kind()
+
+
+def _fake_record(retval=12345):
+    return RecordedSyscall(
+        record=SyscallRecord(number=9, args=(retval, 0, 0), retval=retval,
+                             mem_writes=(), klass="replay"),
+        global_index=999)
+
+
+#: kind -> mutator planting exactly the lie that kind must catch.
+MUTATORS = {
+    "slice.icount": lambda r: setattr(
+        r.slices[1], "instructions", r.slices[1].instructions + 1),
+    "slice.end_pc": lambda r: setattr(
+        r.slices[1], "end_pc", r.slices[1].end_pc ^ 1),
+    "signature.pc": lambda r: setattr(
+        r.slices[1], "end_pc", r.slices[1].end_pc ^ 1),
+    "slice.end_state": lambda r: setattr(
+        r.slices[1], "end_cpu_hash", "bogus"),
+    "slice.reason": lambda r: setattr(
+        r.slices[1], "reason", SliceEnd.TOOL_END),
+    "syscall.stream": lambda r: setattr(
+        r.slices[1], "syscall_digest", "bogus"),
+    "syscall.leftover": lambda r: setattr(
+        r.slices[1], "leftover_records", 2),
+    "slice.missing": lambda r: r.slices.pop(1),
+    "boundary.pc": lambda r: _shift_boundary_pc(r, 1),
+    "boundary.cpu": lambda r: _scramble_boundary_regs(r, 1),
+    "syscall.recorded": lambda r:
+        r.timeline.intervals[0].records.append(_fake_record()),
+    "syscall.mutated": lambda r:
+        r.timeline.intervals[0].records.append(_fake_record()),
+    "syscall.count": lambda r: setattr(
+        r.timeline.intervals[0], "syscalls",
+        r.timeline.intervals[0].syscalls + 1),
+    "interval.icount": lambda r: setattr(
+        r.timeline.intervals[0], "instructions",
+        r.timeline.intervals[0].instructions + 1),
+    "exit_code": lambda r: setattr(r.timeline, "exit_code", 98),
+    "icount.total": lambda r: setattr(
+        r.timeline, "total_instructions",
+        r.timeline.total_instructions + 5),
+    "stdout": lambda r: r.timeline.kernel.stdout.append(ord("!")),
+    # SharedArea deepcopies hand back the same object (that is the
+    # point of a shared area), so mutating the tool's counts would leak
+    # into the module-scoped fixture; swap in an independent stand-in.
+    "tool.results": lambda r: setattr(
+        r, "tool", SimpleNamespace(
+            report=lambda total=r.tool.total: {"icount": total + 1})),
+}
+
+
+def _shift_boundary_pc(r, i):
+    pc, regs = r.timeline.boundaries[i].cpu_snapshot
+    r.timeline.boundaries[i].cpu_snapshot = (pc + 1, regs)
+
+
+def _scramble_boundary_regs(r, i):
+    pc, regs = r.timeline.boundaries[i].cpu_snapshot
+    scrambled = (regs[0],) + (regs[1] ^ 0xDEAD,) + regs[2:]
+    r.timeline.boundaries[i].cpu_snapshot = (pc, scrambled)
+
+
+class TestMutationSensitivity:
+    """Every taxonomy kind fires for its planted lie — and only lies
+    fire: the unmutated clone stays clean (checked in TestSoundness)."""
+
+    @pytest.mark.parametrize("kind", sorted(MUTATORS))
+    def test_mutation_detected(self, clean_run, kind):
+        report, reference, serial = clean_run
+        clone = _clone(report)
+        MUTATORS[kind](clone)
+        audit = compare_run(clone, reference, serial)
+        assert not audit.ok
+        assert kind in audit.by_kind(), (
+            f"expected {kind}, got {audit.by_kind()}")
+
+    def test_clone_itself_is_clean(self, clean_run):
+        report, reference, serial = clean_run
+        audit = compare_run(_clone(report), reference, serial)
+        assert audit.ok, audit.summary()
+
+
+class TestInjectedFaults:
+    """Full-pipeline mutation tests through -spinject."""
+
+    def test_tamper_is_caught_sequential(self):
+        program = assemble(MULTISLICE)
+        config = _audited_config(fault_plan=FaultPlan.parse("tamper@1"))
+        report = run_superpin(program, ICount2(), config,
+                              kernel=Kernel(seed=SEED))
+        audit = report.audit
+        assert not audit.ok
+        kinds = audit.by_kind()
+        assert "slice.icount" in kinds and "slice.end_state" in kinds
+        assert report.metrics.counters["superpin.audit.divergences"] > 0
+
+    def test_tamper_is_caught_with_workers(self):
+        program = assemble(MULTISLICE)
+        config = _audited_config(spworkers=2,
+                                 fault_plan=FaultPlan.parse("tamper@2"))
+        report = run_superpin(program, ICount2(), config,
+                              kernel=Kernel(seed=SEED))
+        assert not report.audit.ok
+        assert any(d.slice_index == 2
+                   for d in report.audit.divergences)
+
+    def test_unrecoverable_corrupt_degrade_is_caught(self):
+        program = assemble(MULTISLICE)
+        config = _audited_config(
+            spfaults="degrade",
+            fault_plan=FaultPlan.parse("corrupt@1:*"))
+        report = run_superpin(program, ICount2(), config,
+                              kernel=Kernel(seed=SEED))
+        assert report.degraded_slices == [1]
+        kinds = report.audit.by_kind()
+        assert "slice.missing" in kinds
+        # The hole also shows up as a wrong merged tool total.
+        assert "tool.results" in kinds

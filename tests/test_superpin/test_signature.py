@@ -120,6 +120,79 @@ main:
     def test_defaults_are_sp_ra(self):
         assert DEFAULT_QUICK_REGS == (SP, RA)
 
+    def test_store_heavy_loop_still_finds_the_counter(self):
+        """Stores write memory, not registers: a store-dense loop must
+        rank its counter first, with no phantom writes charged to the
+        stored register (the old name-based classifier special-cased
+        ``st`` by hand; the write-set metadata gets it for free)."""
+        program = assemble("""
+.entry main
+main:
+    li   t3, 0
+lp: st   t3, 0x8000(zero)
+    st   t3, 0x8001(zero)
+    st   t3, 0x8002(zero)
+    st   t3, 0x8003(zero)
+    addi t3, t3, 1
+    li   t4, 500
+    blt  t3, t4, lp
+    halt
+""")
+        process = load_program(program, Kernel())
+        Interpreter(process).run(max_instructions=8)  # inside the loop
+        quick = select_quick_registers(process, SuperPinConfig())
+        assert quick is not None
+        assert quick[0] in (11, 12)  # t3/t4: the only written registers
+        assert SP not in quick  # nothing pushed: sp never moves
+
+    def test_push_pop_loop_counts_implicit_sp_writes(self):
+        """push/pop encode no explicit destination, but each moves the
+        stack pointer — the write-set the old classifier missed.  In a
+        stack-dominated loop sp is the most-written register and must
+        top the quick-check pair."""
+        program = assemble("""
+.entry main
+main:
+    li   t3, 0
+lp: push t3
+    push t3
+    push t3
+    pop  t4
+    pop  t4
+    pop  t4
+    addi t3, t3, 1
+    li   t5, 500
+    blt  t3, t5, lp
+    halt
+""")
+        process = load_program(program, Kernel())
+        Interpreter(process).run(max_instructions=10)
+        quick = select_quick_registers(process, SuperPinConfig())
+        assert quick is not None
+        # sp: 6 writes/iteration vs 3 for t4 and 2 for t3/t5.
+        assert quick[0] == SP
+
+    def test_call_loop_counts_implicit_ra_writes(self):
+        program = assemble("""
+.entry main
+main:
+    li   t3, 0
+lp: call leaf
+    call leaf
+    call leaf
+    addi t3, t3, 1
+    li   t4, 500
+    blt  t3, t4, lp
+    halt
+leaf:
+    ret
+""")
+        process = load_program(program, Kernel())
+        Interpreter(process).run(max_instructions=6)
+        quick = select_quick_registers(process, SuperPinConfig())
+        assert quick is not None
+        assert RA in quick  # call's implicit link-register write
+
 
 class TestDetectionStatistics:
     def test_full_check_rate_near_paper_value(self, multislice_program):

@@ -60,6 +60,16 @@ class TestSupervisionSwitches:
         assert config.fault_plan.specs[0].kind is FaultKind.CRASH
         assert config.fault_plan.specs[1].attempts is None
 
+    def test_parse_tamper_inject(self):
+        config = parse_switches(["-spinject", "tamper@1"])
+        assert config.fault_plan.specs[0].kind is FaultKind.TAMPER
+        assert config.fault_plan.specs[0].slice_index == 1
+
+    def test_parse_audit(self):
+        assert SuperPinConfig().spaudit is False
+        assert parse_switches(["-spaudit", "1"]).spaudit is True
+        assert parse_switches(["-spaudit", "0"]).spaudit is False
+
     def test_bad_inject_spec_rejected(self):
         with pytest.raises(ConfigError, match="fault spec"):
             parse_switches(["-spinject", "explode@0"])

@@ -8,8 +8,10 @@ from repro.isa.registers import A0, A1, A2, A3, RV
 from repro.machine import (Kernel, load_program, MemLayout, Memory,
                            SyscallRecord)
 from repro.machine.cpu import CpuState
+from repro.machine.kernel import SyscallOutcome
 from repro.superpin import (PlaybackHandler, RecordedSyscall,
                             run_superpin, SuperPinConfig)
+from repro.superpin.sysrecord import stream_digest, StreamDigest
 from repro.tools import ICount2
 
 
@@ -89,6 +91,46 @@ class TestDivergence:
         with pytest.raises(DivergenceError, match="layout fork diverged"):
             _invoke(handler, abi.SYS_MMAP, 0x5000, 100)
 
+    def test_brk_emulation_mismatch_raises(self):
+        # Recorded brk(0) saw 3000, but this fork's brk is 1000.
+        records = [_record(abi.SYS_BRK, (0, 0, 0), retval=3000,
+                           klass="emulate")]
+        handler = PlaybackHandler(records, MemLayout(brk=1000), 0)
+        with pytest.raises(DivergenceError, match="layout fork diverged"):
+            _invoke(handler, abi.SYS_BRK, 0)
+
+    def test_munmap_emulation_mismatch_raises(self):
+        layout = MemLayout()
+        base = layout.do_mmap(0, 128)
+        records = [_record(abi.SYS_MUNMAP, (base, 128, 0), retval=7,
+                           klass="emulate")]  # recorded a lie: munmap -> 7
+        handler = PlaybackHandler(records, layout, 2)
+        with pytest.raises(DivergenceError, match="layout fork diverged"):
+            _invoke(handler, abi.SYS_MUNMAP, base, 128)
+
+    def test_thread_record_without_manager_raises(self):
+        records = [_record(abi.SYS_YIELD, (0, 0, 0), klass="thread")]
+        handler = PlaybackHandler(records, MemLayout(), 4,
+                                  thread_manager=None)
+        with pytest.raises(DivergenceError, match="no thread manager"):
+            _invoke(handler, abi.SYS_YIELD)
+
+    def test_thread_retval_mismatch_raises(self):
+        class _Manager:
+            def handle(self, number, cpu, mem):
+                return SyscallOutcome(
+                    record=SyscallRecord(number=number, args=(0, 0, 0),
+                                         retval=99, mem_writes=(),
+                                         klass="thread"),
+                    exited=False, exit_code=0)
+
+        records = [_record(abi.SYS_THREAD_CREATE, (0x100, 0, 0), retval=2,
+                           klass="thread")]
+        handler = PlaybackHandler(records, MemLayout(), 5,
+                                  thread_manager=_Manager())
+        with pytest.raises(DivergenceError, match="scheduler fork diverged"):
+            _invoke(handler, abi.SYS_THREAD_CREATE, 0x100)
+
 
 class TestEmulation:
     def test_brk_reexecuted_on_fork(self):
@@ -116,6 +158,58 @@ class TestEmulation:
         assert cpu.regs[RV] == base
         cpu, _ = _invoke(handler, abi.SYS_MUNMAP, base, 256)
         assert cpu.regs[RV] == 0
+
+
+class TestLeftoverAndDigest:
+    def test_remaining_counts_unconsumed_records(self):
+        records = [_record(abi.SYS_TIME, retval=1),
+                   _record(abi.SYS_TIME, retval=2)]
+        handler = PlaybackHandler(records, MemLayout(), 0)
+        assert handler.remaining == 2
+        _invoke(handler, abi.SYS_TIME)
+        assert handler.remaining == 1  # one record was never re-issued
+
+    def test_consumed_digest_matches_recorded_prefix(self):
+        records = [_record(abi.SYS_TIME, retval=1),
+                   _record(abi.SYS_TIME, retval=2)]
+        handler = PlaybackHandler(records, MemLayout(), 0)
+        _invoke(handler, abi.SYS_TIME)
+        assert handler.stream_digest \
+            == stream_digest([records[0].record])
+        assert handler.stream_digest \
+            != stream_digest([r.record for r in records])
+
+    def test_digest_sensitive_to_every_field(self):
+        base = _record(abi.SYS_TIME, retval=1).record
+        for variant in (
+                _record(abi.SYS_GETPID, retval=1).record,
+                _record(abi.SYS_TIME, args=(1, 0, 0), retval=1).record,
+                _record(abi.SYS_TIME, retval=2).record,
+                _record(abi.SYS_TIME, retval=1,
+                        mem_writes=((5, 5),)).record,
+                _record(abi.SYS_TIME, retval=1,
+                        klass="emulate").record):
+            assert stream_digest([base]) != stream_digest([variant])
+
+    def test_incremental_matches_batch(self):
+        records = [_record(abi.SYS_TIME, retval=n).record
+                   for n in range(5)]
+        digest = StreamDigest()
+        for record in records:
+            digest.fold(record)
+        assert digest.hexdigest == stream_digest(records)
+        assert digest.count == 5
+
+    def test_leftover_surfaces_on_slice_result(self, multislice_program):
+        """End to end: a clean run leaves zero unconsumed records on
+        every signature-matched slice, and says so on the result."""
+        config = SuperPinConfig(spmsec=400, clock_hz=10_000)
+        report = run_superpin(multislice_program, ICount2(), config,
+                              kernel=Kernel(seed=11))
+        assert report.num_slices > 2
+        for result in report.slices:
+            assert result.leftover_records == 0
+            assert result.syscall_digest  # always populated now
 
 
 class TestEndToEndReplayNecessity:
