@@ -128,6 +128,26 @@ def _cmd_run(args, extra: list[str]) -> int:
               f"{int(sup['recovered_slices'])} slices recovered"
               f"{degraded}")
     print(f"tool report: {tool.report()}")
+    instr = report.instrumentation_summary()
+    if config.spfilter is not None or config.spsuppress:
+        parts = [f"{instr['analysis_calls']} analysis calls"]
+        if config.spfilter is not None:
+            parts.append(f"filter '{config.spfilter}' skipped "
+                         f"{instr['skipped_callbacks']} callbacks "
+                         f"({instr['fastpath_traces']} fast-path traces)")
+        if config.spsuppress:
+            parts.append(f"{instr['summarized_loops']} summarized loops "
+                         f"suppressed {instr['suppressed_calls']} calls")
+        print("instrumentation: " + ", ".join(parts))
+    if config.spsample > 0:
+        samp = report.sampling_summary()
+        print(f"sampling: 1/{samp['period']} slices instrumented "
+              f"({samp['sampled_slices']} sampled, "
+              f"{samp['skipped_slices']} tool-free) — tool report is an "
+              f"approximation")
+    if report.total_warm_mismatches:
+        print(f"warm cache: {report.total_warm_mismatches} consistency "
+              f"mismatches (those traces compiled cold)")
     det = report.detection_summary()
     print(f"detection: {det['quick_checks']} quick checks, "
           f"{det['full_checks']} full "

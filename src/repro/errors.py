@@ -105,6 +105,22 @@ class SliceExecutionError(ReproError):
         super().__init__(message)
 
 
+class MergeMismatchError(ReproError):
+    """A slice's tool context does not line up with the control state.
+
+    Raised by the merge phase when a slice returns a different number of
+    shared-area locals than the control process registered areas — a
+    truncated or stale tool context.  Silently zipping the two lists
+    would drop area merges, corrupting the merged tool results (the
+    ``tool.results`` divergence class of the audit); failing loudly with
+    the slice index keeps the corruption diagnosable.
+    """
+
+    def __init__(self, message: str, slice_index: int | None = None):
+        self.slice_index = slice_index
+        super().__init__(message)
+
+
 class CodeCacheOverflowError(ReproError):
     """A single compiled trace cannot fit in the code-cache bubble.
 

@@ -16,6 +16,7 @@ tools are free to use either style.
 
 from __future__ import annotations
 
+from .filter import InstrumentFilter, opcode_class_of
 from .trace import Bbl, Ins, TraceObj
 
 # -- TRACE ------------------------------------------------------------------
@@ -121,8 +122,23 @@ def INS_IsMemoryWrite(ins: Ins) -> bool:
     return ins.is_memory_write
 
 
+def INS_OpcodeClass(ins: Ins) -> str:
+    """Broad instruction class: ``control``, ``mem`` or ``alu``."""
+    return opcode_class_of(ins)
+
+
 def INS_InsertCall(ins: Ins, ipoint, fn, *iargs) -> None:
     ins.insert_call(ipoint, fn, *iargs)
+
+
+def INS_InsertSummarizedCall(ins: Ins, ipoint, fn, summary, *iargs) -> None:
+    """``INS_InsertCall`` that also declares the call's summary form.
+
+    ``summary(iterations, *args)`` must equal ``iterations`` invocations
+    of ``fn(*args)``; the suppression pass may then fire the summary
+    once per loop instead of the call once per iteration.
+    """
+    ins.insert_summarized_call(ipoint, fn, summary, *iargs)
 
 
 def INS_InsertIfCall(ins: Ins, ipoint, fn, *iargs) -> None:
@@ -131,3 +147,31 @@ def INS_InsertIfCall(ins: Ins, ipoint, fn, *iargs) -> None:
 
 def INS_InsertThenCall(ins: Ins, ipoint, fn, *iargs) -> None:
     ins.insert_then_call(ipoint, fn, *iargs)
+
+
+# -- filters -----------------------------------------------------------------
+
+
+def INS_MatchesFilter(ins: Ins, flt: InstrumentFilter | None) -> bool:
+    """True when ``ins`` matches ``flt`` (a None filter matches all)."""
+    return flt is None or flt.matches_ins(ins)
+
+
+def TRACE_MatchesFilter(trace: TraceObj,
+                        flt: InstrumentFilter | None) -> bool:
+    """True when any instruction of ``trace`` matches ``flt``."""
+    return flt is None or flt.matches_trace(trace)
+
+
+def BBL_NumMatchingIns(bbl: Bbl, flt: InstrumentFilter | None) -> int:
+    """Number of instructions in ``bbl`` matching ``flt``.
+
+    Filter-aware tools count per *instruction*, not per trace: trace
+    shapes differ between serial Pin and sliced execution (forced
+    boundaries split traces at signature pcs), so only an
+    instruction-granular count is identical across both — the property
+    the audit's ``tool.results`` check enforces.
+    """
+    if flt is None:
+        return bbl.num_ins
+    return sum(1 for ins in bbl.instructions if flt.matches_ins(ins))

@@ -169,6 +169,33 @@ def build_resolver(specs: list[tuple[IArg, object]], ins, cpu, mem,
     return lambda: tuple(part() for part in parts)
 
 
+#: Specifier kinds whose value is fully known at instrumentation time.
+_STATIC_KINDS = (IArg.UINT64, IArg.ADDRINT, IArg.PTR, IArg.INST_PTR)
+
+
+def try_static_args(specs: list[tuple[IArg, object]], ins) -> tuple | None:
+    """Fold a spec list to a constant argument tuple, or None.
+
+    Returns the argument tuple when every specifier is static (literal,
+    pointer, or the instruction address) — the legality condition for
+    loop summarization (repro.pin.suppress): an invariant payload can be
+    fired once with a trip count instead of once per iteration.  Any
+    dynamic specifier (register value, effective address, branch state)
+    returns None.
+    """
+    static: list[object] = []
+    for kind, value in specs:
+        if kind in (IArg.UINT64, IArg.ADDRINT):
+            static.append(int(value) & MASK64)  # type: ignore[arg-type]
+        elif kind is IArg.PTR:
+            static.append(value)
+        elif kind is IArg.INST_PTR:
+            static.append(ins.address)
+        else:
+            return None
+    return tuple(static)
+
+
 def _ea_resolver(ins, regs) -> Callable[[], int]:
     """Effective-address computation for LD/ST/PUSH/POP."""
     from ..isa.instructions import Op

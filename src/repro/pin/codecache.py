@@ -41,6 +41,10 @@ class CacheStats:
     #: Traces installed from a cross-slice warm payload rather than
     #: compiled from guest memory (see repro.superpin.sharedcache).
     warm_starts: int = 0
+    #: Inserts over an address that was already cached: the old trace is
+    #: evicted (and unlinked) and its bubble charge refunded, so neither
+    #: ``allocated_words`` nor ``compiles`` double-counts.
+    reinserts: int = 0
 
     @property
     def misses(self) -> int:
@@ -65,6 +69,9 @@ class CodeCache:
         self.metrics = metrics
         self._traces: dict[int, object] = {}
         self._cursor = bubble_base
+        #: Bubble words charged per live address, so a re-insert can
+        #: refund exactly what its predecessor consumed.
+        self._charges: dict[int, int] = {}
         self.stats = CacheStats()
         #: Every insert as (address, num_ins) — consumed by the shared
         #: code-cache directory to attribute compile costs.
@@ -84,7 +91,17 @@ class CodeCache:
         return self._cursor + need <= self.bubble_base + self.bubble_words
 
     def insert(self, address: int, trace, num_ins: int) -> None:
-        """Store a compiled trace, charging bubble space; flush if full."""
+        """Store a compiled trace, charging bubble space; flush if full.
+
+        Inserting over an address that is already cached is a
+        *re-insert*: the old trace is evicted first — its links cleared
+        and every inbound link from other traces removed, so no
+        predecessor can keep executing the replaced code — and its
+        bubble charge refunded.  A re-insert updates neither
+        ``compiles``/``compiled_ins`` nor the insert log (the shared
+        code-cache directory keys attribution by first insert), only
+        the ``reinserts`` counter.
+        """
         need = TRACE_HEADER_WORDS + num_ins * WORDS_PER_COMPILED_INS
         if need > self.bubble_words:
             # One flush cannot help: the trace is bigger than the whole
@@ -94,16 +111,46 @@ class CodeCache:
                 f"trace at {address:#x} needs {need} cache words "
                 f"({num_ins} instructions) but the bubble holds only "
                 f"{self.bubble_words}")
+        reinsert = address in self._traces
+        if reinsert:
+            self._evict_one(address)
         if self._cursor + need > self.bubble_base + self.bubble_words:
             self.flush()
         self._cursor += need
         self.stats.allocated_words += need
+        self._charges[address] = need
+        self._traces[address] = trace
+        if reinsert:
+            self.stats.reinserts += 1
+            self.metrics.inc("pin.cache.reinserts")
+            return
         self.stats.compiles += 1
         self.stats.compiled_ins += num_ins
         self.insert_log.append((address, num_ins))
-        self._traces[address] = trace
         self.metrics.inc("pin.cache.compiles")
         self.metrics.inc("pin.cache.compiled_ins", num_ins)
+
+    def _evict_one(self, address: int) -> None:
+        """Drop one cached trace: unlink it everywhere, refund its charge.
+
+        Clears the evicted trace's own outgoing links *and* removes
+        every other trace's direct link to it — the same stale-link
+        invariant :meth:`flush` maintains wholesale.
+        """
+        old = self._traces.pop(address)
+        links = getattr(old, "links", None)
+        if links:
+            links.clear()
+        for trace in self._traces.values():
+            tlinks = getattr(trace, "links", None)
+            if not tlinks:
+                continue
+            for pc in [pc for pc, target in tlinks.items()
+                       if target is old]:
+                del tlinks[pc]
+        refund = self._charges.pop(address, 0)
+        self._cursor -= refund
+        self.stats.allocated_words -= refund
 
     def flush(self) -> None:
         """Drop every compiled trace (bubble exhausted or invalidation).
@@ -121,6 +168,7 @@ class CodeCache:
             if links:
                 links.clear()
         self._traces.clear()
+        self._charges.clear()
         self._cursor = self.bubble_base
         self.stats.flushes += 1
 

@@ -18,6 +18,7 @@ from ..machine.kernel import SyscallOutcome
 from ..machine.process import Process
 from ..obs.metrics import NULL_METRICS
 from .codecache import CodeCache
+from .filter import InstrumentationStats
 from .jit import CompiledTrace, EXIT_GUEST, Jit, StopRun
 from .trace import MAX_TRACE_INS
 
@@ -57,7 +58,8 @@ class PinVM:
                  code_cache: CodeCache | None = None,
                  jit_backend: str = "closure",
                  link_traces: bool = True,
-                 metrics=NULL_METRICS):
+                 metrics=NULL_METRICS,
+                 suppress_loops: bool = False):
         self.process = process
         self.cpu = process.cpu
         self.mem = process.mem
@@ -94,11 +96,21 @@ class PinVM:
         #: lazily with *this* engine's instrumentation, so a warm trace
         #: is architecturally identical to a cold compile.
         self.warm_traces = None
+        #: Redundancy suppression (repro.pin.suppress): legal back-edge
+        #: loops compile with their invariant instrumentation summarized
+        #: to one call per loop exit.
+        self.suppress_loops = suppress_loops
+        #: Selective-instrumentation / suppression counters, folded into
+        #: the metrics registry at slice end (``pin.filter.*`` /
+        #: ``pin.suppress.*``).
+        self.instr_stats = InstrumentationStats()
         #: Unwind markers maintained by generated code (source backend).
         self._stop_pc = 0
         self._stop_count = 0
-        #: (callback, value) pairs called for every newly compiled trace.
-        self.trace_callbacks: list[tuple[object, object]] = []
+        #: (callback, value, filter) triples called for every newly
+        #: compiled trace; ``filter`` is an InstrumentFilter or None
+        #: (always instrument).
+        self.trace_callbacks: list[tuple[object, object, object]] = []
         #: Called with each SyscallOutcome right after a syscall executes.
         self.syscall_observers: list[object] = []
         #: [analysis_calls, inline_checks] — mutated by compiled steps.
@@ -111,13 +123,18 @@ class PinVM:
 
     # -- instrumentation registration ---------------------------------------
 
-    def add_trace_callback(self, callback, value: object = None) -> None:
+    def add_trace_callback(self, callback, value: object = None,
+                           trace_filter=None) -> None:
         """Register ``callback(trace, value)`` (TRACE_AddInstrumentFunction).
 
-        Adding a callback invalidates previously compiled code, exactly as
-        late instrumentation does in Pin.
+        ``trace_filter`` optionally restricts the callback to traces
+        containing at least one matching instruction (an
+        :class:`~repro.pin.filter.InstrumentFilter`); non-matching
+        traces skip this callback and compile as uninstrumented
+        fast-path traces.  Adding a callback invalidates previously
+        compiled code, exactly as late instrumentation does in Pin.
         """
-        self.trace_callbacks.append((callback, value))
+        self.trace_callbacks.append((callback, value, trace_filter))
         if len(self.cache):
             self.cache.flush()
 

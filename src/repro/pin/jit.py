@@ -21,7 +21,10 @@ from typing import Callable
 from ..errors import ArithmeticFault
 from ..isa.instructions import MASK64, Op
 from .args import build_resolver
-from .trace import build_trace, Ins
+from .filter import run_trace_callbacks
+from .suppress import LOOP_TRIP_CAP, LoopPlan, SuppressedLoopTrace, \
+    plan_suppression
+from .trace import build_trace, Ins, TraceObj
 
 #: Sentinel step result: the guest has exited.
 EXIT_GUEST = -2
@@ -74,8 +77,11 @@ class Jit:
         trace_obj = build_trace(engine.mem, address,
                                 forced_boundaries=engine.forced_boundaries,
                                 max_ins=engine.max_trace_ins)
-        for callback, value in engine.trace_callbacks:
-            callback(trace_obj, value)
+        run_trace_callbacks(engine, trace_obj)
+
+        plan = plan_suppression(engine, trace_obj)
+        if plan is not None:
+            return self._compile_suppressed(trace_obj, plan)
 
         steps: list[Step] = []
         addresses: list[int] = []
@@ -85,6 +91,83 @@ class Jit:
         return CompiledTrace(address, steps, addresses,
                              trace_obj.fall_address,
                              [bbl.num_ins for bbl in trace_obj.bbls])
+
+    # -- redundancy suppression ----------------------------------------------
+
+    def _compile_suppressed(self, trace_obj: TraceObj,
+                            plan: LoopPlan) -> SuppressedLoopTrace:
+        """Lower a planned loop into its summarized form.
+
+        The body semantics run per iteration; the invariant
+        instrumentation fires once per loop exit (or per
+        ``LOOP_TRIP_CAP`` trips) as ``summary(iterations, *args)``.
+        The result uses the source-backend calling convention so one
+        invocation can retire many instructions with exact unwind
+        markers for the rare post-loop suffix.
+        """
+        engine = self._engine
+        stats = engine.instr_stats
+        stats.summarized_loops += 1
+        counters = engine.counters
+
+        body_sems = [self._lower_semantics(ins) for ins in plan.body[:-1]]
+        tail_sem = self._lower_semantics(plan.tail)
+        rest_steps = [self._lower_ins(ins) for ins in plan.rest]
+        rest_addrs = [ins.address for ins in plan.rest]
+        start = plan.start
+        m = plan.body_len
+        n_rest = len(rest_steps)
+        summaries = tuple(plan.summaries)
+        n_calls = len(summaries)
+        cap = LOOP_TRIP_CAP
+        fall = trace_obj.fall_address
+        resume_pc = rest_addrs[0] if rest_addrs else fall
+
+        def fire(iterations: int) -> None:
+            counters[0] += n_calls
+            stats.loop_entries += 1
+            stats.summarized_calls += n_calls
+            stats.suppressed_calls += (iterations - 1) * n_calls
+            for summary, args in summaries:
+                summary(iterations, *args)
+
+        def fn() -> tuple[int | None, int]:
+            trips = 0
+            while True:
+                for sem in body_sems:
+                    sem()
+                # The tail branches to the head when taken (plan
+                # legality), so any non-None result is the back edge.
+                if tail_sem() is None:
+                    break
+                trips += 1
+                if trips >= cap:
+                    # Return to the dispatcher so the instruction
+                    # budget and StopRun seams stay live; the direct
+                    # link re-enters this trace on the next dispatch.
+                    engine._stop_pc = start
+                    engine._stop_count = trips * m
+                    fire(trips)
+                    return (start, trips * m)
+            iterations = trips + 1
+            base = iterations * m
+            engine._stop_pc = resume_pc
+            engine._stop_count = base
+            fire(iterations)
+            i = 0
+            while i < n_rest:
+                engine._stop_pc = rest_addrs[i]
+                engine._stop_count = base + i
+                result = rest_steps[i]()
+                if result is not None:
+                    return (result, base + i + 1)
+                i += 1
+            return (None, base + n_rest)
+
+        return SuppressedLoopTrace(
+            start=start, fn=fn, num_ins=trace_obj.num_ins,
+            fall_address=fall,
+            bbl_sizes=[bbl.num_ins for bbl in trace_obj.bbls])
 
     # -- lowering ------------------------------------------------------------
 

@@ -57,6 +57,19 @@ class Pintool:
 
     name = "pintool"
 
+    #: Optional :class:`~repro.pin.filter.InstrumentFilter`: when set,
+    #: :meth:`instrument_trace` only runs for traces containing at least
+    #: one matching instruction; other traces compile uninstrumented
+    #: (``-spfilter`` assigns this before the tool is copied into
+    #: slices, so every slice — and the audit's serial baseline —
+    #: inherits the same filter).  Filter-aware tools must *also* check
+    #: per instruction (``INS_MatchesFilter`` / ``BBL_NumMatchingIns``)
+    #: inside ``instrument_trace``: trace shapes differ between serial
+    #: and sliced execution, so only instruction-granular decisions
+    #: produce replay-stable results — the engine's whole-trace skip is
+    #: merely the fast path consistent with that semantics.
+    instrument_filter = None
+
     def setup(self, sp) -> None:
         """One-time initialization; ``sp`` is the SuperPin API handle."""
 
@@ -72,7 +85,8 @@ class Pintool:
     def activate(self, vm: PinVM) -> None:
         """Register this tool's instrumentation on ``vm``."""
         vm.add_trace_callback(
-            lambda trace, value, _vm=vm: self.instrument_trace(trace, _vm))
+            lambda trace, value, _vm=vm: self.instrument_trace(trace, _vm),
+            trace_filter=self.instrument_filter)
 
     def report(self) -> dict:
         """Machine-readable results; tools override for their own schema."""
@@ -81,17 +95,21 @@ class Pintool:
 
 def run_with_pin(program, tool: Pintool, kernel: Kernel | None = None,
                  max_instructions: int | None = None,
-                 jit_backend: str = "closure"
+                 jit_backend: str = "closure",
+                 suppress_loops: bool = False
                  ) -> tuple[PinRunResult, PinVM, Kernel]:
     """Classic (serial) Pin execution: the paper's baseline mode.
 
     Loads ``program``, instruments it with ``tool`` and runs it to
     completion under the Pin VM.  Returns the run result, the VM (for its
-    statistics) and the kernel (for guest output).
+    statistics) and the kernel (for guest output).  The tool's
+    ``instrument_filter`` applies here exactly as under SuperPin, so the
+    audit's serial baseline sees the same instrumentation.
     """
     kernel = kernel if kernel is not None else Kernel()
     process = load_program(program, kernel)
-    vm = PinVM(process, jit_backend=jit_backend)
+    vm = PinVM(process, jit_backend=jit_backend,
+               suppress_loops=suppress_loops)
     tool.setup(NullSuperPin())
     tool.activate(vm)
     result = vm.run(max_instructions=max_instructions)

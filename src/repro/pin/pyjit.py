@@ -30,7 +30,9 @@ import types
 from ..errors import ArithmeticFault
 from ..isa.instructions import MASK64, Op
 from .args import build_resolver
+from .filter import run_trace_callbacks
 from .jit import EXIT_GUEST, StopRun
+from .suppress import LOOP_TRIP_CAP, LoopPlan, plan_suppression
 from .trace import build_trace, Ins
 
 
@@ -74,17 +76,24 @@ class SourceJit:
         trace_obj = build_trace(engine.mem, address,
                                 forced_boundaries=engine.forced_boundaries,
                                 max_ins=engine.max_trace_ins)
-        for callback, value in engine.trace_callbacks:
-            callback(trace_obj, value)
+        run_trace_callbacks(engine, trace_obj)
 
         emitter = _Emitter(engine)
-        for index, ins in enumerate(trace_obj.instructions):
-            emitter.lower(index, ins)
-        emitter.line(f"return (None, {len(trace_obj.instructions)})")
+        plan = plan_suppression(engine, trace_obj)
+        if plan is not None:
+            emitter.emit_suppressed_loop(plan)
+        else:
+            for index, ins in enumerate(trace_obj.instructions):
+                emitter.lower(index, ins)
+            emitter.line(f"return (None, {len(trace_obj.instructions)})")
         return trace_obj, emitter
 
     def _build(self, address: int, trace_obj, emitter,
                code=None) -> SourceCompiledTrace:
+        if emitter.suppressed:
+            # Counted at build (not lower) time so a warm-path
+            # consistency mismatch that re-lowers cold counts once.
+            self._engine.instr_stats.summarized_loops += 1
         if code is None:
             source, namespace = emitter.finish(address)
             fn = namespace["__trace__"]
@@ -136,6 +145,13 @@ class _Emitter:
         self._engine = engine
         self._lines: list[str] = []
         self._indent = 1
+        #: True once a summarized loop has been emitted for this trace.
+        self.suppressed = False
+        #: Instruction-count base expression: None for an absolute count
+        #: (the normal whole-trace lowering), or a variable name (the
+        #: post-loop suffix of a summarized trace counts retired
+        #: instructions relative to ``_base``).
+        self._count_base: str | None = None
         self.namespace: dict[str, object] = {
             "E": engine,
             "cpu": engine.cpu,
@@ -160,6 +176,12 @@ class _Emitter:
         self.namespace[name] = value
         return name
 
+    def _count(self, n: int) -> str:
+        """Retired-instruction count expression for offset ``n``."""
+        if self._count_base is None:
+            return str(n)
+        return f"{self._count_base} + {n}"
+
     # -- instrumentation ------------------------------------------------------
 
     def _emit_calls(self, index: int, ins: Ins) -> tuple[str, str]:
@@ -180,7 +202,7 @@ class _Emitter:
         if has_calls or may_fault:
             # Progress markers so StopRun/faults unwind exactly.
             self.line(f"E._stop_pc = {ins.address}")
-            self.line(f"E._stop_count = {index}")
+            self.line(f"E._stop_count = {self._count(index)}")
 
         for j, (if_call, then_call) in enumerate(ins.if_then):
             if_fn = self._bind(f"if{index}_{j}", if_call.fn)
@@ -229,11 +251,96 @@ class _Emitter:
         for stmt in after:
             self.line(stmt)
 
+    # -- redundancy suppression ----------------------------------------------
+
+    def emit_suppressed_loop(self, plan: LoopPlan) -> None:
+        """Emit a summarized loop (see repro.pin.suppress) as source.
+
+        Body semantics run per iteration inside a ``while True``; the
+        invariant instrumentation fires once per loop exit (or per
+        ``LOOP_TRIP_CAP`` trips) via the bound summary functions.  The
+        post-loop suffix counts retired instructions relative to
+        ``_base``, keeping unwind markers exact.
+        """
+        self.suppressed = True
+        start = plan.start
+        m = plan.body_len
+        n_calls = len(plan.summaries)
+        sup = self._bind("sup", self._engine.instr_stats)
+        bound = []
+        for j, (summary, args) in enumerate(plan.summaries):
+            bound.append((self._bind(f"sf{j}", summary),
+                          self._bind(f"sa{j}", args)))
+
+        def fire(iters: str, trips: str) -> None:
+            self.line(f"ctr[0] += {n_calls}")
+            self.line(f"{sup}.loop_entries += 1")
+            self.line(f"{sup}.summarized_calls += {n_calls}")
+            self.line(f"{sup}.suppressed_calls += {trips} * {n_calls}")
+            for fn_name, args_name in bound:
+                self.line(f"{fn_name}({iters}, *{args_name})")
+
+        self.line("_trips = 0")
+        self.line("while True:")
+        self._indent += 1
+        for ins in plan.body[:-1]:
+            self._semantics(0, ins, [])
+
+        tail = plan.tail
+        rs, rt = tail.rs, tail.rt
+        conds = {
+            Op.BEQ: f"regs[{rs}] == regs[{rt}]",
+            Op.BNE: f"regs[{rs}] != regs[{rt}]",
+            Op.BLTU: f"regs[{rs}] < regs[{rt}]",
+            Op.BGEU: f"regs[{rs}] >= regs[{rt}]",
+        }
+        if plan.uncond:
+            cond = None
+        elif tail.op in conds:
+            cond = conds[tail.op]
+        else:  # BLT / BGE
+            self.line(f"_a = regs[{rs}]")
+            self.line("if _a & SGN: _a -= W")
+            self.line(f"_b = regs[{rt}]")
+            self.line("if _b & SGN: _b -= W")
+            cond = "_a < _b" if tail.op is Op.BLT else "_a >= _b"
+
+        if cond is not None:
+            self.line(f"if {cond}:")
+            self._indent += 1
+        self.line("_trips += 1")
+        self.line(f"if _trips >= {LOOP_TRIP_CAP}:")
+        self._indent += 1
+        self.line(f"E._stop_pc = {start}")
+        self.line(f"E._stop_count = _trips * {m}")
+        fire("_trips", "(_trips - 1)")
+        self.line(f"return ({start}, _trips * {m})")
+        self._indent -= 1
+        if cond is None:
+            # Unconditional back edge: the loop only exits via the cap.
+            self._indent -= 1
+            return
+        self.line("continue")
+        self._indent -= 1
+        self.line("break")
+        self._indent -= 1
+
+        resume = plan.rest[0].address if plan.rest else tail.address + 1
+        self.line("_iters = _trips + 1")
+        self.line(f"_base = _iters * {m}")
+        self.line(f"E._stop_pc = {resume}")
+        self.line("E._stop_count = _base")
+        fire("_iters", "_trips")
+        self._count_base = "_base"
+        for offset, ins in enumerate(plan.rest):
+            self.lower(offset, ins)
+        self.line(f"return (None, {self._count(len(plan.rest))})")
+
     def _semantics(self, index: int, ins: Ins,
                    taken: list[str]) -> None:
         op = ins.op
         rd, rs, rt, imm = ins.rd, ins.rs, ins.rt, ins.imm
-        retired = index + 1
+        retired = self._count(index + 1)
 
         def ret(target: str) -> None:
             for stmt in taken:

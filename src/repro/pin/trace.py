@@ -38,6 +38,12 @@ class _Call:
     fn: object
     specs: list
     ipoint: IPoint
+    #: Optional loop-summary form: ``summary(iterations, *args)`` must
+    #: equal ``iterations`` invocations of ``fn(*args)``.  Declared via
+    #: ``insert_summarized_call``; the suppression pass (repro.pin.
+    #: suppress) may then fire the summary once per loop instead of the
+    #: per-iteration call.  None means the call is never summarizable.
+    summary: object | None = None
 
 
 class Ins:
@@ -99,10 +105,15 @@ class Ins:
 
     # -- instrumentation attachment ------------------------------------------
 
-    def insert_call(self, ipoint: IPoint, fn, *iargs) -> None:
-        """Attach an analysis call (``INS_InsertCall``)."""
+    def insert_call(self, ipoint: IPoint, fn, *iargs, summary=None) -> None:
+        """Attach an analysis call (``INS_InsertCall``).
+
+        ``summary`` optionally declares the call's loop-summary form
+        (see :class:`_Call`); use :meth:`insert_summarized_call` for the
+        C-style spelling.
+        """
         specs = parse_iargs(iargs)
-        call = _Call(fn, specs, ipoint)
+        call = _Call(fn, specs, ipoint, summary=summary)
         if ipoint is IPoint.BEFORE:
             self.before_calls.append(call)
         elif ipoint is IPoint.AFTER:
@@ -119,6 +130,21 @@ class Ins:
             self.taken_calls.append(call)
         else:  # pragma: no cover
             raise InstrumentationError(f"unknown ipoint {ipoint}")
+
+    def insert_summarized_call(self, ipoint: IPoint, fn, summary,
+                               *iargs) -> None:
+        """Attach an analysis call that also declares its summary form.
+
+        The contract the tool signs up to: ``summary(iterations, *args)``
+        produces exactly the state change of ``iterations`` calls of
+        ``fn(*args)``.  Only IPOINT_BEFORE calls with fully static
+        arguments are ever summarized; everything else runs per
+        iteration as usual.
+        """
+        if summary is None:
+            raise InstrumentationError(
+                "insert_summarized_call requires a summary function")
+        self.insert_call(ipoint, fn, *iargs, summary=summary)
 
     def insert_if_call(self, ipoint: IPoint, fn, *iargs) -> None:
         """Attach the predicate half of an if/then pair.

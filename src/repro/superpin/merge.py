@@ -12,6 +12,7 @@ the slices (conceptually) finished in.  Two mechanisms compose:
 
 from __future__ import annotations
 
+from ..errors import MergeMismatchError
 from ..obs.metrics import NULL_METRICS
 from ..obs.tracer import ensure_tracer
 from .api import SPControl
@@ -52,6 +53,18 @@ def merge_slices(sp: SPControl, results: list[SliceResult],
 
 def _merge_one(sp: SPControl, result: SliceResult) -> None:
     ctx = result.tool_ctx
+    # The slice context was deep-copied from the control tool, so its
+    # area list must mirror sp.areas one-to-one.  A bare zip would
+    # silently drop the unmatched tail — losing tool results (or
+    # folding them into the wrong area) without a trace — so a length
+    # mismatch is a structural error, not something to truncate around.
+    if len(ctx.area_locals) != len(sp.areas):
+        raise MergeMismatchError(
+            f"slice {result.index} carries {len(ctx.area_locals)} shared-"
+            f"area locals but the control process registered "
+            f"{len(sp.areas)} areas — the slice context no longer "
+            f"mirrors the control tool",
+            slice_index=result.index)
     for area, local in zip(sp.areas, ctx.area_locals):
         if area.auto_merge is not AutoMerge.NONE and local is not None:
             area.merge_from(local)

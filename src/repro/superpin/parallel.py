@@ -103,25 +103,38 @@ TIMING_SPANS = {
 }
 
 
-def slice_timings_from_records(records, n_slices: int
-                               ) -> list[SliceTimings]:
+def slice_timings_from_records(records, n_slices: int,
+                               metrics=NULL_METRICS) -> list[SliceTimings]:
     """Project trace span records onto per-slice :class:`SliceTimings`.
 
     Only spans named in :data:`TIMING_SPANS` and tagged with a ``slice``
     argument contribute; durations for the same (slice, field) pair sum,
     so a payload-pickle span and a result-decode span both land in
     ``pickle_seconds`` exactly like the old hand-rolled counters did.
+
+    The ``slice`` tag must be a genuine int in range.  ``True`` is an
+    ``int`` subclass in Python, so an ``isinstance`` guard would let a
+    boolean tag silently credit slice 1 with another slice's seconds;
+    and an out-of-range index means the span and the interval list
+    disagree about the run's shape.  Neither is a valid projection, so
+    such spans are dropped and counted under ``superpin.timings.dropped``
+    instead of vanishing.
     """
     timings = [SliceTimings(index=k) for k in range(n_slices)]
+    dropped = 0
     for record in records:
         field_name = TIMING_SPANS.get(record.name)
         if field_name is None or not record.args:
             continue
         k = record.args.get("slice")
-        if isinstance(k, int) and 0 <= k < n_slices:
+        if type(k) is int and 0 <= k < n_slices:
             timing = timings[k]
             setattr(timing, field_name,
                     getattr(timing, field_name) + record.duration)
+        else:
+            dropped += 1
+    if dropped:
+        metrics.inc("superpin.timings.dropped", dropped)
     return timings
 
 
@@ -271,7 +284,8 @@ def execute_slices(timeline: MasterTimeline, signatures: list[Signature],
         results = _execute_parallel(timeline, signatures, template, sp,
                                     config, tracer, metrics)
     timings = slice_timings_from_records(tracer.records_since(mark),
-                                         len(timeline.intervals))
+                                         len(timeline.intervals),
+                                         metrics=metrics)
     return results, timings
 
 

@@ -140,6 +140,40 @@ class SuperPinReport:
             "full_check_rate": (full / quick) if quick else 0.0,
         }
 
+    @property
+    def total_warm_mismatches(self) -> int:
+        """Warm-cache entries whose consistency check failed, run-wide.
+
+        A systematically nonzero value means the pilot's instrumentation
+        no longer matches the slices' (e.g. sampling skipped the tool on
+        some slices) and those slices compiled cold.
+        """
+        return sum(s.warm_mismatches for s in self.slices)
+
+    def instrumentation_summary(self) -> dict[str, int]:
+        """Selective-instrumentation and suppression totals (-spfilter /
+        -spsuppress / -spsample) aggregated across slices."""
+        return {
+            "analysis_calls": sum(s.analysis_calls for s in self.slices),
+            "fastpath_traces": sum(s.fastpath_traces for s in self.slices),
+            "skipped_callbacks": sum(s.skipped_callbacks
+                                     for s in self.slices),
+            "summarized_loops": sum(s.summarized_loops
+                                    for s in self.slices),
+            "suppressed_calls": sum(s.suppressed_calls
+                                    for s in self.slices),
+            "warm_mismatches": self.total_warm_mismatches,
+        }
+
+    def sampling_summary(self) -> dict[str, int]:
+        """Sampling coverage (-spsample): which slices carried the tool."""
+        sampled = sum(1 for s in self.slices if s.instrumented)
+        return {
+            "period": self.config.spsample,
+            "sampled_slices": sampled,
+            "skipped_slices": len(self.slices) - sampled,
+        }
+
     def supervision_summary(self) -> dict[str, float]:
         """Aggregate fault-handling statistics for the slice phase."""
         return {
@@ -240,6 +274,15 @@ def run_superpin(program: Program, tool: Pintool,
                           "use repro.pin.run_with_pin instead")
     tracer = ensure_tracer(tracer)
     metrics = metrics_for(config.spmetrics)
+
+    # Selective instrumentation (-spfilter): parse the spec against this
+    # program's symbol table and pin it on the tool *before* anything
+    # copies the tool — the slice template, and crucially the audit's
+    # pristine baseline below, must inherit the same filter so serial
+    # Pin and SuperPin produce bit-identical (filtered) tool results.
+    if config.spfilter is not None:
+        from ..pin.filter import parse_filter
+        tool.instrument_filter = parse_filter(config.spfilter, program)
 
     # The differential audit (-spaudit) re-runs the program from scratch
     # twice, so it needs pristine copies of everything the audited run

@@ -90,6 +90,19 @@ class SliceResult:
     #: counted as ``superpin.sysrecord.leftover`` and flagged by the
     #: audit.
     leftover_records: int = 0
+    #: False when sampling (``-spsample``) skipped this slice's tool
+    #: activation: the slice ran the engine fast path and contributed
+    #: nothing to the merged tool results.
+    instrumented: bool = True
+    #: Traces compiled with every tool callback filtered out
+    #: (``-spfilter``): the uninstrumented fast path.
+    fastpath_traces: int = 0
+    #: Tool trace-callback invocations skipped by the filter.
+    skipped_callbacks: int = 0
+    #: Loop traces compiled in summarized form (``-spsuppress``).
+    summarized_loops: int = 0
+    #: Per-iteration analysis calls avoided by loop summarization.
+    suppressed_calls: int = 0
 
     @property
     def exact(self) -> bool:
@@ -139,11 +152,17 @@ def run_slice(boundary: Boundary, interval: Interval,
     forced = frozenset({end_signature.pc}) if end_signature else frozenset()
     vm = PinVM(process, forced_boundaries=forced, code_cache=cache,
                jit_backend=config.jit_backend,
-               link_traces=config.splinktraces, metrics=metrics)
+               link_traces=config.splinktraces, metrics=metrics,
+               suppress_loops=config.spsuppress)
 
-    # 3. Fork the tool context and attach instrumentation.
+    # 3. Fork the tool context and attach instrumentation.  Sampling
+    #    (-spsample N) activates the tool on every Nth slice only; the
+    #    other slices run the tool-free fast path (detection and
+    #    instruction accounting are unaffected).
+    instrumented = config.spsample == 0 or index % config.spsample == 0
     ctx: SliceToolContext = copy.deepcopy(template)
-    ctx.tool.activate(vm)
+    if instrumented:
+        ctx.tool.activate(vm)
     detector: SignatureDetector | None = None
     if end_signature is not None:
         detector = SignatureDetector(end_signature, vm)
@@ -207,6 +226,11 @@ def run_slice(boundary: Boundary, interval: Interval,
         end_cpu_hash=vm.cpu.fingerprint(),
         syscall_digest=handler.stream_digest,
         leftover_records=handler.remaining,
+        instrumented=instrumented,
+        fastpath_traces=vm.instr_stats.fastpath_traces,
+        skipped_callbacks=vm.instr_stats.skipped_callbacks,
+        summarized_loops=vm.instr_stats.summarized_loops,
+        suppressed_calls=vm.instr_stats.suppressed_calls,
     )
     if export_warm:
         from .sharedcache import export_warm_traces
@@ -232,6 +256,23 @@ def run_slice(boundary: Boundary, interval: Interval,
         metrics.inc("pin.cache.linked_dispatches",
                     cache.stats.linked_dispatches)
         metrics.inc("pin.cache.warm_starts", cache.stats.warm_starts)
+        metrics.inc("pin.cache.warm_mismatches",
+                    result_record.warm_mismatches)
+        # (pin.cache.reinserts is counted live inside CodeCache.insert,
+        # like pin.cache.compiles.)
+        istats = vm.instr_stats
+        metrics.inc("pin.filter.fastpath_traces", istats.fastpath_traces)
+        metrics.inc("pin.filter.skipped_callbacks",
+                    istats.skipped_callbacks)
+        metrics.inc("pin.suppress.summarized_loops",
+                    istats.summarized_loops)
+        metrics.inc("pin.suppress.loop_entries", istats.loop_entries)
+        metrics.inc("pin.suppress.summarized_calls",
+                    istats.summarized_calls)
+        metrics.inc("pin.suppress.suppressed_calls",
+                    istats.suppressed_calls)
+        if not instrumented:
+            metrics.inc("superpin.sample.skipped_slices")
         metrics.observe("superpin.slice.instructions",
                         result_record.instructions)
     return result_record

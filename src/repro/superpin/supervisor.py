@@ -363,7 +363,8 @@ class _Supervisor:
     def _finish(self) -> SupervisedSlices:
         ordered = [self.results[k] for k in sorted(self.results)]
         timings = slice_timings_from_records(
-            self.tracer.records_since(self._mark), self.n_slices)
+            self.tracer.records_since(self._mark), self.n_slices,
+            metrics=self.metrics)
         for track in range(1, self._tracks.num_tracks + 1):
             self.tracer.name_track(track, f"slice lane {track}")
         return SupervisedSlices(results=ordered, timings=timings,

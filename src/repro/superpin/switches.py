@@ -38,6 +38,21 @@ Switch                  Meaning
                         compare every slice's architectural end state,
                         syscall stream and tool results against the
                         reference (see superpin.audit; off by default)
+``-spfilter <spec>``    selective instrumentation: restrict the tool to
+                        traces matching the spec (comma-separated
+                        ``routine:NAME`` / ``range:LO-HI`` /
+                        ``opcode:CLASS`` terms, see repro.pin.filter);
+                        other traces compile uninstrumented
+``-spsuppress <0|1>``   redundancy suppression: summarize invariant
+                        loop instrumentation into one call per loop
+                        exit (see repro.pin.suppress; off by default)
+``-spsample <N>``       sampling: instrument every Nth slice only; the
+                        other slices run the tool-free fast path (the
+                        engine still counts instructions and signature
+                        detection still runs).  0 (default) disables
+                        sampling.  Tool results then cover only the
+                        sampled slices — an approximation the report
+                        surfaces explicitly
 ======================= ==================================================
 
 The reproduction adds knobs the paper fixes implicitly: the virtual clock
@@ -167,6 +182,24 @@ class SuperPinConfig:
     #: compared.  The :class:`~repro.superpin.audit.AuditReport` lands
     #: on ``SuperPinReport.audit``.  Roughly doubles run time.
     spaudit: bool = False
+    # --- selective instrumentation / suppression / sampling ----------------
+    #: Instrumentation filter spec (see :func:`repro.pin.filter.
+    #: parse_filter`), or None for full instrumentation.  Applied to the
+    #: tool *before* it is copied into slices and before the audit
+    #: captures its baseline, so every execution mode sees the same
+    #: instrumentation and tool results stay bit-identical.
+    spfilter: str | None = None
+    #: Redundancy suppression: compile legal back-edge loops with their
+    #: invariant instrumentation summarized to one call per loop exit
+    #: (see repro.pin.suppress).  Results are bit-identical by the
+    #: summary contract; the audit enforces it.
+    spsuppress: bool = False
+    #: Sampling period: instrument slice indices ``i % spsample == 0``
+    #: only; other slices skip tool activation entirely.  0 disables.
+    #: Unlike -spfilter/-spsuppress this *changes tool results* (they
+    #: cover the sampled slices only), so the audit skips the
+    #: tool-results comparison when sampling is on.
+    spsample: int = 0
 
     def __post_init__(self) -> None:
         if self.spmsec <= 0:
@@ -215,6 +248,11 @@ class SuperPinConfig:
             raise ConfigError(
                 f"jit_backend must be 'closure' or 'source', "
                 f"got {self.jit_backend!r}")
+        if self.spsample < 0:
+            raise ConfigError(
+                f"-spsample must be >= 0, got {self.spsample}")
+        if self.spfilter is not None and not str(self.spfilter).strip():
+            raise ConfigError("-spfilter spec must not be empty")
 
     @property
     def timeslice_cycles(self) -> int:
@@ -256,6 +294,9 @@ _FLAG_PARSERS = {
     "-splinktraces": ("splinktraces", lambda v: bool(int(v))),
     "-spwarmcache": ("spwarmcache", lambda v: bool(int(v))),
     "-spaudit": ("spaudit", lambda v: bool(int(v))),
+    "-spfilter": ("spfilter", str),
+    "-spsuppress": ("spsuppress", lambda v: bool(int(v))),
+    "-spsample": ("spsample", int),
 }
 
 

@@ -15,8 +15,9 @@ Both produce identical counts; they differ only in overhead.
 
 from __future__ import annotations
 
-from ..pin.api import (BBL_InsHead, BBL_Next, BBL_NumIns, BBL_Valid,
-                       INS_InsertCall, TRACE_BblHead)
+from ..pin.api import (BBL_InsHead, BBL_Next, BBL_NumMatchingIns,
+                       BBL_Valid, INS_InsertSummarizedCall,
+                       INS_MatchesFilter, TRACE_BblHead)
 from ..pin.args import IARG_END, IARG_UINT64, IPOINT_BEFORE
 from ..pin.pintool import Pintool
 
@@ -35,6 +36,10 @@ class ICount2(Pintool):
 
     def docount(self, count: int) -> None:
         self.icount += count
+
+    def docount_summary(self, iterations: int, count: int) -> None:
+        """Summary form: ``iterations`` loop trips of ``docount(count)``."""
+        self.icount += iterations * count
 
     # -- SuperPin hooks (the highlighted lines of Figure 2) -------------------
 
@@ -61,8 +66,18 @@ class ICount2(Pintool):
     def instrument_trace(self, trace, vm) -> None:
         bbl = TRACE_BblHead(trace)
         while BBL_Valid(bbl):
-            INS_InsertCall(BBL_InsHead(bbl), IPOINT_BEFORE, self.docount,
-                           IARG_UINT64, BBL_NumIns(bbl), IARG_END)
+            # Count per-instruction against the filter (trace shapes
+            # differ between serial and sliced runs, so a per-trace
+            # decision would not be replay-stable).  The increment is
+            # invariant (a literal), so declare the summary form:
+            # -spsuppress may fire it once per loop with the trip count
+            # instead of once per iteration.
+            count = BBL_NumMatchingIns(bbl, self.instrument_filter)
+            if count:
+                INS_InsertSummarizedCall(
+                    BBL_InsHead(bbl), IPOINT_BEFORE, self.docount,
+                    self.docount_summary,
+                    IARG_UINT64, count, IARG_END)
             bbl = BBL_Next(bbl)
 
     def fini(self) -> None:
@@ -89,6 +104,13 @@ class ICount1(ICount2):
     def docount1(self) -> None:
         self.icount += 1
 
+    def docount1_summary(self, iterations: int) -> None:
+        """Summary form: ``iterations`` invocations of ``docount1``."""
+        self.icount += iterations
+
     def instrument_trace(self, trace, vm) -> None:
         for ins in trace.instructions:
-            INS_InsertCall(ins, IPOINT_BEFORE, self.docount1, IARG_END)
+            if INS_MatchesFilter(ins, self.instrument_filter):
+                INS_InsertSummarizedCall(ins, IPOINT_BEFORE,
+                                         self.docount1,
+                                         self.docount1_summary, IARG_END)

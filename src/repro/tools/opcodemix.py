@@ -40,17 +40,27 @@ class OpcodeMix(Pintool):
         self.shared = area if hasattr(area, "merge_from") else None
 
     def instrument_trace(self, trace, vm) -> None:
+        from ..pin.api import INS_MatchesFilter
         for ins in trace.instructions:
-            # The opcode is static; fold it into the argument list.
-            ins.insert_call(IPOINT_BEFORE, self.bump_factory(int(ins.op)),
-                            IARG_END)
+            # Per-instruction filter check keeps the counted set stable
+            # across serial and sliced trace shapes.  The opcode is
+            # static; fold it into the argument list and declare the
+            # affine summary form for loop suppression.
+            if not INS_MatchesFilter(ins, self.instrument_filter):
+                continue
+            bump, bump_summary = self.bump_factory(int(ins.op))
+            ins.insert_summarized_call(IPOINT_BEFORE, bump, bump_summary,
+                                       IARG_END)
 
     def bump_factory(self, opnum: int):
         counts = self.counts
 
         def bump() -> None:
             counts[opnum] += 1
-        return bump
+
+        def bump_summary(iterations: int) -> None:
+            counts[opnum] += iterations
+        return bump, bump_summary
 
     # -- results --------------------------------------------------------------
 

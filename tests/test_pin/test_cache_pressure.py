@@ -41,3 +41,79 @@ def test_tiny_trace_cap_still_correct(multislice_program):
     vm.run()
     tool.fini()
     assert tool.total == interp.total_instructions
+
+
+class _FakeTrace:
+    """Minimal trace stand-in with a links dict (like compiled traces)."""
+
+    def __init__(self, name):
+        self.name = name
+        self.links = {}
+
+    def __repr__(self):
+        return f"<trace {self.name}>"
+
+
+class TestReinsert:
+    """Regression: CodeCache.insert over a live address must evict the
+    old trace (links included) and refund its bubble charge — the old
+    code double-charged the bubble and left stale inbound links."""
+
+    def test_reinsert_refunds_bubble_charge(self):
+        cache = CodeCache(bubble_base=0, bubble_words=100_000)
+        cache.insert(0x100, _FakeTrace("a1"), num_ins=10)
+        words_once = cache.stats.allocated_words
+        for _ in range(5):
+            cache.insert(0x100, _FakeTrace("aN"), num_ins=10)
+        assert cache.stats.allocated_words == words_once
+        assert cache._cursor == words_once
+        assert cache.stats.reinserts == 5
+
+    def test_reinsert_does_not_inflate_compiles_or_log(self):
+        cache = CodeCache(bubble_base=0, bubble_words=100_000)
+        cache.insert(0x100, _FakeTrace("a"), num_ins=10)
+        cache.insert(0x200, _FakeTrace("b"), num_ins=4)
+        cache.insert(0x100, _FakeTrace("a2"), num_ins=10)
+        assert cache.stats.compiles == 2
+        assert cache.stats.compiled_ins == 14
+        assert cache.insert_log == [(0x100, 10), (0x200, 4)]
+
+    def test_reinsert_unlinks_inbound_links(self):
+        cache = CodeCache(bubble_base=0, bubble_words=100_000)
+        old = _FakeTrace("old")
+        succ = _FakeTrace("succ")
+        pred = _FakeTrace("pred")
+        cache.insert(0x100, old, num_ins=5)
+        cache.insert(0x200, succ, num_ins=5)
+        cache.insert(0x300, pred, num_ins=5)
+        pred.links[0x100] = old      # pred chains into old
+        old.links[0x200] = succ      # old chains onward
+        new = _FakeTrace("new")
+        cache.insert(0x100, new, num_ins=5)
+        # No stale route to the evicted trace survives, and the evicted
+        # trace cannot keep chaining into live code.
+        assert 0x100 not in pred.links
+        assert not old.links
+        assert cache.lookup(0x100) is new
+        # Unrelated links survive.
+        assert pred.links == {}
+
+    def test_reinsert_counts_metric_live(self):
+        from repro.obs.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
+        cache = CodeCache(bubble_base=0, bubble_words=100_000,
+                          metrics=metrics)
+        cache.insert(0x100, _FakeTrace("a"), num_ins=3)
+        cache.insert(0x100, _FakeTrace("b"), num_ins=3)
+        assert metrics.counters.get("pin.cache.reinserts") == 1
+        assert metrics.counters.get("pin.cache.compiles") == 1
+
+    def test_reinserts_cannot_exhaust_bubble(self):
+        """Before the fix, every reinsert leaked its predecessor's charge
+        and eventually forced a spurious flush."""
+        need = 16 + 10 * 4  # TRACE_HEADER_WORDS + num_ins * WORDS
+        cache = CodeCache(bubble_base=0, bubble_words=need * 3)
+        for _ in range(100):
+            cache.insert(0x100, _FakeTrace("x"), num_ins=10)
+        assert cache.stats.flushes == 0
+        assert cache.stats.allocated_words == need

@@ -1,0 +1,189 @@
+"""Selective instrumentation: filter parsing and fast-path traces."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import assemble
+from repro.machine import Kernel
+from repro.pin import (INS_InsertCall, InstrumentFilter, IPOINT_BEFORE,
+                       IARG_END, OPCODE_CLASSES, parse_filter, Pintool,
+                       run_with_pin)
+from repro.pin.api import INS_MatchesFilter, INS_OpcodeClass
+from repro.pin.filter import opcode_class_of
+
+
+TWO_ROUTINES = """
+.entry main
+main:
+    li   t0, 0
+    li   t1, 50
+mloop:
+    call work
+    addi t0, t0, 1
+    bne  t0, t1, mloop
+    call idle
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+work:
+    li   t2, 0
+    li   t3, 4
+wl:
+    addi t2, t2, 1
+    bne  t2, t3, wl
+    ret
+idle:
+    li   t4, 7
+    ret
+"""
+
+
+class CountingTool(Pintool):
+    """Counts analysis calls and remembers instrumented trace addresses."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+        self.instrumented_traces = []
+
+    def bump(self):
+        self.calls += 1
+
+    def instrument_trace(self, trace, vm):
+        self.instrumented_traces.append(trace.address)
+        for ins in trace.instructions:
+            INS_InsertCall(ins, IPOINT_BEFORE, self.bump, IARG_END)
+
+    def report(self):
+        return {"calls": self.calls}
+
+
+class TestParseFilter:
+    def test_range_term(self):
+        flt = parse_filter("range:0x1000-0x2000")
+        assert flt.ranges == ((0x1000, 0x2000),)
+        assert flt.spec == "range:0x1000-0x2000"
+
+    def test_opcode_term(self):
+        flt = parse_filter("opcode:mem")
+        assert flt.opcode_classes == frozenset({"mem"})
+
+    def test_multiple_terms_or_together(self):
+        flt = parse_filter("range:16-32,opcode:branch,opcode:call")
+        assert flt.ranges == ((16, 32),)
+        assert flt.opcode_classes == frozenset({"branch", "call"})
+
+    def test_routine_term_resolves_symbol_span(self):
+        program = assemble(TWO_ROUTINES)
+        flt = parse_filter("routine:work", program)
+        ((name, lo, hi),) = flt.routines
+        assert name == "work"
+        assert lo == program.symbols["work"]
+        # Flat symbol-table convention: the span ends at the *next*
+        # symbol, whatever it is — here the inner label wl.
+        assert hi == min(a for a in program.symbols.values() if a > lo)
+        assert (lo, hi) in flt.ranges
+
+    def test_routine_without_program_rejected(self):
+        with pytest.raises(ConfigError, match="symbol table"):
+            parse_filter("routine:work")
+
+    def test_unknown_routine_rejected(self):
+        program = assemble(TWO_ROUTINES)
+        with pytest.raises(ConfigError, match="not in the program"):
+            parse_filter("routine:nosuch", program)
+
+    @pytest.mark.parametrize("spec", [
+        "", "   ", "bogus", "routine:", "range:10", "range:zz-yy",
+        "range:32-16", "opcode:nosuchclass", "kind:value",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        program = assemble(TWO_ROUTINES)
+        with pytest.raises(ConfigError):
+            parse_filter(spec, program)
+
+    def test_filter_is_picklable(self):
+        import pickle
+        program = assemble(TWO_ROUTINES)
+        flt = parse_filter("routine:work,opcode:mem", program)
+        clone = pickle.loads(pickle.dumps(flt))
+        assert clone == flt
+
+
+class TestMatching:
+    def test_ins_level_matching(self, loop_program):
+        tool = CountingTool()
+        seen = {}
+
+        class Probe(Pintool):
+            def instrument_trace(self, trace, vm):
+                for ins in trace.instructions:
+                    seen[ins.address] = (
+                        INS_OpcodeClass(ins),
+                        INS_MatchesFilter(ins, flt))
+
+        flt = InstrumentFilter(opcode_classes=frozenset({"branch"}))
+        run_with_pin(loop_program, Probe())
+        assert seen
+        for address, (cls, matched) in seen.items():
+            assert cls in ("control", "mem", "alu")
+        del tool
+
+    def test_none_filter_matches_everything(self, loop_program):
+        class Probe(Pintool):
+            def instrument_trace(self, trace, vm):
+                for ins in trace.instructions:
+                    assert INS_MatchesFilter(ins, None)
+        run_with_pin(loop_program, Probe())
+
+    def test_opcode_classes_cover_all_instructions(self, loop_program):
+        class Probe(Pintool):
+            def instrument_trace(self, trace, vm):
+                for ins in trace.instructions:
+                    name = opcode_class_of(ins)
+                    assert OPCODE_CLASSES[name](ins)
+        run_with_pin(loop_program, Probe())
+
+
+class TestFilteredExecution:
+    @pytest.mark.parametrize("backend", ["closure", "source"])
+    def test_routine_filter_restricts_instrumentation(self, backend):
+        program = assemble(TWO_ROUTINES)
+        full = CountingTool()
+        run_with_pin(program, full, Kernel(seed=42), jit_backend=backend)
+
+        filtered = CountingTool()
+        filtered.instrument_filter = parse_filter("routine:work", program)
+        _, vm, _ = run_with_pin(program, filtered, Kernel(seed=42),
+                                jit_backend=backend)
+
+        # The filter saw strictly fewer traces and strictly fewer calls.
+        assert 0 < filtered.calls < full.calls
+        assert (set(filtered.instrumented_traces)
+                < set(full.instrumented_traces))
+        assert vm.instr_stats.skipped_callbacks > 0
+        assert vm.instr_stats.fastpath_traces > 0
+
+    @pytest.mark.parametrize("backend", ["closure", "source"])
+    def test_fastpath_traces_count_identical_across_backends(self, backend):
+        program = assemble(TWO_ROUTINES)
+        tool = CountingTool()
+        tool.instrument_filter = parse_filter("routine:work", program)
+        result, vm, _ = run_with_pin(program, tool, Kernel(seed=42),
+                                     jit_backend=backend)
+        # Same architecture regardless of backend: the run completes and
+        # the filtered instrumentation is deterministic.
+        assert result.exit_code == 0
+        assert tool.calls > 0
+
+    def test_filter_does_not_change_architectural_results(self):
+        program = assemble(TWO_ROUTINES)
+        full = CountingTool()
+        r_full, _, k_full = run_with_pin(program, full, Kernel(seed=42))
+        filtered = CountingTool()
+        filtered.instrument_filter = parse_filter("routine:idle", program)
+        r_flt, _, k_flt = run_with_pin(program, filtered, Kernel(seed=42))
+        assert r_full.exit_code == r_flt.exit_code
+        assert r_full.instructions == r_flt.instructions
+        assert k_full.stdout_text() == k_flt.stdout_text()

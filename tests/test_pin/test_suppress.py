@@ -1,0 +1,185 @@
+"""Redundancy suppression: summarized loops must be invisible to tools."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Kernel
+from repro.pin import (LOOP_TRIP_CAP, Pintool, run_with_pin)
+from repro.pin.args import IARG_END, IARG_REG_VALUE, IPOINT_BEFORE
+from repro.tools import ICount1, ICount2, OpcodeMix
+
+BACKENDS = ["closure", "source"]
+
+#: A hot single-BBL counted loop: the canonical suppression target.
+HOT_LOOP = """
+.entry main
+main:
+    li   t0, 0
+    li   t1, 20000
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    li   a0, SYS_EXIT
+    mov  a1, t0
+    syscall
+"""
+
+#: An unconditional single-BBL loop that exits via the engine budget —
+#: exercises the LOOP_TRIP_CAP path (j head never falls through).
+SPIN_LOOP = """
+.entry main
+main:
+    li   t0, 0
+spin:
+    addi t0, t0, 1
+    j    spin
+"""
+
+
+def run_pair(program_text, tool_cls, backend, **kwargs):
+    """Run a tool with and without -spsuppress; return both (tool, vm)."""
+    program = assemble(program_text)
+    plain_tool = tool_cls()
+    _, plain_vm, _ = run_with_pin(program, plain_tool, Kernel(seed=42),
+                                  jit_backend=backend, **kwargs)
+    sup_tool = tool_cls()
+    _, sup_vm, _ = run_with_pin(program, sup_tool, Kernel(seed=42),
+                                jit_backend=backend, suppress_loops=True,
+                                **kwargs)
+    return plain_tool, plain_vm, sup_tool, sup_vm
+
+
+class TestSuppressionParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("tool_cls", [ICount1, ICount2])
+    def test_icount_bit_identical(self, backend, tool_cls):
+        plain, plain_vm, sup, sup_vm = run_pair(HOT_LOOP, tool_cls, backend)
+        assert sup.total == plain.total
+        assert sup_vm.instr_stats.summarized_loops >= 1
+        assert sup_vm.instr_stats.suppressed_calls > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_opcodemix_bit_identical(self, backend):
+        plain, _, sup, sup_vm = run_pair(HOT_LOOP, OpcodeMix, backend)
+        assert sup.report() == plain.report()
+        assert sup_vm.instr_stats.summarized_loops >= 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_analysis_calls_drop_at_least_5x(self, backend):
+        _, plain_vm, sup, sup_vm = run_pair(HOT_LOOP, ICount2, backend)
+        plain_calls = plain_vm.counters[0]
+        sup_calls = sup_vm.counters[0]
+        assert sup_calls * 5 <= plain_calls
+        # The skipped work is accounted, not lost.
+        assert (sup_vm.instr_stats.suppressed_calls
+                == plain_calls - sup_calls)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_random_programs_unchanged(self, backend):
+        from tests.conftest import random_program
+        for seed in range(3):
+            program = assemble(random_program(seed, blocks=3,
+                                              block_len=8, loop_iters=30))
+            plain = ICount2()
+            run_with_pin(program, plain, Kernel(seed=seed),
+                         jit_backend=backend)
+            sup = ICount2()
+            run_with_pin(program, sup, Kernel(seed=seed),
+                         jit_backend=backend, suppress_loops=True)
+            assert sup.total == plain.total
+
+
+class TestTripCap:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_budget_still_enforced_on_uncond_loop(self, backend):
+        """A summarized j-head loop must still honour the run budget."""
+        program = assemble(SPIN_LOOP)
+        tool = ICount1()
+        budget = LOOP_TRIP_CAP * 3
+        result, vm, _ = run_with_pin(program, tool, Kernel(seed=42),
+                                     jit_backend=backend,
+                                     suppress_loops=True,
+                                     max_instructions=budget)
+        # The loop never exits; the budget stopped it, and every retired
+        # instruction was accounted despite the summarized lowering.
+        assert result.instructions >= budget
+        assert vm.instr_stats.summarized_loops >= 1
+        assert vm.instr_stats.loop_entries >= 1
+
+
+class TestLegalityBailouts:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_plain_insert_call_blocks_suppression(self, backend):
+        """A callback with no summary form must never be summarized."""
+        calls = []
+
+        class NoSummary(Pintool):
+            def instrument_trace(self, trace, vm):
+                for ins in trace.instructions:
+                    ins.insert_call(IPOINT_BEFORE,
+                                    lambda: calls.append(1), IARG_END)
+
+        program = assemble(HOT_LOOP)
+        _, vm, _ = run_with_pin(program, NoSummary(), Kernel(seed=42),
+                                jit_backend=backend, suppress_loops=True)
+        assert vm.instr_stats.summarized_loops == 0
+        assert len(calls) == 40005
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dynamic_args_block_suppression(self, backend):
+        """A per-iteration register argument is not summarizable."""
+        seen = []
+
+        class RegWatcher(Pintool):
+            def instrument_trace(self, trace, vm):
+                for ins in trace.instructions:
+                    ins.insert_summarized_call(
+                        IPOINT_BEFORE, seen.append,
+                        lambda iters, v: seen.append(v),
+                        IARG_REG_VALUE, 8, IARG_END)
+
+        program = assemble(HOT_LOOP)
+        _, vm, _ = run_with_pin(program, RegWatcher(), Kernel(seed=42),
+                                jit_backend=backend, suppress_loops=True)
+        assert vm.instr_stats.summarized_loops == 0
+        # Every iteration observed its own register value.
+        assert len(seen) == 40005
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_forced_boundary_in_loop_blocks_suppression(self, backend):
+        """A signature pc inside the loop must observe every iteration."""
+        from repro.machine import load_program
+        from repro.pin.engine import PinVM
+        from repro.pin.pintool import NullSuperPin
+
+        program = assemble(HOT_LOOP)
+        kernel = Kernel(seed=42)
+        process = load_program(program, kernel)
+        loop_pc = program.symbols["loop"]
+        vm = PinVM(process, forced_boundaries=frozenset({loop_pc}),
+                   jit_backend=backend, suppress_loops=True)
+        tool = ICount2()
+        tool.setup(NullSuperPin())
+        tool.activate(vm)
+        vm.run()
+        tool.fini()
+        assert vm.instr_stats.summarized_loops == 0
+        assert tool.total == 40005
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_suppression_off_by_default(self, backend):
+        program = assemble(HOT_LOOP)
+        tool = ICount2()
+        _, vm, _ = run_with_pin(program, tool, Kernel(seed=42),
+                                jit_backend=backend)
+        assert vm.instr_stats.summarized_loops == 0
+
+
+class TestPlanDirect:
+    def test_plan_requires_engine_opt_in(self):
+        from repro.pin.suppress import plan_suppression
+
+        class FakeEngine:
+            suppress_loops = False
+
+        assert plan_suppression(FakeEngine(), None) is None

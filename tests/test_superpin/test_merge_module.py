@@ -112,3 +112,41 @@ class TestMergeOrdering:
         merge_slices(sp, results)
         assert auto.value == 14
         assert manual[0] == [0, 100, 200]
+
+
+class TestMergeMismatch:
+    """Regression: _merge_one silently zip-truncated when a slice's
+    area_locals count diverged from the registered areas, dropping
+    tool results without a trace."""
+
+    def test_short_area_locals_raise_with_slice_index(self):
+        import pytest
+        from repro.errors import MergeMismatchError
+        sp = SPControl(SuperPinConfig())
+        sp.SP_CreateSharedArea([0], 1, AutoMerge.ADD)
+        sp.SP_CreateSharedArea([0], 1, AutoMerge.ADD)
+        ctx = SliceToolContext(tool=None, reset_fun=None,
+                               area_locals=[[5]])  # one local, two areas
+        with pytest.raises(MergeMismatchError) as exc_info:
+            merge_slices(sp, [_result(3, ctx)])
+        assert exc_info.value.slice_index == 3
+
+    def test_excess_area_locals_raise(self):
+        import pytest
+        from repro.errors import MergeMismatchError
+        sp = SPControl(SuperPinConfig())
+        area = sp.SP_CreateSharedArea([0], 1, AutoMerge.ADD)
+        ctx = SliceToolContext(tool=None, reset_fun=None,
+                               area_locals=[[5], [7]])
+        with pytest.raises(MergeMismatchError):
+            merge_slices(sp, [_result(0, ctx)])
+        # Nothing was folded before the mismatch fired.
+        assert area.data == [0]
+
+    def test_matching_counts_still_merge(self):
+        sp = SPControl(SuperPinConfig())
+        area = sp.SP_CreateSharedArea([0], 1, AutoMerge.ADD)
+        ctx = SliceToolContext(tool=None, reset_fun=None,
+                               area_locals=[[5]])
+        merge_slices(sp, [_result(0, ctx)])
+        assert area.data == [5]

@@ -241,3 +241,65 @@ class TestSharedAreaPickling:
         area = SharedArea("area0", 1)
         pair = pickle.loads(pickle.dumps((area, area)))
         assert pair[0] is pair[1]
+
+
+class _Span:
+    """Minimal span-record stand-in for the timings projection."""
+
+    def __init__(self, name, slice_tag, duration=0.5):
+        self.name = name
+        self.args = {"slice": slice_tag}
+        self.duration = duration
+
+
+class TestTimingsProjectionGuard:
+    """Regression: the slice-tag guard admitted bools (True credited
+    slice 1) and silently dropped out-of-range indices."""
+
+    def test_bool_slice_tag_is_dropped_not_credited(self):
+        from repro.superpin.parallel import slice_timings_from_records
+        records = [_Span("slice.run", True, duration=2.0),
+                   _Span("slice.run", 1, duration=0.25)]
+        timings = slice_timings_from_records(records, 2)
+        # True must NOT alias slice 1 (bool is an int subclass).
+        assert timings[1].run_seconds == 0.25
+        assert timings[0].run_seconds == 0.0
+
+    def test_out_of_range_tags_counted_as_dropped(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.superpin.parallel import slice_timings_from_records
+        metrics = MetricsRegistry()
+        records = [_Span("slice.run", 7), _Span("slice.fork", -1),
+                   _Span("slice.run", 0, duration=0.125)]
+        timings = slice_timings_from_records(records, 2, metrics=metrics)
+        assert timings[0].run_seconds == 0.125
+        assert metrics.counters.get("superpin.timings.dropped") == 2
+
+    def test_bool_tags_counted_as_dropped(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.superpin.parallel import slice_timings_from_records
+        metrics = MetricsRegistry()
+        records = [_Span("slice.run", False)]
+        slice_timings_from_records(records, 2, metrics=metrics)
+        assert metrics.counters.get("superpin.timings.dropped") == 1
+
+    def test_untagged_and_foreign_spans_are_not_dropped_records(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.superpin.parallel import slice_timings_from_records
+        metrics = MetricsRegistry()
+
+        class Foreign:
+            name = "signature"
+            args = {"boundary": 1}
+            duration = 1.0
+
+        class Untagged:
+            name = "slice.run"
+            args = None
+            duration = 1.0
+
+        slice_timings_from_records([Foreign(), Untagged()], 2,
+                                   metrics=metrics)
+        # Spans that never claimed a slice tag are simply foreign — only
+        # spans with a *bad* slice tag count as dropped.
+        assert "superpin.timings.dropped" not in metrics.counters

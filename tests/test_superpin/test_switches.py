@@ -154,3 +154,30 @@ class TestValidation:
         assert config.timeslice_cycles == 20_000
         assert config.timeslice_instructions == 20_000
         assert config.seconds(20_000) == 2.0
+
+
+class TestSelectiveSwitches:
+    def test_defaults_off(self):
+        config = SuperPinConfig()
+        assert config.spfilter is None
+        assert config.spsuppress is False
+        assert config.spsample == 0
+
+    def test_parse_filter_spec(self):
+        config = parse_switches(["-spfilter", "routine:work,opcode:mem"])
+        assert config.spfilter == "routine:work,opcode:mem"
+
+    def test_parse_suppress(self):
+        assert parse_switches(["-spsuppress", "1"]).spsuppress is True
+        assert parse_switches(["-spsuppress", "0"]).spsuppress is False
+
+    def test_parse_sample(self):
+        assert parse_switches(["-spsample", "4"]).spsample == 4
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_switches(["-spsample", "-1"])
+
+    def test_empty_filter_rejected(self):
+        with pytest.raises(ConfigError):
+            SuperPinConfig(spfilter="   ")
