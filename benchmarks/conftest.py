@@ -12,8 +12,13 @@ from __future__ import annotations
 
 import os
 import pathlib
+import sys
 
 import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fsutil import atomic_write  # noqa: E402
 
 BENCH_SCALE = float(os.environ.get("SUPERPIN_BENCH_SCALE", "0.25"))
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -31,7 +36,7 @@ def save_figure():
 
     def _save(name: str, text: str) -> None:
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
+        atomic_write(path, text + "\n")
         print()
         print(text)
     return _save

@@ -24,6 +24,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.fsutil import atomic_write  # noqa: E402
 from repro.machine import Kernel  # noqa: E402
 from repro.obs import write_trace  # noqa: E402
 from repro.superpin import run_superpin, SuperPinConfig  # noqa: E402
@@ -153,7 +154,7 @@ def main(argv=None):
 
     if args.update:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
-        baseline_path.write_text(json.dumps(current, indent=2) + "\n")
+        atomic_write(baseline_path, json.dumps(current, indent=2) + "\n")
         print(f"wrote baseline to {baseline_path}")
         return 0
 

@@ -3,6 +3,7 @@
 ::
 
     superpin run -t icount2 -w gzip -- -sp 1 -spmsec 1000 -spmp 8
+    superpin replay -r run.sprec -t icount2,itrace -- -spworkers 2
     superpin figure 3 [--scale 1.0] [--benchmarks gzip,gcc]
     superpin figure all
     superpin list
@@ -11,6 +12,8 @@
 ``superpin run`` mirrors the paper's invocation style: everything after
 ``--`` is parsed as SuperPin switches (§5's -sp/-spmsec/-spmp/-spsysrecs,
 plus ``-spworkers N`` to fan the slice phase out over N host processes).
+``superpin replay`` runs one or more tools against a ``-sprecord``
+artifact without re-running the master program.
 """
 
 from __future__ import annotations
@@ -47,6 +50,14 @@ def main(argv: list[str] | None = None) -> int:
     # SuperPin switches (-sp/-spmsec/-spmp/-spsysrecs) are collected from
     # the unparsed remainder so the paper's flag style works verbatim.
 
+    replay_p = sub.add_parser(
+        "replay", help="replay tools against a -sprecord artifact")
+    replay_p.add_argument("-r", "--recording", required=True,
+                          help="recording artifact written by -sprecord")
+    replay_p.add_argument("-t", "--tools", default="icount2",
+                          help="comma-separated tool names (see "
+                               "'superpin list')")
+
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("which", choices=sorted(FIGURES) + ["all"])
     fig_p.add_argument("--scale", type=float, default=1.0)
@@ -70,6 +81,8 @@ def main(argv: list[str] | None = None) -> int:
     args, extra = parser.parse_known_args(argv)
     if args.command == "run":
         return _cmd_run(args, extra)
+    if args.command == "replay":
+        return _cmd_replay(args, extra)
     if extra:
         parser.error(f"unrecognized arguments: {' '.join(extra)}")
     if args.command == "figure":
@@ -127,6 +140,14 @@ def _cmd_run(args, extra: list[str]) -> int:
               f"({int(sup['failed_attempts'])} failed), "
               f"{int(sup['recovered_slices'])} slices recovered"
               f"{degraded}")
+    if report.recording_path:
+        print(f"recording: wrote {report.recording_path} "
+              f"(id {report.recording_id[:12]})")
+    if config.spjournal:
+        resumed = report.resumed_slices
+        state = (f"resumed {resumed} of {report.num_slices} slices"
+                 if config.spresume else "fresh run")
+        print(f"journal: {config.spjournal} ({state})")
     print(f"tool report: {tool.report()}")
     instr = report.instrumentation_summary()
     if config.spfilter is not None or config.spsuppress:
@@ -192,6 +213,44 @@ def _cmd_run(args, extra: list[str]) -> int:
             # its audit.
             return 3
     return 0
+
+
+def _cmd_replay(args, extra: list[str]) -> int:
+    from .errors import RecordingCorruptError
+    from .superpin import replay_recording
+
+    names = [name.strip() for name in args.tools.split(",") if name.strip()]
+    unknown = [name for name in names if name not in TOOLS]
+    if not names or unknown:
+        print(f"unknown tools: {', '.join(unknown) or '<none given>'}; "
+              f"see 'superpin list'", file=sys.stderr)
+        return 2
+    switches = [s for s in extra if s != "--"]
+    config = parse_switches(switches) if switches else SuperPinConfig()
+    tools = [TOOLS[name]() for name in names]
+    try:
+        reports = replay_recording(args.recording, tools, config)
+    except RecordingCorruptError as error:
+        print(f"recording rejected: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot read recording: {error}", file=sys.stderr)
+        return 2
+    status = 0
+    for name, tool, report in zip(names, tools, reports):
+        print(f"replay {name}: {report.num_slices} slices from "
+              f"{args.recording} (id {report.recording_id[:12]})")
+        if report.degraded_slices:
+            print("  degraded slices: "
+                  + ",".join(map(str, report.degraded_slices)))
+        print(f"  tool report: {tool.report()}")
+        if report.audit is not None:
+            print(f"  {report.audit.summary()}")
+            for divergence in report.audit.divergences[:10]:
+                print(f"    {divergence}")
+            if not report.audit.ok:
+                status = 3
+    return status
 
 
 def _cmd_figure(args) -> int:

@@ -121,6 +121,42 @@ class MergeMismatchError(ReproError):
         super().__init__(message)
 
 
+class RecordingCorruptError(ReproError):
+    """A recording artifact or run journal failed integrity verification.
+
+    Raised by every load path in :mod:`repro.superpin.recording` and
+    :mod:`repro.superpin.journal` when an artifact does not verify.
+    ``kind`` taxonomizes the corruption like the audit's divergence
+    kinds:
+
+    * ``magic``      — the file does not start with the format magic;
+    * ``version``    — format version skew (written by a different,
+      incompatible format revision);
+    * ``manifest``   — the manifest is unreadable or self-inconsistent;
+    * ``truncated``  — a section (or the manifest) extends past the end
+      of the file: a short write or chopped tail;
+    * ``digest``     — a section's content does not match its recorded
+      SHA-256 digest: bit rot or tampering;
+    * ``shape``      — section inventory disagrees with the manifest's
+      slice count (boundary-count mismatch);
+    * ``stale``      — the artifact belongs to a different run (journal
+      run-key mismatch).
+
+    ``section`` names the offending section (or journal entry) when one
+    is identifiable.
+    """
+
+    KINDS = ("magic", "version", "manifest", "truncated", "digest",
+             "shape", "stale")
+
+    def __init__(self, message: str, kind: str = "manifest",
+                 section: str | None = None):
+        self.kind = kind
+        self.section = section
+        where = f" [section {section}]" if section else ""
+        super().__init__(f"[{kind}]{where} {message}")
+
+
 class CodeCacheOverflowError(ReproError):
     """A single compiled trace cannot fit in the code-cache bubble.
 

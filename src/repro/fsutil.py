@@ -1,0 +1,63 @@
+"""Crash-safe file output: one shared atomic-write helper.
+
+Every artifact this repository writes — trace exports, benchmark
+baselines, rendered figures, recording artifacts, journal headers —
+goes through :func:`atomic_write`: the bytes land in a temporary file
+in the *same directory*, are fsync'd, and are then :func:`os.replace`'d
+over the destination.  A crash or ^C at any point leaves either the old
+file or the new file, never a half-written hybrid (rename within one
+directory is atomic on POSIX).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write(path, data, encoding: str = "utf-8") -> None:
+    """Write ``data`` (str or bytes) to ``path`` atomically.
+
+    The temporary file is created next to ``path`` (cross-device rename
+    is not atomic), fsync'd before the rename so the content is durable
+    once the new name is visible, and unlinked on any failure.
+    """
+    path = os.fspath(path)
+    if isinstance(data, str):
+        data = data.encode(encoding)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def fsync_directory(path) -> None:
+    """Best-effort fsync of the directory containing ``path``.
+
+    Makes a just-renamed or just-created file's *name* durable, not only
+    its content.  Silently a no-op where directories cannot be opened
+    (some filesystems / platforms).
+    """
+    directory = os.path.dirname(os.fspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

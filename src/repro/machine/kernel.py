@@ -161,6 +161,10 @@ class Kernel:
                  files: dict[str, str] | None = None, pid: int = 1000):
         self.layout = MemLayout()
         self.pid = pid
+        #: The RNG seed this kernel was constructed with — the run's one
+        #: explicit nondeterminism source, persisted into recording
+        #: artifacts so a replayed run can attest to its provenance.
+        self.seed = seed
         self._rng = random.Random(seed)
         #: Monotonic virtual clock, advanced on every syscall.
         self._clock_ns = 1_000_000

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 
+from ..fsutil import atomic_write
 from .metrics import MetricsRegistry
 from .tracer import SpanRecord, Tracer
 
@@ -91,10 +92,9 @@ def chrome_trace_dict(tracer: Tracer,
 
 def write_chrome_trace(path: str, tracer: Tracer,
                        metrics: MetricsRegistry | None = None) -> None:
-    """Write a Chrome-trace/Perfetto JSON file to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(chrome_trace_dict(tracer, metrics), handle)
-        handle.write("\n")
+    """Write a Chrome-trace/Perfetto JSON file to ``path`` atomically."""
+    text = json.dumps(chrome_trace_dict(tracer, metrics)) + "\n"
+    atomic_write(path, text.encode("utf-8"))
 
 
 def _record_dict(record: SpanRecord) -> dict:
@@ -134,11 +134,9 @@ def jsonl_lines(tracer: Tracer,
 
 def write_jsonl(path: str, tracer: Tracer,
                 metrics: MetricsRegistry | None = None) -> None:
-    """Write the JSONL event log to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        for line in jsonl_lines(tracer, metrics):
-            handle.write(line)
-            handle.write("\n")
+    """Write the JSONL event log to ``path`` atomically."""
+    text = "".join(line + "\n" for line in jsonl_lines(tracer, metrics))
+    atomic_write(path, text.encode("utf-8"))
 
 
 def write_trace(path: str, tracer: Tracer,

@@ -6,21 +6,30 @@ Public surface:
 * :class:`SuperPinConfig` / :func:`parse_switches` — the ``-sp*`` switches;
 * :class:`SPControl` — the tool-facing SP API;
 * :class:`SharedArea` / :class:`AutoMerge` — cross-slice result memory;
+* :func:`save_recording` / :func:`load_recording` /
+  :func:`replay_recording` — durable "record once, replay many"
+  artifacts, and :class:`~repro.superpin.journal.RunJournal` for
+  crash-safe resumable runs;
 * the lower-level phases (control process, signatures, slices, merge) for
   tests, ablations and extensions.
 """
 
 from .api import END_SLICE_TOKEN, SliceToolContext, SPControl
 from .audit import (AuditInputs, AuditReport, compare_run, Divergence,
-                    perform_audit, record_reference, ReferenceRun,
+                    perform_audit, record_reference,
+                    reference_from_recording, ReferenceRun,
                     run_serial_baseline, SerialBaseline)
 from .control import (Boundary, BoundaryReason, ControlProcess, Interval,
                       MasterTimeline)
 from .faults import FaultKind, FaultPlan, FaultSpec
+from .journal import (damage_journal, frame_blob, program_digest,
+                      RunJournal, run_key, unframe_blob)
 from .merge import merge_slices
 from .parallel import (execute_slices, record_boundary_signature,
                        record_signatures, SliceTimings)
-from .runtime import run_superpin, SuperPinReport
+from .recording import (damage_recording, load_recording, Recording,
+                        save_recording)
+from .runtime import replay_recording, run_superpin, SuperPinReport
 from .sharedcache import (charge_slices_in_order, SharedCacheStats,
                           SharedCodeCacheDirectory)
 from .sharedmem import AutoMerge, resolve_shared_areas, SharedArea
@@ -51,5 +60,8 @@ __all__ = [
     "slice_deadline", "SliceAttempt", "SliceOutcome", "supervise_slices",
     "SupervisedSlices", "DEFAULT_CLOCK_HZ", "FAULT_POLICIES",
     "parse_switches", "SuperPinConfig", "PlaybackHandler",
-    "RecordedSyscall",
+    "RecordedSyscall", "damage_journal", "frame_blob", "program_digest",
+    "RunJournal", "run_key", "unframe_blob", "damage_recording",
+    "load_recording", "Recording", "save_recording", "replay_recording",
+    "reference_from_recording",
 ]

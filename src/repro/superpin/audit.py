@@ -167,6 +167,35 @@ def record_reference(program: Program, kernel: Kernel,
     )
 
 
+def reference_from_recording(meta: dict) -> ReferenceRun:
+    """Rebuild a :class:`ReferenceRun` from a recording artifact's meta.
+
+    A recording captures the reference data — boundary checkpoints,
+    interval stream digests, final architectural state — at record time,
+    so ``-spaudit`` on a replayed run (``-spreplay``) costs nothing: the
+    oracle compares against the artifact instead of re-running the
+    master.  The digests compared are the *recorded* ones, so a slice
+    section mutated inside the artifact (but passing its section digest,
+    i.e. re-signed tampering) still surfaces as a divergence.
+    """
+    return ReferenceRun(
+        checkpoints=[
+            Checkpoint(index=i, icount=icount, pc=pc, cpu_hash=cpu_hash)
+            for i, (icount, pc, cpu_hash)
+            in enumerate(meta["checkpoints"])],
+        interval_digests=list(meta["interval_digests"]),
+        interval_instructions=list(meta["interval_instructions"]),
+        interval_syscalls=list(meta["interval_syscalls"]),
+        exit_code=meta["exit_code"],
+        total_instructions=meta["total_instructions"],
+        total_syscalls=meta["total_syscalls"],
+        final_pc=meta["final_pc"],
+        final_cpu_hash=meta["final_cpu_hash"],
+        stdout=meta["stdout"],
+        truncated=False,
+    )
+
+
 # -- serial-Pin baseline ------------------------------------------------------
 
 @dataclass

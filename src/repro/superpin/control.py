@@ -96,6 +96,10 @@ class MasterTimeline:
     total_instructions: int
     total_syscalls: int
     kernel: Kernel
+    #: Final architectural state of the master (for recording artifacts,
+    #: whose replays must be auditable without re-running the master).
+    final_pc: int = -1
+    final_cpu_hash: str = ""
 
     @property
     def num_slices(self) -> int:
@@ -118,8 +122,11 @@ class ControlProcess:
         self.process: Process = load_program(self.program, self.kernel)
         self._reserve_bubble()
         self._record_counter = 0
-        #: Incremental at-record-time stream digest (audit runs only).
-        self._digest = StreamDigest() if config.spaudit else None
+        #: Incremental at-record-time stream digest.  Sealed per interval
+        #: for the audit's cross-check and for recording artifacts (whose
+        #: replays audit against the digests instead of a live master).
+        self._digest = (StreamDigest()
+                        if (config.spaudit or config.sprecord) else None)
 
     def _reserve_bubble(self) -> None:
         """Reserve the code-cache bubble before the application runs (§4.1).
@@ -212,6 +219,8 @@ class ControlProcess:
             total_instructions=interp.total_instructions,
             total_syscalls=interp.total_syscalls,
             kernel=self.kernel,
+            final_pc=process.cpu.pc,
+            final_cpu_hash=process.cpu.fingerprint(),
         )
 
     def _next_budget(self, executed_instructions: int) -> int:

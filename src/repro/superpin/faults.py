@@ -26,9 +26,21 @@ ways the paper's control process must survive:
   can catch it — only the ``-spaudit`` differential oracle, which is
   exactly what it mutation-tests.
 
+Two further kinds target *durable artifacts* rather than slice
+attempts (:data:`ARTIFACT_FAULT_KINDS`; they never fire during slice
+execution):
+
+* ``truncate`` — chop a just-written recording section, or the run
+  journal's tail, mid-byte: the short-write / torn-tail failure mode.
+* ``stale``    — age the artifact: bump a recording's format version or
+  rewrite the journal's run key, so loaders must reject it as written
+  by a different revision or run.
+
 Every fault is scoped to one slice index and to its first ``attempts``
 execution attempts (``None`` = every attempt, i.e. unrecoverable), so a
 plan is fully deterministic: the same run replays the same faults.
+For artifact kinds the "slice index" selects the recording section to
+damage (journals ignore it).
 
 Spec strings (for ``-spinject`` and CI) are comma-separated
 ``kind@slice[:attempts]`` entries, with ``*`` for "every attempt"::
@@ -37,6 +49,8 @@ Spec strings (for ``-spinject`` and CI) are comma-separated
     hang@2:*           slice 2 hangs on every attempt (unrecoverable)
     runaway@1:2        slice 1 raises RunawaySliceError on attempts 1-2
     tamper@1           slice 1's result is silently falsified
+    truncate@3         chop recording section slice_0003 (and journal tail)
+    stale@0            age the recording/journal so loads reject it
 """
 
 from __future__ import annotations
@@ -59,6 +73,13 @@ class FaultKind(enum.Enum):
     CORRUPT = "corrupt"
     RUNAWAY = "runaway"
     TAMPER = "tamper"
+    TRUNCATE = "truncate"
+    STALE = "stale"
+
+
+#: Kinds that damage durable artifacts (recordings, journals) after they
+#: are written, instead of firing on slice attempts.
+ARTIFACT_FAULT_KINDS = frozenset((FaultKind.TRUNCATE, FaultKind.STALE))
 
 
 class WorkerCrashFault(ReproError):
@@ -100,11 +121,22 @@ class FaultPlan:
     specs: tuple[FaultSpec, ...] = ()
 
     def spec_for(self, index: int, attempt: int) -> FaultSpec | None:
-        """First spec that fires for this (slice, attempt), else None."""
+        """First spec that fires for this (slice, attempt), else None.
+
+        Artifact kinds never match a slice attempt — they fire only via
+        :meth:`artifact_specs` after the artifact is written.
+        """
         for spec in self.specs:
+            if spec.kind in ARTIFACT_FAULT_KINDS:
+                continue
             if spec.matches(index, attempt):
                 return spec
         return None
+
+    def artifact_specs(self) -> tuple[FaultSpec, ...]:
+        """The plan's artifact-damage specs, in declaration order."""
+        return tuple(spec for spec in self.specs
+                     if spec.kind in ARTIFACT_FAULT_KINDS)
 
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
@@ -154,11 +186,19 @@ def tamper_result(result) -> None:
 
 
 def tamper_blob(blob: bytes) -> bytes:
-    """Apply :func:`tamper_result` to a pickled worker result blob."""
-    result, fork_seconds, run_seconds, snapshot = pickle.loads(blob)
+    """Apply :func:`tamper_result` to a framed worker result blob.
+
+    Re-frames the tampered pickle so the falsification survives the
+    frame checksum — tamper models a *lying* worker, not a damaged
+    wire, and must still reach the audit undetected by framing.
+    """
+    from .journal import frame_blob, unframe_blob
+    result, fork_seconds, run_seconds, snapshot = pickle.loads(
+        unframe_blob(blob))
     tamper_result(result)
-    return pickle.dumps((result, fork_seconds, run_seconds, snapshot),
-                        pickle.HIGHEST_PROTOCOL)
+    return frame_blob(
+        pickle.dumps((result, fork_seconds, run_seconds, snapshot),
+                     pickle.HIGHEST_PROTOCOL))
 
 
 def maybe_inject(plan: FaultPlan | None, index: int, attempt: int,

@@ -25,7 +25,9 @@ phases:
 Workers receive one pickled payload — boundary snapshot, interval
 records, end signature, tool-context template, SP handle, config — and
 return a pickled ``(result, fork_seconds, run_seconds, metrics)``
-4-tuple.  Pickling one tuple keeps shared references (tool ↔ SP handle
+4-tuple, framed with a length prefix and checksum
+(:func:`~repro.superpin.journal.frame_blob`) so wire damage surfaces as
+a structured :class:`~repro.superpin.faults.CorruptResultFault`.  Pickling one tuple keeps shared references (tool ↔ SP handle
 ↔ areas) coherent inside the worker; on the way back,
 :class:`~repro.superpin.sharedmem.resolve_shared_areas` maps every
 :class:`SharedArea` reference in the returned tool context onto the
@@ -62,6 +64,7 @@ from ..obs.metrics import metrics_for, NULL_METRICS
 from ..obs.tracer import ensure_tracer, NULL_TRACER, TrackAllocator
 from .api import SliceToolContext, SPControl
 from .control import Boundary, MasterTimeline
+from .journal import frame_blob, unframe_blob
 from .sharedmem import resolve_shared_areas
 from .signature import (DEFAULT_QUICK_REGS, record_signature,
                         select_quick_registers, Signature)
@@ -213,10 +216,13 @@ def _slice_payload(timeline: MasterTimeline, signatures: list[Signature],
 def _worker_run_slice(payload: bytes) -> bytes:
     """Process-pool entry point: one pickled payload in, one result out.
 
-    Returns ``(result, fork_seconds, run_seconds, metrics)`` pickled, so
-    the parent can synthesize this slice's trace spans and fold the
-    worker's counters into the run registry.  ``metrics`` is the
-    worker-local registry snapshot, or None when ``-spmetrics`` is off.
+    Returns ``(result, fork_seconds, run_seconds, metrics)`` pickled and
+    *framed* (length prefix + sha256, :func:`~repro.superpin.journal.
+    frame_blob`), so a short read or bit flip on the way back surfaces
+    as :class:`~repro.superpin.faults.CorruptResultFault` — which the
+    supervisor's retry ladder handles — instead of a raw
+    ``UnpicklingError``.  ``metrics`` is the worker-local registry
+    snapshot, or None when ``-spmetrics`` is off.
     """
     t0 = time.perf_counter()
     (boundary, interval, end_signature, template, sp,
@@ -228,9 +234,9 @@ def _worker_run_slice(payload: bytes) -> bytes:
                        config, metrics=metrics, warm=warm,
                        export_warm=export_warm)
     run_seconds = time.perf_counter() - t0
-    return pickle.dumps(
+    return frame_blob(pickle.dumps(
         (result, fork_seconds, run_seconds, metrics.snapshot()),
-        pickle.HIGHEST_PROTOCOL)
+        pickle.HIGHEST_PROTOCOL))
 
 
 def synthesize_slice_spans(tracer, tracks: TrackAllocator, k: int,
@@ -350,7 +356,7 @@ def _execute_parallel(timeline: MasterTimeline,
                          args={"slice": k, "op": "decode"}):
             with resolve_shared_areas(sp.areas):
                 (result, fork_seconds, run_seconds,
-                 snapshot) = pickle.loads(blob)
+                 snapshot) = pickle.loads(unframe_blob(blob))
         metrics.merge(snapshot)
         synthesize_slice_spans(tracer, tracks, k, done_at,
                                fork_seconds, run_seconds)

@@ -48,10 +48,13 @@ from ..sched.machine_model import MachineModel, PAPER_MACHINE
 from ..sched.stats import TimingReport
 from ..sched.timing import CostModel, DEFAULT_COST_MODEL
 from .api import SliceToolContext, SPControl
-from .audit import AuditInputs, AuditReport, perform_audit
+from .audit import (AuditInputs, AuditReport, compare_run, perform_audit,
+                    reference_from_recording)
 from .control import ControlProcess, MasterTimeline
+from .journal import (damage_journal, program_digest, run_key, RunJournal)
 from .merge import merge_slices
 from .parallel import SliceTimings, record_signatures
+from .recording import damage_recording, load_recording, save_recording
 from .signature import Signature
 from .slices import SliceResult
 from .supervisor import SliceOutcome, supervise_slices
@@ -89,10 +92,21 @@ class SuperPinReport:
     metrics: MetricsRegistry | None = None
     #: Differential audit outcome (``-spaudit`` only; None otherwise).
     audit: AuditReport | None = None
+    #: Path of the recording artifact this run saved (``-sprecord``) or
+    #: replayed (``-spreplay``); None for plain live runs.
+    recording_path: str | None = None
+    #: Content address of that artifact (sha256 over section digests).
+    recording_id: str = ""
 
     @property
     def num_slices(self) -> int:
         return len(self.slices)
+
+    @property
+    def resumed_slices(self) -> int:
+        """Slices adopted from the run journal instead of re-executed."""
+        return sum(1 for o in self.slice_outcomes
+                   if any(a.where == "journal" for a in o.attempts))
 
     @property
     def total_slice_instructions(self) -> int:
@@ -272,6 +286,13 @@ def run_superpin(program: Program, tool: Pintool,
     if not config.sp:
         raise ConfigError("run_superpin called with sp disabled; "
                           "use repro.pin.run_with_pin instead")
+    if config.spreplay is not None:
+        # Record once, replay many: the artifact supplies everything the
+        # slice phase needs, so the master is re-run exactly zero times.
+        return replay_recording(config.spreplay, tool, config,
+                                machine=machine, cost=cost,
+                                compute_timing=compute_timing,
+                                tracer=tracer)
     tracer = ensure_tracer(tracer)
     metrics = metrics_for(config.spmetrics)
 
@@ -317,12 +338,41 @@ def run_superpin(program: Program, tool: Pintool,
     with tracer.span("signature_phase", cat="phase") as signature_span:
         signatures = record_signatures(timeline, config, tracer=tracer)
 
+    # 3b. -sprecord: everything the slice phase consumes now exists, and
+    #     nothing has mutated the boundary snapshots yet — serialize the
+    #     durable artifact here, before any slice touches a COW fork.
+    recording_manifest = None
+    if config.sprecord is not None:
+        with tracer.span("record_phase", cat="phase"):
+            recording_manifest = save_recording(
+                config.sprecord, timeline, signatures, config,
+                metrics=metrics)
+
+    # 3c. -spjournal / -spresume: open (or resume) the write-ahead run
+    #     journal keyed by program + tool + result-affecting config.
+    journal = None
+    preloaded = None
+    if config.spjournal is not None:
+        key = run_key(program_digest(program), type(tool).__name__, config)
+        if config.spresume:
+            journal, preloaded = RunJournal.resume(config.spjournal, key,
+                                                   metrics=metrics)
+        else:
+            journal = RunJournal.create(config.spjournal, key,
+                                        metrics=metrics)
+
     # 4. Slice phase: sequential in-process, or fanned out (-spworkers),
     #    under the -spfaults supervision policy.
     with tracer.span("slice_phase", cat="phase") as slice_span:
-        supervised = supervise_slices(timeline, signatures, template, sp,
-                                      config, tracer=tracer,
-                                      metrics=metrics)
+        try:
+            supervised = supervise_slices(timeline, signatures, template,
+                                          sp, config, tracer=tracer,
+                                          metrics=metrics, journal=journal,
+                                          preloaded=preloaded)
+        finally:
+            if journal is not None:
+                journal.close()
+    _apply_artifact_faults(config, len(timeline.intervals))
     results, timings = supervised.results, supervised.timings
     degraded = supervised.degraded
 
@@ -363,6 +413,9 @@ def run_superpin(program: Program, tool: Pintool,
         trace=tracer,
         metrics=metrics,
     )
+    if recording_manifest is not None:
+        report.recording_path = config.sprecord
+        report.recording_id = recording_manifest["recording_id"]
 
     # 7. Differential audit (-spaudit): reference + serial baseline runs,
     #    then the lockstep comparison.  Detection, not enforcement — a
@@ -371,4 +424,157 @@ def run_superpin(program: Program, tool: Pintool,
         with tracer.span("audit_phase", cat="phase"):
             report.audit = perform_audit(audit_inputs, report,
                                          tracer=tracer, metrics=metrics)
+    return report
+
+
+def _apply_artifact_faults(config: SuperPinConfig, num_slices: int) -> None:
+    """Fire the fault plan's artifact specs against saved artifacts.
+
+    ``truncate``/``stale`` specs (``-spinject``) damage the just-written
+    recording and/or journal — after the save and the journal close, so
+    the damage models post-hoc corruption (bit rot, a torn tail), not a
+    failed write.
+    """
+    plan = config.fault_plan
+    if plan is None or not hasattr(plan, "artifact_specs"):
+        return
+    for spec in plan.artifact_specs():
+        if config.sprecord is not None and num_slices > 0:
+            damage_recording(config.sprecord, spec.kind.value,
+                             slice_index=min(spec.slice_index,
+                                             num_slices - 1))
+        if config.spjournal is not None:
+            damage_journal(config.spjournal, spec.kind.value)
+
+
+def replay_recording(source, tool, config: SuperPinConfig | None = None,
+                     machine: MachineModel = PAPER_MACHINE,
+                     cost: CostModel = DEFAULT_COST_MODEL,
+                     compute_timing: bool = True,
+                     tracer: Tracer | None = None):
+    """Replay a recording artifact under one tool — or a list of tools.
+
+    The "replay many" half of ``-sprecord``/``-spreplay``: every run
+    sources its boundaries, signatures and recorded syscall streams from
+    the verified artifact at ``source``; the master is never re-run (no
+    ``control_phase`` or ``signature_phase`` span exists on a replay's
+    trace).  Each tool gets a *fresh* timeline — slice execution mutates
+    boundary COW forks, so nothing loaded is shared between runs.
+
+    Pass a list/tuple of tools to amortize "record once" across many
+    analyses: returns a list of reports in tool order.  Under
+    ``-spfaults degrade`` a damaged slice section degrades that slice
+    (hole in the merge) instead of failing the whole replay; any other
+    policy raises :class:`~repro.errors.RecordingCorruptError` on load.
+    """
+    config = config or SuperPinConfig()
+    single = not isinstance(tool, (list, tuple))
+    tools = [tool] if single else list(tool)
+    if config.spfilter is not None:
+        raise ConfigError(
+            "-spfilter needs the program's symbol table, which a "
+            "recording artifact does not carry; apply the filter at "
+            "record time instead")
+    reports = [_replay_one(source, one, config, machine, cost,
+                           compute_timing, tracer) for one in tools]
+    return reports[0] if single else reports
+
+
+def _replay_one(source, tool: Pintool, config: SuperPinConfig,
+                machine: MachineModel, cost: CostModel,
+                compute_timing: bool, tracer) -> SuperPinReport:
+    tracer = ensure_tracer(tracer)
+    metrics = metrics_for(config.spmetrics)
+
+    # Load and verify the artifact.  Only the degrade policy may adopt a
+    # per-slice hole; everything else must reject damage outright.
+    with tracer.span("replay_load", cat="phase"):
+        recording = load_recording(
+            source, metrics=metrics,
+            tolerate_damaged=config.spfaults == "degrade")
+
+    sp = SPControl(config)
+    sp.replay_source = recording.path
+    tool.setup(sp)
+    if not sp.initialized:
+        raise ConfigError(
+            f"tool {tool.name!r} did not call SP_Init; SuperPin requires "
+            f"tools written against the SP API (paper §5)")
+    template = SliceToolContext.from_control(tool, sp)
+
+    timeline = recording.build_timeline()
+    signatures = recording.signatures()
+
+    journal = None
+    preloaded = None
+    if config.spjournal is not None:
+        key = run_key(recording.recording_id, type(tool).__name__, config)
+        if config.spresume:
+            journal, preloaded = RunJournal.resume(config.spjournal, key,
+                                                   metrics=metrics)
+        else:
+            journal = RunJournal.create(config.spjournal, key,
+                                        metrics=metrics)
+
+    with tracer.span("slice_phase", cat="phase") as slice_span:
+        try:
+            supervised = supervise_slices(timeline, signatures, template,
+                                          sp, config, tracer=tracer,
+                                          metrics=metrics, journal=journal,
+                                          preloaded=preloaded,
+                                          damaged=recording.damaged)
+        finally:
+            if journal is not None:
+                journal.close()
+    _apply_artifact_faults(config, len(timeline.intervals))
+    results, timings = supervised.results, supervised.timings
+    degraded = supervised.degraded
+    metrics.inc("superpin.recording.replayed_slices", len(results))
+
+    if config.spsharedcache:
+        from .sharedcache import charge_slices_in_order
+        charge_slices_in_order(results)
+
+    with tracer.span("merge_phase", cat="phase"):
+        merge_seconds = merge_slices(sp, results, tracer=tracer,
+                                     metrics=metrics)
+    for timing_record in timings:
+        timing_record.merge_seconds = merge_seconds.get(
+            timing_record.index, 0.0)
+    tool.fini()
+
+    with tracer.span("timing_phase", cat="phase"):
+        timing = (simulate(timeline, results, config, machine=machine,
+                           cost=cost) if compute_timing and not degraded
+                  else None)
+    report = SuperPinReport(
+        config=config,
+        timeline=timeline,
+        slices=results,
+        signatures=signatures,
+        tool=tool,
+        timing=timing,
+        exit_code=timeline.exit_code,
+        slice_timings=timings,
+        slice_outcomes=supervised.outcomes,
+        degraded_slices=degraded,
+        slice_phase_seconds=slice_span.duration,
+        trace=tracer,
+        metrics=metrics,
+        recording_path=recording.path,
+        recording_id=recording.recording_id,
+    )
+
+    # -spaudit on a replay is free: the artifact carries the reference
+    # checkpoints and stream digests, so the oracle compares against
+    # recorded truth without re-running anything.
+    if config.spaudit:
+        with tracer.span("audit_phase", cat="phase"):
+            reference = reference_from_recording(recording.meta)
+            report.audit = compare_run(report, reference, None)
+        metrics.inc("superpin.audit.checks", report.audit.checks)
+        metrics.inc("superpin.audit.divergences",
+                    len(report.audit.divergences))
+        for kind, count in sorted(report.audit.by_kind().items()):
+            metrics.inc(f"superpin.audit.divergence.{kind}", count)
     return report

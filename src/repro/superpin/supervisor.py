@@ -66,6 +66,7 @@ from .api import SliceToolContext, SPControl
 from .control import Interval, MasterTimeline
 from .faults import (CORRUPT_BLOB, CorruptResultFault, FaultKind, FaultPlan,
                      maybe_inject, tamper_blob)
+from .journal import unframe_blob
 from .parallel import (SliceTimings, _slice_payload, _worker_run_slice,
                        execute_slices, slice_timings_from_records,
                        synthesize_slice_spans)
@@ -172,16 +173,30 @@ def _attempt_slice(payload: bytes, index: int, attempt: int,
 def supervise_slices(timeline: MasterTimeline, signatures: list[Signature],
                      template: SliceToolContext, sp: SPControl,
                      config: SuperPinConfig, tracer=None,
-                     metrics=NULL_METRICS) -> SupervisedSlices:
+                     metrics=NULL_METRICS, journal=None, preloaded=None,
+                     damaged=None) -> SupervisedSlices:
     """Run the slice phase under the configured fault policy.
 
-    With the default ``failfast`` policy and no fault plan this is a
-    thin wrapper over :func:`~repro.superpin.parallel.execute_slices`
-    (no supervision overhead on the happy path); otherwise the
-    supervised sequential or parallel executor runs.  Either way the
-    phase's spans land in ``tracer`` and its counters in ``metrics``.
+    With the default ``failfast`` policy, no fault plan and no
+    durability hooks this is a thin wrapper over
+    :func:`~repro.superpin.parallel.execute_slices` (no supervision
+    overhead on the happy path); otherwise the supervised sequential or
+    parallel executor runs.  Either way the phase's spans land in
+    ``tracer`` and its counters in ``metrics``.
+
+    Durability hooks:
+
+    * ``journal`` — a :class:`~repro.superpin.journal.RunJournal`;
+      every successful slice's framed result blob is appended durably.
+    * ``preloaded`` — slice index -> framed blob adopted from a resumed
+      journal; adopted slices are not re-executed.
+    * ``damaged`` — slice index -> the
+      :class:`~repro.errors.RecordingCorruptError` a replayed
+      recording's load tolerated for that slice (``-spfaults degrade``
+      only); these slices are degraded upfront, never attempted.
     """
-    if config.spfaults == "failfast" and config.fault_plan is None:
+    if (config.spfaults == "failfast" and config.fault_plan is None
+            and journal is None and not preloaded and not damaged):
         results, timings = execute_slices(timeline, signatures, template,
                                           sp, config, tracer=tracer,
                                           metrics=metrics)
@@ -196,7 +211,9 @@ def supervise_slices(timeline: MasterTimeline, signatures: list[Signature],
         return SupervisedSlices(results=results, timings=timings,
                                 outcomes=outcomes)
     supervisor = _Supervisor(timeline, signatures, template, sp, config,
-                             tracer=tracer, metrics=metrics)
+                             tracer=tracer, metrics=metrics,
+                             journal=journal, preloaded=preloaded,
+                             damaged=damaged)
     if config.spworkers <= 0:
         return supervisor.run_sequential()
     return supervisor.run_parallel()
@@ -217,7 +234,8 @@ class _Supervisor:
     def __init__(self, timeline: MasterTimeline,
                  signatures: list[Signature], template: SliceToolContext,
                  sp: SPControl, config: SuperPinConfig, tracer=None,
-                 metrics=NULL_METRICS):
+                 metrics=NULL_METRICS, journal=None, preloaded=None,
+                 damaged=None):
         self.sp = sp
         self.config = config
         self.tracer = ensure_tracer(tracer)
@@ -225,12 +243,27 @@ class _Supervisor:
         self._mark = self.tracer.mark()
         self._tracks = TrackAllocator()
         self.plan: FaultPlan | None = config.fault_plan
+        self.journal = journal
         self.n_slices = len(timeline.intervals)
         self.outcomes = [
             SliceOutcome(index=k,
                          deadline_seconds=slice_deadline(interval, config))
             for k, interval in enumerate(timeline.intervals)]
         self.results: dict[int, SliceResult] = {}
+        # Damaged recording sections degrade their slices upfront: the
+        # artifact has no trustworthy spec for them, so they are never
+        # attempted — the same hole a degraded execution leaves.
+        for k, err in sorted((damaged or {}).items()):
+            self.outcomes[k].status = "degraded"
+            self.outcomes[k].error = str(err)
+            self.metrics.inc("superpin.supervisor.degraded_slices")
+            self.tracer.instant("slice.degraded", cat="supervisor",
+                                args={"slice": k, "error": str(err)})
+        # Journaled results from a resumed run are adopted as-is; a blob
+        # that fails to decode is simply re-executed.
+        for k, blob in sorted((preloaded or {}).items()):
+            if 0 <= k < self.n_slices and self._todo(k):
+                self._adopt(k, blob)
         #: Per-slice execution counter — the attempt numbers the fault
         #: plan sees.  Resubmissions after a neighbour's reap re-run the
         #: *same* attempt number (the original never got to finish).
@@ -250,11 +283,18 @@ class _Supervisor:
         self._pilot = config.spwarmcache and self.n_slices > 1
         self.payloads: list[bytes | None] = [None] * self.n_slices
         if self._pilot:
-            self.payloads[0] = self._make_payload(0, warm=None,
-                                                  export_warm=True)
+            if self._pilot_resolved():
+                # The pilot arrived from the journal (or was degraded):
+                # its exports are intact in the adopted result, so the
+                # warm payload freezes without re-running slice 0.
+                self._release_rest()
+            else:
+                self.payloads[0] = self._make_payload(0, warm=None,
+                                                      export_warm=True)
         else:
             for k in range(self.n_slices):
-                self.payloads[k] = self._make_payload(k)
+                if self._todo(k):
+                    self.payloads[k] = self._make_payload(k)
 
     def _make_payload(self, k: int, warm=None,
                       export_warm: bool = False) -> bytes:
@@ -262,6 +302,32 @@ class _Supervisor:
                               self._template, self.sp, self.config, k,
                               self.tracer, warm=warm,
                               export_warm=export_warm)
+
+    def _todo(self, k: int) -> bool:
+        """True while slice ``k`` still needs an execution attempt."""
+        return (k not in self.results
+                and self.outcomes[k].status != "degraded")
+
+    def _adopt(self, k: int, blob: bytes) -> bool:
+        """Adopt a journaled framed result blob for slice ``k``.
+
+        Returns False (slice re-executes) when the blob does not decode
+        — a journal entry survived its checksum but pickles to garbage,
+        which only tampering can produce; re-execution is the safe
+        response either way.
+        """
+        try:
+            with resolve_shared_areas(self.sp.areas):
+                (result, _fork_seconds, _run_seconds,
+                 snapshot) = pickle.loads(unframe_blob(blob))
+        except Exception:
+            return False
+        self.metrics.merge(snapshot)
+        self.results[k] = result
+        self.outcomes[k].attempts.append(
+            SliceAttempt(number=0, where="journal", seconds=0.0))
+        self.metrics.inc("superpin.journal.resumed_slices")
+        return True
 
     def _pilot_resolved(self) -> bool:
         """True once slice 0 has a result or was given up on."""
@@ -278,7 +344,8 @@ class _Supervisor:
         if 0 in self.results:
             warm = WarmTraceStore().fold_pilot(self.results[0])
         for k in range(1, self.n_slices):
-            self.payloads[k] = self._make_payload(k, warm=warm)
+            if self._todo(k):
+                self.payloads[k] = self._make_payload(k, warm=warm)
         self._pilot = False
 
     # -- shared bookkeeping ------------------------------------------------
@@ -292,7 +359,9 @@ class _Supervisor:
             with resolve_shared_areas(self.sp.areas):
                 try:
                     (result, fork_seconds, run_seconds,
-                     snapshot) = pickle.loads(blob)
+                     snapshot) = pickle.loads(unframe_blob(blob))
+                except CorruptResultFault:
+                    raise
                 except Exception as exc:
                     raise CorruptResultFault(
                         f"slice {k} attempt {attempt} returned an "
@@ -304,6 +373,11 @@ class _Supervisor:
         self.results[k] = result
         self.outcomes[k].attempts.append(
             SliceAttempt(number=attempt, where=where, seconds=seconds))
+        if self.journal is not None:
+            # Write-ahead: the framed blob lands durably *before* the
+            # run proceeds (appended pre-fold, so an adopted pilot still
+            # carries its warm exports on resume).
+            self.journal.append(k, blob)
 
     def _record_failure(self, k: int, attempt: int, where: str,
                         seconds: float, error: BaseException | str,
@@ -380,6 +454,8 @@ class _Supervisor:
         same attempt numbers regardless of worker count.
         """
         for k in range(self.n_slices):
+            if not self._todo(k):
+                continue
             if self.payloads[k] is None:
                 self._release_rest()
             while True:
@@ -412,18 +488,26 @@ class _Supervisor:
         # The pilot runs to resolution alone; _release_rest then queues
         # the remaining slices with the frozen warm payload.
         self._pending: deque[int] = deque(
-            [0] if self._pilot else range(self.n_slices))
+            [0] if self._pilot
+            else [k for k in range(self.n_slices) if self._todo(k)])
         self._flights: dict = {}
         try:
             while self._pending or self._flights or self._pilot:
                 if self._pilot and self._pilot_resolved():
                     self._release_rest()
-                    self._pending.extend(range(1, self.n_slices))
+                    self._pending.extend(
+                        k for k in range(1, self.n_slices)
+                        if self._todo(k))
                 # Sliding window: at most `workers` futures in flight,
                 # so every submitted attempt is (approximately) running
                 # and its deadline clock is fair.
                 while self._pending and len(self._flights) < self._workers:
                     self._submit(self._pending.popleft())
+                if not self._flights:
+                    # Everything left was adopted or degraded; loop
+                    # around (and usually exit) instead of waiting on
+                    # an empty flight set.
+                    continue
                 timeout = min(
                     max(0.0, self.outcomes[f.index].deadline_seconds
                         - (time.perf_counter() - f.started))

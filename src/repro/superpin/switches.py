@@ -53,6 +53,21 @@ Switch                  Meaning
                         sampling.  Tool results then cover only the
                         sampled slices — an approximation the report
                         surfaces explicitly
+``-sprecord <path>``    record once: save a durable, content-addressed
+                        recording artifact (initial memory image, slice
+                        boundary table + signatures, per-slice syscall
+                        streams, nondeterminism seed) after the control
+                        and signature phases (see superpin.recording)
+``-spreplay <path>``    replay many: run the tool against a recording
+                        artifact instead of a live master — the master
+                        is re-run exactly zero times.  Every load
+                        verifies the manifest and per-section digests
+``-spjournal <path>``   write-ahead run journal: append each completed
+                        slice's result durably so a crashed run can be
+                        resumed (see superpin.journal)
+``-spresume <0|1>``     resume from ``-spjournal``: adopt the journaled
+                        slices and re-execute only the missing ones,
+                        with byte-identical merged results
 ======================= ==================================================
 
 The reproduction adds knobs the paper fixes implicitly: the virtual clock
@@ -200,6 +215,21 @@ class SuperPinConfig:
     #: cover the sampled slices only), so the audit skips the
     #: tool-results comparison when sampling is on.
     spsample: int = 0
+    # --- durable recordings and crash-safe runs (superpin.recording) -------
+    #: Save a recording artifact to this path after the control and
+    #: signature phases ("record once").  Mutually exclusive with
+    #: ``spreplay``.
+    sprecord: str | None = None
+    #: Replay against a recording artifact at this path ("replay many"):
+    #: the slice phase sources its boundaries, signatures and syscall
+    #: streams from the verified artifact and the master never runs.
+    spreplay: str | None = None
+    #: Write-ahead run journal path: every completed slice's result is
+    #: appended durably, making the run crash-safe.
+    spjournal: str | None = None
+    #: Resume from the journal at ``spjournal``: adopt its valid entry
+    #: prefix and re-execute only the missing slices.
+    spresume: bool = False
 
     def __post_init__(self) -> None:
         if self.spmsec <= 0:
@@ -253,6 +283,19 @@ class SuperPinConfig:
                 f"-spsample must be >= 0, got {self.spsample}")
         if self.spfilter is not None and not str(self.spfilter).strip():
             raise ConfigError("-spfilter spec must not be empty")
+        for name, flag in (("sprecord", "-sprecord"),
+                           ("spreplay", "-spreplay"),
+                           ("spjournal", "-spjournal")):
+            value = getattr(self, name)
+            if value is not None and not str(value).strip():
+                raise ConfigError(f"{flag} path must not be empty")
+        if self.sprecord is not None and self.spreplay is not None:
+            raise ConfigError(
+                "-sprecord and -spreplay are mutually exclusive (a replay "
+                "would only re-serialize the artifact it was given)")
+        if self.spresume and self.spjournal is None:
+            raise ConfigError("-spresume requires -spjournal (there is no "
+                              "journal to resume from)")
 
     @property
     def timeslice_cycles(self) -> int:
@@ -297,6 +340,10 @@ _FLAG_PARSERS = {
     "-spfilter": ("spfilter", str),
     "-spsuppress": ("spsuppress", lambda v: bool(int(v))),
     "-spsample": ("spsample", int),
+    "-sprecord": ("sprecord", str),
+    "-spreplay": ("spreplay", str),
+    "-spjournal": ("spjournal", str),
+    "-spresume": ("spresume", lambda v: bool(int(v))),
 }
 
 

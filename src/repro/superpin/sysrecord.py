@@ -90,6 +90,11 @@ def stream_digest(records: Iterable[SyscallRecord]) -> str:
     return digest.hexdigest
 
 
+def recorded_stream_digest(entries: Iterable[RecordedSyscall]) -> str:
+    """Digest of a stream of :class:`RecordedSyscall` playback entries."""
+    return stream_digest(entry.record for entry in entries)
+
+
 class PlaybackHandler:
     """Syscall handler installed in slice processes.
 

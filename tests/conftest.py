@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 
 import pytest
 
@@ -126,6 +128,19 @@ def hello_program():
 @pytest.fixture
 def multislice_program():
     return assemble(MULTISLICE)
+
+
+def sigkill_at_slice(slice_num: int, value=None) -> None:
+    """Slice-begin callback that SIGKILLs the process at one slice.
+
+    Lives at module level (importable as ``tests.conftest``) so a
+    journaled slice result that references it stays unpicklable-free
+    across processes — the crash-resume test's child registers it, and
+    the resuming parent must be able to unpickle the journaled slice
+    contexts.  Armed via ``SUPERPIN_TEST_KILL_AT``; inert otherwise.
+    """
+    if slice_num == int(os.environ.get("SUPERPIN_TEST_KILL_AT", "-1")):
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 def run_native(program, seed: int = 42, max_instructions: int = 50_000_000):

@@ -1,0 +1,49 @@
+"""Atomic file output: tmp + fsync + rename, never a torn file."""
+
+import os
+
+import pytest
+
+from repro.fsutil import atomic_write, fsync_directory
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write(target, b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_writes_str(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write(target, "héllo\n")
+        assert target.read_text(encoding="utf-8") == "héllo\n"
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_tmp_litter_on_success(self, tmp_path):
+        atomic_write(tmp_path / "out.txt", "data")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failure_keeps_old_content_and_cleans_up(self, tmp_path,
+                                                     monkeypatch):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+
+        def explode(src, dst):
+            raise OSError("simulated rename failure")
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            atomic_write(target, "half-written")
+        monkeypatch.undo()
+        assert target.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_fsync_directory_is_quiet(tmp_path):
+    (tmp_path / "f").write_text("x")
+    fsync_directory(tmp_path / "f")
+    fsync_directory("/nonexistent/path/file")

@@ -1,0 +1,130 @@
+"""Seeded corruption fuzz for recording artifacts and run journals.
+
+The integrity contract, stated adversarially: damage *any* byte of a
+recording artifact — a flipped bit, a chopped tail — and the strict
+loader must raise a taxonomized
+:class:`~repro.errors.RecordingCorruptError`.  It must never hand back
+a recording that replays wrong-but-clean.  For the journal the contract
+is prefix-safety: damage may shrink the adopted entry set, but every
+blob that *is* adopted must be byte-identical to what was appended.
+
+Deterministically seeded (no hypothesis dependency): the same offsets
+are fuzzed on every run.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import RecordingCorruptError
+from repro.isa import assemble
+from repro.machine import Kernel
+from repro.superpin import (load_recording, run_key, run_superpin,
+                            RunJournal, SuperPinConfig)
+from repro.tools import ICount2
+from tests.conftest import MULTISLICE
+
+SEED = 20260808  # fixed fuzz seed: same mutations every run
+BIT_FLIPS = 48
+TRUNCATIONS = 16
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    path = tmp_path_factory.mktemp("fuzz") / "run.sprec"
+    run_superpin(assemble(MULTISLICE), ICount2(),
+                 SuperPinConfig(spmsec=500, clock_hz=10_000,
+                                sprecord=str(path)),
+                 kernel=Kernel(seed=42))
+    return path.read_bytes()
+
+
+def _expect_rejection(tmp_path, blob: bytes, label: str) -> None:
+    target = tmp_path / "mutant.sprec"
+    target.write_bytes(blob)
+    with pytest.raises(RecordingCorruptError) as info:
+        load_recording(target)
+    assert info.value.kind in RecordingCorruptError.KINDS, label
+
+
+class TestRecordingFuzz:
+    def test_pristine_loads(self, pristine, tmp_path):
+        target = tmp_path / "ok.sprec"
+        target.write_bytes(pristine)
+        assert load_recording(target).num_slices > 0
+
+    def test_every_bit_flip_is_rejected(self, pristine, tmp_path):
+        rng = random.Random(SEED)
+        for trial in range(BIT_FLIPS):
+            offset = rng.randrange(len(pristine))
+            bit = 1 << rng.randrange(8)
+            mutant = bytearray(pristine)
+            mutant[offset] ^= bit
+            _expect_rejection(
+                tmp_path, bytes(mutant),
+                f"trial {trial}: flip bit {bit:#04x} at offset {offset}")
+
+    def test_every_truncation_is_rejected(self, pristine, tmp_path):
+        rng = random.Random(SEED + 1)
+        cuts = {rng.randrange(1, len(pristine))
+                for _ in range(TRUNCATIONS)}
+        cuts.update((1, len(pristine) - 1))  # extremes always covered
+        for cut in sorted(cuts):
+            _expect_rejection(tmp_path, pristine[:cut],
+                              f"truncate to {cut} bytes")
+
+    def test_empty_and_garbage_files_are_rejected(self, tmp_path):
+        _expect_rejection(tmp_path, b"", "empty file")
+        _expect_rejection(tmp_path, b"\x00" * 4096, "zero file")
+        rng = random.Random(SEED + 2)
+        _expect_rejection(tmp_path, rng.randbytes(4096), "random file")
+
+
+class TestJournalFuzz:
+    """Prefix-safety: a damaged journal never yields a damaged blob."""
+
+    KEY = run_key("fuzz-digest", "ICount2", SuperPinConfig())
+    BLOBS = {k: bytes([k]) * (50 + 13 * k) for k in range(6)}
+
+    def _write(self, path):
+        with RunJournal.create(path, self.KEY) as journal:
+            for index, blob in self.BLOBS.items():
+                journal.append(index, blob)
+        return path.read_bytes()
+
+    def test_bit_flips_only_shrink_the_prefix(self, tmp_path):
+        pristine = self._write(tmp_path / "run.spjl")
+        rng = random.Random(SEED + 3)
+        for trial in range(BIT_FLIPS):
+            offset = rng.randrange(len(pristine))
+            mutant = bytearray(pristine)
+            mutant[offset] ^= 1 << rng.randrange(8)
+            target = tmp_path / f"mutant_{trial}.spjl"
+            target.write_bytes(bytes(mutant))
+            try:
+                journal, entries = RunJournal.resume(target, self.KEY)
+            except RecordingCorruptError as error:
+                # Header damage: the whole file is rightly refused.
+                assert error.kind in RecordingCorruptError.KINDS
+                continue
+            journal.close()
+            for index, blob in entries.items():
+                assert blob == self.BLOBS[index], (
+                    f"trial {trial}: adopted a damaged blob for slice "
+                    f"{index} (flip at offset {offset})")
+
+    def test_truncations_keep_a_valid_prefix(self, tmp_path):
+        pristine = self._write(tmp_path / "run.spjl")
+        header_len = len(b"SPJL1\n") + 64 + 1
+        rng = random.Random(SEED + 4)
+        for trial in range(TRUNCATIONS):
+            cut = rng.randrange(header_len, len(pristine))
+            target = tmp_path / f"cut_{trial}.spjl"
+            target.write_bytes(pristine[:cut])
+            journal, entries = RunJournal.resume(target, self.KEY)
+            journal.close()
+            # Entries are adopted in append order; a torn tail can only
+            # remove a suffix, never punch holes or damage survivors.
+            assert sorted(entries) == list(range(len(entries)))
+            for index, blob in entries.items():
+                assert blob == self.BLOBS[index]

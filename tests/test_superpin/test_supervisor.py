@@ -308,6 +308,26 @@ class TestPoolReconstruction:
         assert tool.total == clean_tool.total
         assert report.all_exact
 
+    def test_every_attempt_breaks_pool_then_degrades(self, program):
+        """A slice whose every worker attempt kills its process must
+        rebuild the pool after each break (counter-verified) and only
+        degrade once the in-process fallback also fails — never abort
+        the run, never skip the rebuilds."""
+        report, _ = _supervised_report(
+            program, FaultPlan.parse("crash@2:*"), spworkers=2,
+            spfaults="degrade", spretries=1, spmetrics=True)
+        assert report.degraded_slices == [2]
+        assert report.metrics.counters[
+            "superpin.supervisor.pool_rebuilds"] >= 2
+        outcome = report.slice_outcomes[2]
+        assert outcome.status == "degraded"
+        assert sum(1 for a in outcome.attempts
+                   if "pool broken" in (a.error or "")) >= 2
+        assert outcome.attempts[-1].where == "inprocess"
+        # Every other slice still completed exactly.
+        assert [s.index for s in report.slices] \
+            == [k for k in range(len(report.slice_outcomes)) if k != 2]
+
 
 class TestSupervisionSummary:
     def test_clean_run_summary(self, clean):
