@@ -15,11 +15,20 @@ slices always execute the same instructions — but they are still gated
 at 2x in both directions rather than exact equality, so intentional
 small shifts (say a JIT policy change) update the baseline without
 flapping, while a counter that doubles fails loudly.
+
+The gate runs the workload *twice* against a throwaway persistent
+trace store (-sptracestore): the first (cold) run populates the store,
+the second (warm) run is the one gated.  The warm run must record
+``pin.cache.persistent_hits > 0`` and compile zero pilot-slice traces
+cold — if the persistent tier silently stops engaging, the gate fails
+even though nothing got slower.
 """
 
 import argparse
 import json
+import shutil
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -66,22 +75,38 @@ WALLCLOCK_KEYS = (
 REQUIRED_NONZERO = (
     "pin.cache.linked_dispatches",
     "pin.cache.warm_starts",
+    "pin.cache.persistent_hits",
     "pin.filter.fastpath_traces",
     "pin.suppress.summarized_loops",
 )
 
 
-def measure(trace_path=None):
-    """Run the bench-smoke workload once; return the gated figures."""
+def _run_once(store_dir, trace_path=None):
     config = SuperPinConfig(spworkers=WORKERS, spmetrics=True,
-                            spfilter=FILTER, spsuppress=SUPPRESS)
+                            spfilter=FILTER, spsuppress=SUPPRESS,
+                            sptracestore=store_dir)
     built = build(WORKLOAD, clock_hz=config.clock_hz, scale=SCALE)
     tool = TOOLS[TOOL]()
     report = run_superpin(built.program, tool, config, kernel=Kernel(seed=42))
     if trace_path:
         kind = write_trace(trace_path, report.trace, report.metrics)
         print(f"wrote {kind} trace to {trace_path}")
-    wall = report.wallclock_summary()
+    return report
+
+
+def measure(trace_path=None):
+    """Cold run to populate the trace store, warm run to gate."""
+    store_dir = tempfile.mkdtemp(prefix="spgate-store-")
+    try:
+        cold = _run_once(store_dir)
+        warm = _run_once(store_dir, trace_path=trace_path)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    if not cold.metrics.counters.get("pin.cache.persistent_saves"):
+        print("warning: cold run saved no trace-store entry",
+              file=sys.stderr)
+    pilot = warm.slices[0]
+    wall = warm.wallclock_summary()
     return {
         "workload": WORKLOAD,
         "scale": SCALE,
@@ -90,7 +115,8 @@ def measure(trace_path=None):
         "filter": FILTER,
         "suppress": SUPPRESS,
         "wallclock": {key: wall[key] for key in WALLCLOCK_KEYS},
-        "counters": dict(report.metrics.counters),
+        "counters": dict(warm.metrics.counters),
+        "pilot_cold_compiles": pilot.compiles - pilot.warm_starts,
     }
 
 
@@ -113,6 +139,11 @@ def compare(current, baseline):
                 f"counter {name}: expected nonzero "
                 f"(got {current['counters'].get(name, 0)})"
             )
+    if current.get("pilot_cold_compiles", 0):
+        failures.append(
+            f"warm run compiled {current['pilot_cold_compiles']} pilot "
+            f"traces cold; a persistent-store hit must warm the pilot"
+        )
     base_counters = baseline["counters"]
     for name in sorted(set(base_counters) | set(current["counters"])):
         base = base_counters.get(name)

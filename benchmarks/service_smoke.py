@@ -1,0 +1,138 @@
+"""Service smoke test: boot the daemon, prove the cross-run warm start.
+
+The CI `service-smoke` job's driver (also runnable locally):
+
+    python benchmarks/service_smoke.py --artifacts service-smoke
+
+Boots `superpin serve` as a subprocess, submits three concurrent jobs
+through the client — two identical gzip runs plus one distinct mcf
+run — and asserts:
+
+- all three complete with correct, matching reports;
+- the second identical job hits the persistent trace store
+  (``pin.cache.persistent_hits > 0``) and compiles zero pilot-slice
+  traces cold;
+- the distinct job keys its own entry (cold, no false sharing).
+
+On success the daemon is shut down gracefully and its state dir (job
+log, metrics/trace-store exports) is copied to ``--artifacts`` for
+upload.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+IDENTICAL = {"workload": "gzip", "scale": 0.15, "tool": "icount2",
+             "seed": 42, "switches": ["-spworkers", "2"]}
+DISTINCT = {"workload": "mcf", "scale": 0.15, "tool": "icount1",
+            "seed": 42, "switches": ["-spworkers", "2"]}
+
+
+def boot_daemon(socket_path, state_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parent.parent / "src"),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--socket", socket_path, "--state", state_dir,
+         "--workers", "1"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    client = ServeClient(socket_path, timeout=600.0)
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit("daemon died at startup:\n"
+                             + proc.communicate()[0].decode())
+        try:
+            if os.path.exists(socket_path) and client.ping():
+                return proc, client
+        except OSError:
+            pass
+        time.sleep(0.1)
+    raise SystemExit("daemon never became reachable")
+
+
+def hits(final):
+    return final["result"]["counters"].get("pin.cache.persistent_hits", 0)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifacts", default=None,
+                        help="copy the daemon state dir here on success")
+    args = parser.parse_args(argv)
+
+    root = tempfile.mkdtemp(dir="/tmp", prefix="spsmoke-")
+    socket_path = os.path.join(root, "d.sock")
+    state_dir = os.path.join(root, "state")
+    proc, client = boot_daemon(socket_path, state_dir)
+    try:
+        # Enqueue all three before anything finishes: one worker drains
+        # them j1 -> j3 -> j2 (round-robin across the two tenants), so
+        # the second identical job always runs after the first has
+        # populated the store.
+        j1 = client.submit(IDENTICAL, tenant="alice",
+                           stream=False)["job_id"]
+        j2 = client.submit(IDENTICAL, tenant="alice",
+                           stream=False)["job_id"]
+        j3 = client.submit(DISTINCT, tenant="bob",
+                           stream=False)["job_id"]
+        print(f"queued {j1} {j2} (identical) + {j3} (distinct)")
+        finals = {job_id: client.wait(job_id) for job_id in (j1, j2, j3)}
+        for job_id, final in finals.items():
+            if final["event"] != "done":
+                raise SystemExit(f"{job_id} failed: {final}")
+            result = final["result"]
+            print(f"{job_id}: exit {result['exit_code']}, "
+                  f"{result['num_slices']} slices, persistent hits "
+                  f"{hits(final)}, pilot cold "
+                  f"{result['pilot_cold_compiles']}")
+
+        problems = []
+        if hits(finals[j1]) != 0:
+            problems.append(f"{j1} (first) unexpectedly hit the store")
+        if hits(finals[j2]) <= 0:
+            problems.append(f"{j2} (identical resubmission) missed the "
+                            f"persistent trace store")
+        if finals[j2]["result"]["pilot_cold_compiles"] != 0:
+            problems.append(
+                f"{j2} compiled "
+                f"{finals[j2]['result']['pilot_cold_compiles']} pilot "
+                f"traces cold; a store hit must warm the pilot")
+        if (finals[j1]["result"]["tool_report"]
+                != finals[j2]["result"]["tool_report"]):
+            problems.append("identical jobs produced different reports")
+        if hits(finals[j3]) != 0:
+            problems.append(f"{j3} (distinct program) hit another "
+                            f"program's entry")
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+
+        client.shutdown()
+        proc.wait(timeout=60)
+        if args.artifacts:
+            shutil.copytree(state_dir, args.artifacts,
+                            dirs_exist_ok=True)
+            print(f"copied daemon state to {args.artifacts}")
+        print("service smoke passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

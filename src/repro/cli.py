@@ -78,11 +78,51 @@ def main(argv: list[str] | None = None) -> int:
                             help="dump an object file (or .s source)")
     dump_p.add_argument("file")
 
+    serve_p = sub.add_parser(
+        "serve", help="run the persistent instrumentation daemon")
+    serve_p.add_argument("--socket", required=True,
+                         help="unix socket path to listen on")
+    serve_p.add_argument("--state", required=True,
+                         help="state directory (job log, trace store, "
+                              "shutdown exports)")
+    serve_p.add_argument("--workers", type=int, default=1,
+                         help="concurrent jobs (0: accept only)")
+    serve_p.add_argument("--queue-depth", type=int, default=64,
+                         help="admission-control queue bound")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit one job to a running daemon")
+    submit_p.add_argument("--socket", required=True)
+    submit_p.add_argument("-t", "--tool", default="icount2",
+                          choices=sorted(TOOLS))
+    submit_p.add_argument("-w", "--workload", default=None,
+                          help="suite benchmark name")
+    submit_p.add_argument("--asm", default=None,
+                          help="assembly source file to submit instead")
+    submit_p.add_argument("--scale", type=float, default=0.25)
+    submit_p.add_argument("--seed", type=int, default=42)
+    submit_p.add_argument("--tenant", default="default")
+    submit_p.add_argument("--no-stream", action="store_true",
+                          help="enqueue and return without waiting")
+    # -sp* switches ride in the unparsed remainder, like 'run'.
+
+    status_p = sub.add_parser(
+        "status", help="query (or manage) a running daemon")
+    status_p.add_argument("--socket", required=True)
+    status_p.add_argument("--job", default=None,
+                          help="show one job instead of the summary")
+    status_p.add_argument("--cancel", default=None, metavar="JOB",
+                          help="cancel a queued or running job")
+    status_p.add_argument("--shutdown", action="store_true",
+                          help="stop the daemon gracefully")
+
     args, extra = parser.parse_known_args(argv)
     if args.command == "run":
         return _cmd_run(args, extra)
     if args.command == "replay":
         return _cmd_replay(args, extra)
+    if args.command == "submit":
+        return _cmd_submit(args, extra)
     if extra:
         parser.error(f"unrecognized arguments: {' '.join(extra)}")
     if args.command == "figure":
@@ -93,6 +133,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_asm(args)
     if args.command == "objdump":
         return _cmd_objdump(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "status":
+        return _cmd_status(args)
     return 2  # pragma: no cover
 
 
@@ -251,6 +295,114 @@ def _cmd_replay(args, extra: list[str]) -> int:
             if not report.audit.ok:
                 status = 3
     return status
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServeDaemon
+    if args.workers < 0 or args.queue_depth <= 0:
+        print("serve: --workers must be >= 0 and --queue-depth > 0",
+              file=sys.stderr)
+        return 2
+    daemon = ServeDaemon(args.socket, args.state, workers=args.workers,
+                         max_depth=args.queue_depth)
+    print(f"serve: listening on {args.socket} "
+          f"({args.workers} workers, queue depth {args.queue_depth}, "
+          f"state {args.state})", flush=True)
+    daemon.run()
+    print("serve: stopped")
+    return 0
+
+
+def _cmd_submit(args, extra: list[str]) -> int:
+    from .serve import ServeClient, ServeError
+    if (args.workload is None) == (args.asm is None):
+        print("submit: exactly one of -w/--workload or --asm",
+              file=sys.stderr)
+        return 2
+    spec: dict = {"tool": args.tool, "seed": args.seed,
+                  "switches": [s for s in extra if s != "--"]}
+    if args.workload is not None:
+        spec["workload"] = args.workload
+        spec["scale"] = args.scale
+    else:
+        with open(args.asm, "r", encoding="utf-8") as handle:
+            spec["asm"] = handle.read()
+    client = ServeClient(args.socket)
+
+    def on_event(event: dict) -> None:
+        kind = event.get("event")
+        if kind == "state":
+            print(f"  {event['job_id']}: {event['state']}")
+        elif kind == "progress" and event.get("kind") == "slice":
+            payload = event.get("payload", {})
+            print(f"  {event['job_id']}: slice "
+                  f"{payload.get('completed')}/{payload.get('total')}")
+
+    try:
+        response = client.submit(spec, tenant=args.tenant,
+                                 stream=not args.no_stream,
+                                 on_event=on_event)
+    except ServeError as error:
+        print(f"submit rejected ({error.code}): {error}",
+              file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot reach daemon: {error}", file=sys.stderr)
+        return 2
+    job_id = response["job_id"]
+    if args.no_stream:
+        print(f"queued {job_id}")
+        return 0
+    final = response["final"]
+    if final["event"] == "failed":
+        print(f"{job_id} failed: {final.get('error')}", file=sys.stderr)
+        return 1
+    result = final["result"]
+    hits = result["counters"].get("pin.cache.persistent_hits", 0)
+    print(f"{job_id} done: exit {result['exit_code']}, "
+          f"{result['num_slices']} slices, "
+          f"persistent hits {hits}, "
+          f"pilot cold compiles {result['pilot_cold_compiles']}")
+    print(f"tool report: {result['tool_report']}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from .serve import ServeClient, ServeError
+    client = ServeClient(args.socket)
+    try:
+        if args.shutdown:
+            client.shutdown()
+            print("daemon stopping")
+            return 0
+        if args.cancel is not None:
+            response = client.cancel(args.cancel)
+            print(f"{args.cancel}: {response.get('state')}")
+            return 0
+        if args.job is not None:
+            job = client.status(args.job)["job"]
+            print(f"{job['job_id']} [{job['tenant']}] {job['state']} "
+                  f"tool={job['tool']} program={job['program']}")
+            if job.get("error"):
+                print(f"  error: {job['error']}")
+            return 0
+        snapshot = client.status()
+        daemon = snapshot["daemon"]
+        print(f"daemon: {daemon['running']} running, "
+              f"{daemon['queue_depth']}/{daemon['max_depth']} queued, "
+              f"{daemon['workers']} workers")
+        for tenant, depth in sorted(daemon["queue_depths"].items()):
+            print(f"  queue[{tenant}]: {depth}")
+        for job in snapshot["jobs"]:
+            print(f"  {job['job_id']} [{job['tenant']}] {job['state']} "
+                  f"{job['program']}/{job['tool']}")
+        return 0
+    except ServeError as error:
+        print(f"daemon error ({error.code}): {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot reach daemon: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_figure(args) -> int:

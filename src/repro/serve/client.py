@@ -1,0 +1,120 @@
+"""Blocking client for the serve daemon's line protocol.
+
+Each call opens a fresh connection, performs one exchange and closes —
+connections are cheap on a unix socket, and one-exchange-per-connection
+means a streaming ``submit`` can never interleave with a ``status``
+poll.  This is the implementation behind ``superpin submit`` /
+``superpin status`` and the test-suite's daemon harness; anything that
+can write newline-delimited JSON to a unix socket can do the same.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .protocol import decode_line, encode_line, MAX_LINE_BYTES
+
+TERMINAL_EVENTS = ("done", "failed")
+
+
+class ServeError(RuntimeError):
+    """A request the daemon answered ``ok: false``."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """Client handle for one daemon socket path."""
+
+    def __init__(self, socket_path, timeout: float = 120.0):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        return sock
+
+    @staticmethod
+    def _read_line(reader) -> dict | None:
+        line = reader.readline(MAX_LINE_BYTES + 1024)
+        if not line:
+            return None
+        return decode_line(line)
+
+    def _exchange(self, request: dict, on_event=None) -> dict:
+        """Send one request; return its response (after any stream).
+
+        For streaming ops the events between the response and the
+        terminal event go to ``on_event``; the terminal event is
+        returned merged under ``"final"``.
+        """
+        sock = self._connect()
+        try:
+            sock.sendall(encode_line(request))
+            reader = sock.makefile("rb")
+            response = self._read_line(reader)
+            if response is None:
+                raise ServeError("closed", "daemon closed the connection")
+            if not response.get("ok", False):
+                raise ServeError(response.get("code", "error"),
+                                 response.get("error", "request failed"))
+            streaming = (request["op"] == "watch"
+                         or (request["op"] == "submit"
+                             and request.get("stream", True)))
+            if not streaming:
+                return response
+            while True:
+                event = self._read_line(reader)
+                if event is None:
+                    raise ServeError(
+                        "closed", "stream ended without a terminal event")
+                if on_event is not None:
+                    on_event(event)
+                if event.get("event") in TERMINAL_EVENTS:
+                    response["final"] = event
+                    return response
+        finally:
+            sock.close()
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self._exchange({"op": "ping"}).get("pong", False)
+
+    def submit(self, job: dict, tenant: str = "default",
+               stream: bool = True, on_event=None) -> dict:
+        """Submit one job spec; with ``stream`` wait for its outcome.
+
+        Returns the response object; when streaming, ``response
+        ["final"]`` is the terminal ``done``/``failed`` event.
+        """
+        return self._exchange({"op": "submit", "tenant": tenant,
+                               "stream": stream, "job": job},
+                              on_event=on_event)
+
+    def watch(self, job_id: str, on_event=None) -> dict:
+        """Stream a submitted job's remaining events to the end."""
+        return self._exchange({"op": "watch", "job_id": job_id},
+                              on_event=on_event)
+
+    def status(self, job_id: str | None = None) -> dict:
+        request: dict = {"op": "status"}
+        if job_id is not None:
+            request["job_id"] = job_id
+        return self._exchange(request)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._exchange({"op": "cancel", "job_id": job_id})
+
+    def shutdown(self) -> None:
+        self._exchange({"op": "shutdown"})
+
+    def wait(self, job_id: str) -> dict:
+        """Block until ``job_id`` finishes; returns its terminal event."""
+        return self.watch(job_id)["final"]

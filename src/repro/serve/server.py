@@ -1,0 +1,469 @@
+"""The SuperPin serve daemon: socket front end + shared worker pool.
+
+One asyncio event loop owns every piece of scheduling state (job
+table, tenant queues, subscriber lists); SuperPin runs execute on a
+bounded :class:`~concurrent.futures.ThreadPoolExecutor` so the loop
+stays responsive while jobs run.  A thread is the right isolation unit
+here — not a process — because each *job* already fans its slice phase
+out over ``-spworkers`` worker processes, and because the run's
+``on_progress`` callback must hand events back to the loop
+(``call_soon_threadsafe``), which a process boundary would forbid.
+
+Every job runs against the daemon's persistent trace store
+(``<state_dir>/trace_store``) unless its switches name their own, which
+is the service's economics: the first submission of a program pays the
+pilot compile, every later identical submission — any tenant, any
+connection, even after a daemon restart — starts warm with zero pilot
+compiles (``pin.cache.persistent_hits`` > 0 on its counters).
+
+Durability: accepted submissions are fsynced to ``<state_dir>/
+jobs.jsonl`` before the client hears "queued", so a SIGKILLed daemon
+restarted on the same state dir re-enqueues everything it had accepted
+but not finished (:func:`repro.serve.jobs.recover_jobs`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from ..fsutil import atomic_write
+from ..obs.metrics import metrics_for
+from .jobs import (Job, JobCancelled, JobLog, JobQueue, QueueFull,
+                   recover_jobs)
+from .protocol import (encode_line, decode_line, MAX_LINE_BYTES,
+                       ProtocolError, validate_request)
+
+#: Events a subscriber queue can carry; ``done``/``failed`` terminate.
+TERMINAL_EVENTS = ("done", "failed")
+
+
+class ServeDaemon:
+    """One daemon instance: queue, pool, socket server, durable log."""
+
+    def __init__(self, socket_path, state_dir, workers: int = 1,
+                 max_depth: int = 64, spmetrics: bool = True):
+        self.socket_path = os.fspath(socket_path)
+        self.state_dir = os.fspath(state_dir)
+        self.workers = workers
+        self.queue = JobQueue(max_depth=max_depth)
+        self.jobs: dict[str, Job] = {}
+        self.metrics = metrics_for(spmetrics)
+        self.trace_store_dir = os.path.join(self.state_dir, "trace_store")
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        self._next_id = 1
+        self._running = 0
+        self._log: JobLog | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._kick: asyncio.Event | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve until a ``shutdown`` request arrives (blocking)."""
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        os.makedirs(self.state_dir, exist_ok=True)
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._kick = asyncio.Event()
+        self._recover()
+        self._log = JobLog(os.path.join(self.state_dir, "jobs.jsonl"))
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(self.workers, 1),
+            thread_name_prefix="serve-job")
+        if os.path.exists(self.socket_path):
+            # A dead daemon's socket file refuses rebinding; since we
+            # were launched to own this path, a leftover is stale.
+            os.unlink(self.socket_path)
+        server = await asyncio.start_unix_server(
+            self._handle_client, path=self.socket_path,
+            limit=MAX_LINE_BYTES + 1024)
+        scheduler = asyncio.ensure_future(self._scheduler())
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            scheduler.cancel()
+            await self._drain_running()
+            self._executor.shutdown(wait=True)
+            self._write_exports()
+            self._log.close()
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def _recover(self) -> None:
+        """Re-enqueue jobs a dead daemon accepted but never finished."""
+        recovered = recover_jobs(os.path.join(self.state_dir,
+                                              "jobs.jsonl"))
+        for job in recovered:
+            self.jobs[job.job_id] = job
+            try:
+                number = int(job.job_id.lstrip("j"))
+            except ValueError:
+                number = 0
+            self._next_id = max(self._next_id, number + 1)
+            try:
+                self.queue.push(job)
+                self.metrics.inc("serve.jobs.recovered")
+            except QueueFull:
+                job.state = "failed"
+                job.error = "queue full after crash recovery"
+
+    async def _drain_running(self) -> None:
+        """Let in-flight jobs finish before the process exits."""
+        while self._running > 0:
+            await asyncio.sleep(0.02)
+
+    def _write_exports(self) -> None:
+        """Shutdown artifact: daemon counters + every job's record."""
+        snapshot = {
+            "counters": dict(self.metrics.counters),
+            "trace_store": sorted(os.listdir(self.trace_store_dir))
+            if os.path.isdir(self.trace_store_dir) else [],
+            "jobs": [self.jobs[job_id].public()
+                     for job_id in sorted(self.jobs)],
+        }
+        atomic_write(os.path.join(self.state_dir, "metrics.json"),
+                     (json.dumps(snapshot, indent=2, sort_keys=True)
+                      + "\n").encode("utf-8"))
+
+    # -- scheduling --------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        """Dispatch queued jobs whenever pool slots free up.
+
+        ``workers == 0`` is the accept-only mode (used by tests and for
+        drain-before-upgrade operation): jobs queue durably, nothing
+        dispatches.
+        """
+        while True:
+            self._kick.clear()
+            while (self.workers > 0 and self._running < self.workers):
+                job = self.queue.pop()
+                if job is None:
+                    break
+                self._dispatch(job)
+            await self._kick.wait()
+
+    def _dispatch(self, job: Job) -> None:
+        job.state = "running"
+        self._running += 1
+        self.metrics.inc("serve.jobs.dispatched")
+        self._emit(job.job_id, {"event": "state", "job_id": job.job_id,
+                                "state": "running"})
+        future = self._loop.run_in_executor(self._executor,
+                                            self._run_job, job)
+        future.add_done_callback(
+            lambda fut, job=job: self._loop.call_soon_threadsafe(
+                self._job_finished, job, fut))
+
+    def _run_job(self, job: Job) -> dict:
+        """Execute one job on a pool thread; returns the result record."""
+
+        def on_progress(event: str, payload: dict) -> None:
+            if job.cancel_flag.is_set():
+                raise JobCancelled("cancelled")
+            self._loop.call_soon_threadsafe(
+                self._emit, job.job_id,
+                {"event": "progress", "job_id": job.job_id,
+                 "kind": event, "payload": payload})
+
+        report, tool = run_job_spec(job.spec, self.trace_store_dir,
+                                    on_progress=on_progress)
+        return job_result(report, tool)
+
+    def _job_finished(self, job: Job, future) -> None:
+        self._running -= 1
+        error = future.exception()
+        if error is None:
+            job.state = "done"
+            job.result = future.result()
+            self.metrics.inc("serve.jobs.completed")
+            self._emit(job.job_id,
+                       {"event": "metrics", "job_id": job.job_id,
+                        "counters": job.result.get("counters", {})})
+            self._emit(job.job_id, {"event": "done",
+                                    "job_id": job.job_id,
+                                    "result": job.result})
+        else:
+            job.state = "failed"
+            job.error = str(error) or type(error).__name__
+            counter = ("serve.jobs.cancelled"
+                       if isinstance(error, JobCancelled)
+                       else "serve.jobs.failed")
+            self.metrics.inc(counter)
+            self._emit(job.job_id, {"event": "failed",
+                                    "job_id": job.job_id,
+                                    "error": job.error})
+        self._log.finished(job)
+        self._kick.set()
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(self, job_id: str, event: dict) -> None:
+        for queue in self._subscribers.get(job_id, []):
+            queue.put_nowait(event)
+        if event.get("event") in TERMINAL_EVENTS:
+            self._subscribers.pop(job_id, None)
+
+    def _subscribe(self, job_id: str) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job_id, []).append(queue)
+        return queue
+
+    def _terminal_event(self, job: Job) -> dict:
+        if job.state == "done":
+            return {"event": "done", "job_id": job.job_id,
+                    "result": job.result}
+        return {"event": "failed", "job_id": job.job_id,
+                "error": job.error or "failed"}
+
+    # -- the socket front end ----------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_line(
+                        {"ok": False, "code": "protocol",
+                         "error": "oversize frame"}))
+                    break
+                if not line:
+                    break
+                try:
+                    request = decode_line(line)
+                    op = validate_request(request)
+                except ProtocolError as exc:
+                    writer.write(encode_line({"ok": False,
+                                              "code": "protocol",
+                                              "error": str(exc)}))
+                    break
+                if not await self._handle_request(op, request, writer):
+                    break
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, RuntimeError):
+                pass
+
+    async def _handle_request(self, op: str, request: dict,
+                              writer) -> bool:
+        """Serve one request; False closes the connection."""
+        if op == "ping":
+            writer.write(encode_line({"ok": True, "pong": True}))
+            return True
+        if op == "shutdown":
+            writer.write(encode_line({"ok": True, "stopping": True}))
+            await writer.drain()
+            self._stop.set()
+            self._kick.set()
+            return False
+        if op == "status":
+            writer.write(encode_line(self._status(request.get("job_id"))))
+            return True
+        if op == "cancel":
+            writer.write(encode_line(self._cancel(request["job_id"])))
+            return True
+        # submit / watch, both possibly streaming.
+        if op == "submit":
+            job, response = self._submit(request)
+            writer.write(encode_line(response))
+            if job is None or not request.get("stream", True):
+                return True
+            queue = self._subscribe(job.job_id)
+            if job.finished:
+                queue.put_nowait(self._terminal_event(job))
+            await self._stream(queue, writer)
+            return True
+        job = self.jobs.get(request["job_id"])
+        if job is None:
+            writer.write(encode_line({"ok": False, "code": "unknown_job",
+                                      "error": "no such job"}))
+            return True
+        writer.write(encode_line({"ok": True, "job": job.public()}))
+        if job.finished:
+            writer.write(encode_line(self._terminal_event(job)))
+            return True
+        await self._stream(self._subscribe(job.job_id), writer)
+        return True
+
+    async def _stream(self, queue: asyncio.Queue, writer) -> None:
+        """Forward a job's events until its terminal event."""
+        while True:
+            getter = asyncio.ensure_future(queue.get())
+            stopper = asyncio.ensure_future(self._stop.wait())
+            done, _pending = await asyncio.wait(
+                {getter, stopper},
+                return_when=asyncio.FIRST_COMPLETED)
+            if getter not in done:
+                getter.cancel()
+                stopper.cancel()
+                return
+            stopper.cancel()
+            event = getter.result()
+            writer.write(encode_line(event))
+            await writer.drain()
+            if event.get("event") in TERMINAL_EVENTS:
+                return
+
+    # -- request implementations -------------------------------------------
+
+    def _submit(self, request: dict):
+        spec = request["job"]
+        tenant = request.get("tenant", "default")
+        problem = check_job_spec(spec)
+        if problem is not None:
+            self.metrics.inc("serve.jobs.rejected")
+            return None, {"ok": False, "code": "bad_spec",
+                          "error": problem}
+        job = Job(job_id=f"j{self._next_id:04d}", tenant=tenant,
+                  spec=spec)
+        try:
+            self.queue.push(job)
+        except QueueFull as exc:
+            self.metrics.inc("serve.jobs.rejected")
+            return None, {"ok": False, "code": "queue_full",
+                          "error": str(exc)}
+        self._next_id += 1
+        self.jobs[job.job_id] = job
+        # Durable before visible: the submit line is fsynced before the
+        # client hears "queued", so an accepted job survives SIGKILL.
+        self._log.submitted(job)
+        self.metrics.inc("serve.jobs.submitted")
+        self._kick.set()
+        return job, {"ok": True, "job_id": job.job_id, "state": "queued"}
+
+    def _cancel(self, job_id: str) -> dict:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return {"ok": False, "code": "unknown_job",
+                    "error": "no such job"}
+        if job.finished:
+            return {"ok": True, "job_id": job_id, "state": job.state,
+                    "already_finished": True}
+        if job.state == "queued" and self.queue.remove(job):
+            job.state = "failed"
+            job.error = "cancelled"
+            self.metrics.inc("serve.jobs.cancelled")
+            self._log.finished(job)
+            self._emit(job_id, self._terminal_event(job))
+            return {"ok": True, "job_id": job_id, "state": "failed"}
+        # Running: the flag preempts the job at its next progress event.
+        job.cancel_flag.set()
+        return {"ok": True, "job_id": job_id, "state": "cancelling"}
+
+    def _status(self, job_id: str | None) -> dict:
+        if job_id is not None:
+            job = self.jobs.get(job_id)
+            if job is None:
+                return {"ok": False, "code": "unknown_job",
+                        "error": "no such job"}
+            return {"ok": True, "job": job.public()}
+        return {
+            "ok": True,
+            "daemon": {
+                "workers": self.workers,
+                "running": self._running,
+                "queue_depth": self.queue.depth(),
+                "queue_depths": self.queue.depths(),
+                "max_depth": self.queue.max_depth,
+                "counters": dict(self.metrics.counters),
+            },
+            "jobs": [self.jobs[jid].public() for jid in sorted(self.jobs)],
+        }
+
+
+def check_job_spec(spec: dict) -> str | None:
+    """Semantic validation beyond the protocol shape; None when fine."""
+    from ..tools import TOOLS
+    from ..workloads import BENCHMARK_NAMES
+    tool = spec.get("tool", "icount2")
+    if tool not in TOOLS:
+        return f"unknown tool {tool!r}"
+    workload = spec.get("workload")
+    if workload is not None and workload not in BENCHMARK_NAMES:
+        return f"unknown workload {workload!r}"
+    try:
+        build_job_config(spec, None)
+    except Exception as exc:
+        return f"bad switches: {exc}"
+    return None
+
+
+def build_job_config(spec: dict, trace_store_dir: str | None):
+    """A job's :class:`SuperPinConfig` from its switches list.
+
+    The daemon forces metrics on (clients consume the counters) and
+    points jobs without their own ``-sptracestore`` at the daemon's
+    shared store — the cross-run warm tier is the service's whole
+    point, so it is the default, not an opt-in.
+    """
+    from ..superpin import parse_switches, SuperPinConfig
+    switches = list(spec.get("switches", []))
+    config = parse_switches(switches) if switches else SuperPinConfig()
+    overrides = {"spmetrics": True}
+    if config.sptracestore is None and trace_store_dir is not None:
+        overrides["sptracestore"] = trace_store_dir
+    return dataclasses.replace(config, **overrides)
+
+
+def run_job_spec(spec: dict, trace_store_dir: str | None,
+                 on_progress=None):
+    """Run one job spec to completion; returns ``(report, tool)``.
+
+    Program source is either a suite workload (built at the configured
+    clock rate and scale) or inline assembly; the kernel seed comes
+    from the spec so identical submissions are identical runs — which
+    is what makes the second one a guaranteed trace-store hit.
+    """
+    from ..isa import assemble
+    from ..machine import Kernel
+    from ..superpin import run_superpin
+    from ..tools import TOOLS
+    from ..workloads import build
+    config = build_job_config(spec, trace_store_dir)
+    if spec.get("workload") is not None:
+        built = build(spec["workload"], clock_hz=config.clock_hz,
+                      scale=spec.get("scale", 0.25))
+        program = built.program
+    else:
+        program = assemble(spec["asm"], name="<submitted>")
+    tool = TOOLS[spec.get("tool", "icount2")]()
+    report = run_superpin(program, tool, config,
+                          kernel=Kernel(seed=spec.get("seed", 42)),
+                          on_progress=on_progress)
+    return report, tool
+
+
+def job_result(report, tool) -> dict:
+    """The client-visible summary of one finished run."""
+    pilot_cold = 0
+    if report.slices:
+        pilot = report.slices[0]
+        pilot_cold = pilot.compiles - pilot.warm_starts
+    counters = dict(report.metrics.counters) if report.metrics else {}
+    return {
+        "exit_code": report.exit_code,
+        "num_slices": report.num_slices,
+        "all_exact": report.all_exact,
+        "degraded_slices": list(report.degraded_slices),
+        "tool_report": tool.report(),
+        "pilot_cold_compiles": pilot_cold,
+        "counters": counters,
+    }

@@ -270,7 +270,8 @@ def synthesize_slice_spans(tracer, tracks: TrackAllocator, k: int,
 def execute_slices(timeline: MasterTimeline, signatures: list[Signature],
                    template: SliceToolContext, sp: SPControl,
                    config: SuperPinConfig, tracer=None,
-                   metrics=NULL_METRICS
+                   metrics=NULL_METRICS, prewarm=None, warm_store=None,
+                   on_progress=None
                    ) -> tuple[list[SliceResult], list[SliceTimings]]:
     """Slice phase: execute every timeslice, honouring ``-spworkers``.
 
@@ -280,36 +281,57 @@ def execute_slices(timeline: MasterTimeline, signatures: list[Signature],
     used when the caller passes none).  Results are functionally
     identical between the sequential fallback and any worker count —
     the parity is enforced by the test suite.
+
+    ``prewarm`` is a warm payload loaded from the persistent trace
+    store: with it, *every* slice (the pilot included) starts warm and
+    the pilot export protocol is skipped entirely.  ``warm_store`` is
+    the :class:`~repro.superpin.sharedcache.WarmTraceStore` the pilot's
+    exports fold into on the cold path, so the caller can persist the
+    frozen payload afterwards.  ``on_progress``, when given, is called
+    in the parent as ``on_progress("slice", {"completed": n,
+    "total": n_slices})`` after each slice result lands — the streaming
+    hook the serve daemon forwards to its clients.
     """
     tracer = ensure_tracer(tracer)
     mark = tracer.mark()
     if config.spworkers <= 0:
         results = _execute_sequential(timeline, signatures, template, sp,
-                                      config, tracer, metrics)
+                                      config, tracer, metrics, prewarm,
+                                      warm_store, on_progress)
     else:
         results = _execute_parallel(timeline, signatures, template, sp,
-                                    config, tracer, metrics)
+                                    config, tracer, metrics, prewarm,
+                                    warm_store, on_progress)
     timings = slice_timings_from_records(tracer.records_since(mark),
                                          len(timeline.intervals),
                                          metrics=metrics)
     return results, timings
 
 
+def _notify(on_progress, completed: int, total: int) -> None:
+    if on_progress is not None:
+        on_progress("slice", {"completed": completed, "total": total})
+
+
 def _execute_sequential(timeline: MasterTimeline,
                         signatures: list[Signature],
                         template: SliceToolContext, sp: SPControl,
-                        config: SuperPinConfig, tracer, metrics
+                        config: SuperPinConfig, tracer, metrics,
+                        prewarm=None, warm_store=None, on_progress=None
                         ) -> list[SliceResult]:
     """In-process execution (``-spworkers 0``): no pickling, no pool.
 
     Warm cache: slice 0 is the pilot; its exports freeze the payload
     every later slice installs — the same pilot-then-rest protocol the
     parallel executor uses, so results match for any worker count.
+    With ``prewarm`` (a persistent-store hit) there is no pilot: every
+    slice installs the stored payload directly.
     """
     from .sharedcache import WarmTraceStore
     n_slices = len(timeline.intervals)
-    pilot = config.spwarmcache and n_slices > 1
-    warm = None
+    warmcache = config.spwarmcache
+    pilot = warmcache and prewarm is None and n_slices > 1
+    warm = prewarm if warmcache else None
     results: list[SliceResult] = []
     for k, interval in enumerate(timeline.intervals):
         with tracer.span("slice", cat="slice", args={"slice": k}):
@@ -321,14 +343,18 @@ def _execute_sequential(timeline: MasterTimeline,
                                          metrics=metrics, warm=warm,
                                          export_warm=pilot and k == 0))
         if pilot and k == 0:
-            warm = WarmTraceStore().fold_pilot(results[0])
+            store = warm_store if warm_store is not None \
+                else WarmTraceStore()
+            warm = store.fold_pilot(results[0])
+        _notify(on_progress, len(results), n_slices)
     return results
 
 
 def _execute_parallel(timeline: MasterTimeline,
                       signatures: list[Signature],
                       template: SliceToolContext, sp: SPControl,
-                      config: SuperPinConfig, tracer, metrics
+                      config: SuperPinConfig, tracer, metrics,
+                      prewarm=None, warm_store=None, on_progress=None
                       ) -> list[SliceResult]:
     """Fan slices out over ``-spworkers`` processes.
 
@@ -340,12 +366,15 @@ def _execute_parallel(timeline: MasterTimeline,
     Warm cache: the pilot (slice 0) is submitted alone and awaited; its
     exports freeze the warm payload, then slices 1..n-1 are submitted
     all at once with it.  The pilot serialization point costs one slice
-    of latency and buys every other slice a hot working set.
+    of latency and buys every other slice a hot working set.  With
+    ``prewarm`` (a persistent-store hit) the pilot barrier disappears:
+    every slice is submitted at once, all of them warm.
     """
     from .sharedcache import WarmTraceStore
     n_slices = len(timeline.intervals)
     workers = min(config.spworkers, n_slices) or 1
-    pilot = config.spwarmcache and n_slices > 1
+    warmcache = config.spwarmcache
+    pilot = warmcache and prewarm is None and n_slices > 1
 
     results: dict[int, SliceResult] = {}
     tracks = TrackAllocator()
@@ -361,17 +390,20 @@ def _execute_parallel(timeline: MasterTimeline,
         synthesize_slice_spans(tracer, tracks, k, done_at,
                                fork_seconds, run_seconds)
         results[k] = result
+        _notify(on_progress, len(results), n_slices)
         return result
 
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
-        warm = None
+        warm = prewarm if warmcache else None
         first = 0
         if pilot:
             payload = _slice_payload(timeline, signatures, template, sp,
                                      config, 0, tracer, export_warm=True)
             blob = pool.submit(_worker_run_slice, payload).result()
-            warm = WarmTraceStore().fold_pilot(collect(0, blob))
+            store = warm_store if warm_store is not None \
+                else WarmTraceStore()
+            warm = store.fold_pilot(collect(0, blob))
             first = 1
         futures = {}
         for k in range(first, n_slices):

@@ -59,6 +59,7 @@ from .signature import Signature
 from .slices import SliceResult
 from .supervisor import SliceOutcome, supervise_slices
 from .switches import SuperPinConfig
+from .trace_store import store_key, trace_store_for
 
 
 @dataclass
@@ -272,7 +273,8 @@ def run_superpin(program: Program, tool: Pintool,
                  machine: MachineModel = PAPER_MACHINE,
                  cost: CostModel = DEFAULT_COST_MODEL,
                  compute_timing: bool = True,
-                 tracer: Tracer | None = None) -> SuperPinReport:
+                 tracer: Tracer | None = None,
+                 on_progress=None) -> SuperPinReport:
     """Run ``program`` with ``tool`` under SuperPin end to end.
 
     Every run is traced (repro.obs): phases become top-level spans,
@@ -281,6 +283,13 @@ def run_superpin(program: Program, tool: Pintool,
     with ``-sptrace`` / :func:`repro.obs.write_trace`); counters are
     only collected under ``-spmetrics`` and land on ``report.metrics``.
     Pass ``tracer`` to aggregate several runs onto one timeline.
+
+    ``on_progress(event, payload)``, when given, is invoked in this
+    process as the run advances — ``("phase", {"phase": name})`` at
+    each phase boundary and ``("slice", {completed, total})`` per slice
+    result.  The serve daemon forwards these to its clients as
+    streaming events; exceptions it raises abort the run (that is how
+    job cancellation preempts a running job).
     """
     config = config or SuperPinConfig()
     if not config.sp:
@@ -292,9 +301,13 @@ def run_superpin(program: Program, tool: Pintool,
         return replay_recording(config.spreplay, tool, config,
                                 machine=machine, cost=cost,
                                 compute_timing=compute_timing,
-                                tracer=tracer)
+                                tracer=tracer, on_progress=on_progress)
     tracer = ensure_tracer(tracer)
     metrics = metrics_for(config.spmetrics)
+
+    def phase(name: str) -> None:
+        if on_progress is not None:
+            on_progress("phase", {"phase": name})
 
     # Selective instrumentation (-spfilter): parse the spec against this
     # program's symbol table and pin it on the tool *before* anything
@@ -329,12 +342,14 @@ def run_superpin(program: Program, tool: Pintool,
     template = SliceToolContext.from_control(tool, sp)
 
     # 2. Control phase: run the master, cut timeslices.
+    phase("control")
     with tracer.span("control_phase", cat="phase"):
         control = ControlProcess(program, config, kernel=kernel,
                                  tracer=tracer, metrics=metrics)
         timeline = control.run()
 
     # 3. Signature phase: all boundary signatures, before any slice runs.
+    phase("signature")
     with tracer.span("signature_phase", cat="phase") as signature_span:
         signatures = record_signatures(timeline, config, tracer=tracer)
 
@@ -361,17 +376,29 @@ def run_superpin(program: Program, tool: Pintool,
             journal = RunJournal.create(config.spjournal, key,
                                         metrics=metrics)
 
+    # 3d. -sptracestore: the persistent warm-cache tier.  A hit hands
+    #     every slice (pilot included) the stored payload, so a repeat
+    #     run compiles zero pilot traces cold; a miss runs the normal
+    #     pilot protocol and persists its frozen exports afterwards.
+    prewarm, warm_store, save_warm = _trace_store_lookup(
+        config, metrics, program_digest(program))
+
     # 4. Slice phase: sequential in-process, or fanned out (-spworkers),
     #    under the -spfaults supervision policy.
+    phase("slice")
     with tracer.span("slice_phase", cat="phase") as slice_span:
         try:
             supervised = supervise_slices(timeline, signatures, template,
                                           sp, config, tracer=tracer,
                                           metrics=metrics, journal=journal,
-                                          preloaded=preloaded)
+                                          preloaded=preloaded,
+                                          prewarm=prewarm,
+                                          warm_store=warm_store,
+                                          on_progress=on_progress)
         finally:
             if journal is not None:
                 journal.close()
+    save_warm()
     _apply_artifact_faults(config, len(timeline.intervals))
     results, timings = supervised.results, supervised.timings
     degraded = supervised.degraded
@@ -383,6 +410,7 @@ def run_superpin(program: Program, tool: Pintool,
         charge_slices_in_order(results)
 
     # 5. Merge in slice order, then fini on the master tool.
+    phase("merge")
     with tracer.span("merge_phase", cat="phase"):
         merge_seconds = merge_slices(sp, results, tracer=tracer,
                                      metrics=metrics)
@@ -393,6 +421,7 @@ def run_superpin(program: Program, tool: Pintool,
 
     # 6. Timing.  A degraded run has holes, and the event simulation
     #    needs every slice's figures — so no timing report for it.
+    phase("timing")
     with tracer.span("timing_phase", cat="phase"):
         timing = (simulate(timeline, results, config, machine=machine,
                            cost=cost) if compute_timing and not degraded
@@ -427,6 +456,32 @@ def run_superpin(program: Program, tool: Pintool,
     return report
 
 
+def _trace_store_lookup(config: SuperPinConfig, metrics,
+                        source_digest: str):
+    """Resolve the persistent trace store for one run.
+
+    Returns ``(prewarm, warm_store, save_warm)``:
+
+    * ``prewarm`` — the verified stored payload on a hit (every slice
+      starts warm, no pilot), else None;
+    * ``warm_store`` — on a miss, the
+      :class:`~repro.superpin.sharedcache.WarmTraceStore` the executors
+      fold the pilot's exports into;
+    * ``save_warm`` — call after the slice phase; on a miss it persists
+      the frozen payload (no-op on hits or when no store is configured).
+    """
+    store = trace_store_for(config, metrics)
+    if store is None:
+        return None, None, lambda: None
+    key = store_key(source_digest, config)
+    prewarm = store.load(key)
+    if prewarm is not None:
+        return prewarm, None, lambda: None
+    from .sharedcache import WarmTraceStore
+    warm_store = WarmTraceStore()
+    return None, warm_store, lambda: store.save(key, warm_store.freeze())
+
+
 def _apply_artifact_faults(config: SuperPinConfig, num_slices: int) -> None:
     """Fire the fault plan's artifact specs against saved artifacts.
 
@@ -451,7 +506,7 @@ def replay_recording(source, tool, config: SuperPinConfig | None = None,
                      machine: MachineModel = PAPER_MACHINE,
                      cost: CostModel = DEFAULT_COST_MODEL,
                      compute_timing: bool = True,
-                     tracer: Tracer | None = None):
+                     tracer: Tracer | None = None, on_progress=None):
     """Replay a recording artifact under one tool — or a list of tools.
 
     The "replay many" half of ``-sprecord``/``-spreplay``: every run
@@ -476,13 +531,15 @@ def replay_recording(source, tool, config: SuperPinConfig | None = None,
             "recording artifact does not carry; apply the filter at "
             "record time instead")
     reports = [_replay_one(source, one, config, machine, cost,
-                           compute_timing, tracer) for one in tools]
+                           compute_timing, tracer, on_progress)
+               for one in tools]
     return reports[0] if single else reports
 
 
 def _replay_one(source, tool: Pintool, config: SuperPinConfig,
                 machine: MachineModel, cost: CostModel,
-                compute_timing: bool, tracer) -> SuperPinReport:
+                compute_timing: bool, tracer,
+                on_progress=None) -> SuperPinReport:
     tracer = ensure_tracer(tracer)
     metrics = metrics_for(config.spmetrics)
 
@@ -516,16 +573,29 @@ def _replay_one(source, tool: Pintool, config: SuperPinConfig,
             journal = RunJournal.create(config.spjournal, key,
                                         metrics=metrics)
 
+    # Persistent trace store (-sptracestore): replays key their entries
+    # by recording id — a recording's slice shapes are its own, so a
+    # second replay of the same artifact starts warm (satellite fix:
+    # replays/resumes no longer bypass the warm tier).
+    prewarm, warm_store, save_warm = _trace_store_lookup(
+        config, metrics, recording.recording_id)
+
+    if on_progress is not None:
+        on_progress("phase", {"phase": "slice"})
     with tracer.span("slice_phase", cat="phase") as slice_span:
         try:
             supervised = supervise_slices(timeline, signatures, template,
                                           sp, config, tracer=tracer,
                                           metrics=metrics, journal=journal,
                                           preloaded=preloaded,
-                                          damaged=recording.damaged)
+                                          damaged=recording.damaged,
+                                          prewarm=prewarm,
+                                          warm_store=warm_store,
+                                          on_progress=on_progress)
         finally:
             if journal is not None:
                 journal.close()
+    save_warm()
     _apply_artifact_faults(config, len(timeline.intervals))
     results, timings = supervised.results, supervised.timings
     degraded = supervised.degraded

@@ -174,7 +174,8 @@ def supervise_slices(timeline: MasterTimeline, signatures: list[Signature],
                      template: SliceToolContext, sp: SPControl,
                      config: SuperPinConfig, tracer=None,
                      metrics=NULL_METRICS, journal=None, preloaded=None,
-                     damaged=None) -> SupervisedSlices:
+                     damaged=None, prewarm=None, warm_store=None,
+                     on_progress=None) -> SupervisedSlices:
     """Run the slice phase under the configured fault policy.
 
     With the default ``failfast`` policy, no fault plan and no
@@ -194,12 +195,24 @@ def supervise_slices(timeline: MasterTimeline, signatures: list[Signature],
       :class:`~repro.errors.RecordingCorruptError` a replayed
       recording's load tolerated for that slice (``-spfaults degrade``
       only); these slices are degraded upfront, never attempted.
+
+    Warm-cache hooks (see :mod:`repro.superpin.trace_store`):
+
+    * ``prewarm`` — payload from a persistent-store hit; every slice
+      (pilot included) starts warm and the pilot protocol is skipped.
+    * ``warm_store`` — the
+      :class:`~repro.superpin.sharedcache.WarmTraceStore` the pilot's
+      exports fold into, so the runtime can persist the frozen payload.
+    * ``on_progress`` — parent-side ``("slice", {completed, total})``
+      callback streamed to serve-daemon clients.
     """
     if (config.spfaults == "failfast" and config.fault_plan is None
             and journal is None and not preloaded and not damaged):
         results, timings = execute_slices(timeline, signatures, template,
                                           sp, config, tracer=tracer,
-                                          metrics=metrics)
+                                          metrics=metrics, prewarm=prewarm,
+                                          warm_store=warm_store,
+                                          on_progress=on_progress)
         where = "worker" if config.spworkers > 0 else "inprocess"
         outcomes = [
             SliceOutcome(
@@ -213,7 +226,9 @@ def supervise_slices(timeline: MasterTimeline, signatures: list[Signature],
     supervisor = _Supervisor(timeline, signatures, template, sp, config,
                              tracer=tracer, metrics=metrics,
                              journal=journal, preloaded=preloaded,
-                             damaged=damaged)
+                             damaged=damaged, prewarm=prewarm,
+                             warm_store=warm_store,
+                             on_progress=on_progress)
     if config.spworkers <= 0:
         return supervisor.run_sequential()
     return supervisor.run_parallel()
@@ -235,11 +250,14 @@ class _Supervisor:
                  signatures: list[Signature], template: SliceToolContext,
                  sp: SPControl, config: SuperPinConfig, tracer=None,
                  metrics=NULL_METRICS, journal=None, preloaded=None,
-                 damaged=None):
+                 damaged=None, prewarm=None, warm_store=None,
+                 on_progress=None):
         self.sp = sp
         self.config = config
         self.tracer = ensure_tracer(tracer)
         self.metrics = metrics
+        self.warm_store = warm_store
+        self.on_progress = on_progress
         self._mark = self.tracer.mark()
         self._tracks = TrackAllocator()
         self.plan: FaultPlan | None = config.fault_plan
@@ -279,8 +297,13 @@ class _Supervisor:
         #: retries) to resolution first; its exports freeze the warm
         #: payload baked into every later slice's pickled payload.
         #: Retries re-run the slice's original payload, so a retried
-        #: slice automatically re-receives its warm set.
-        self._pilot = config.spwarmcache and self.n_slices > 1
+        #: slice automatically re-receives its warm set.  A persistent
+        #: trace-store hit (``prewarm``) replaces the protocol wholesale:
+        #: every slice — the pilot included — bakes the stored payload
+        #: in, so no slice compiles the shared working set cold.
+        warmcache = config.spwarmcache
+        self._pilot = (warmcache and prewarm is None
+                       and self.n_slices > 1)
         self.payloads: list[bytes | None] = [None] * self.n_slices
         if self._pilot:
             if self._pilot_resolved():
@@ -292,9 +315,10 @@ class _Supervisor:
                 self.payloads[0] = self._make_payload(0, warm=None,
                                                       export_warm=True)
         else:
+            warm = prewarm if warmcache else None
             for k in range(self.n_slices):
                 if self._todo(k):
-                    self.payloads[k] = self._make_payload(k)
+                    self.payloads[k] = self._make_payload(k, warm=warm)
 
     def _make_payload(self, k: int, warm=None,
                       export_warm: bool = False) -> bytes:
@@ -327,7 +351,14 @@ class _Supervisor:
         self.outcomes[k].attempts.append(
             SliceAttempt(number=0, where="journal", seconds=0.0))
         self.metrics.inc("superpin.journal.resumed_slices")
+        self._notify()
         return True
+
+    def _notify(self) -> None:
+        """Stream slice completion to the caller (serve daemon hook)."""
+        if self.on_progress is not None:
+            self.on_progress("slice", {"completed": len(self.results),
+                                       "total": self.n_slices})
 
     def _pilot_resolved(self) -> bool:
         """True once slice 0 has a result or was given up on."""
@@ -342,7 +373,9 @@ class _Supervisor:
         from .sharedcache import WarmTraceStore
         warm = None
         if 0 in self.results:
-            warm = WarmTraceStore().fold_pilot(self.results[0])
+            store = self.warm_store if self.warm_store is not None \
+                else WarmTraceStore()
+            warm = store.fold_pilot(self.results[0])
         for k in range(1, self.n_slices):
             if self._todo(k):
                 self.payloads[k] = self._make_payload(k, warm=warm)
@@ -373,6 +406,7 @@ class _Supervisor:
         self.results[k] = result
         self.outcomes[k].attempts.append(
             SliceAttempt(number=attempt, where=where, seconds=seconds))
+        self._notify()
         if self.journal is not None:
             # Write-ahead: the framed blob lands durably *before* the
             # run proceeds (appended pre-fold, so an adopted pilot still

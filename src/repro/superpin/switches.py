@@ -68,6 +68,15 @@ Switch                  Meaning
 ``-spresume <0|1>``     resume from ``-spjournal``: adopt the journaled
                         slices and re-execute only the missing ones,
                         with byte-identical merged results
+``-sptracestore <dir>`` persistent cross-run trace store: compiled
+                        warm-cache payloads are content-addressed by
+                        (program digest, ISA fingerprint, JIT backend,
+                        filter/suppress config) and shared across runs
+                        and processes, so a repeated program starts hot
+                        with zero pilot cold compiles (see
+                        superpin.trace_store; requires -spwarmcache)
+``-sptracestorelimit``  size budget in bytes for the trace store;
+                        least-recently-used entries are evicted past it
 ======================= ==================================================
 
 The reproduction adds knobs the paper fixes implicitly: the virtual clock
@@ -230,6 +239,17 @@ class SuperPinConfig:
     #: Resume from the journal at ``spjournal``: adopt its valid entry
     #: prefix and re-execute only the missing slices.
     spresume: bool = False
+    # --- persistent cross-run trace store (superpin.trace_store) -----------
+    #: Directory of the persistent trace store, or None (off).  With the
+    #: store configured (and ``spwarmcache`` on), the run looks its warm
+    #: payload up by content address before the slice phase: a hit warms
+    #: *every* slice — the pilot included — so a repeated program pays
+    #: zero cold compiles; a miss runs the normal pilot protocol and
+    #: persists the frozen payload for the next run.
+    sptracestore: str | None = None
+    #: Size budget (bytes) for the trace store directory; past it the
+    #: least-recently-used entries are evicted.
+    sptracestore_limit: int = 64 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.spmsec <= 0:
@@ -296,6 +316,13 @@ class SuperPinConfig:
         if self.spresume and self.spjournal is None:
             raise ConfigError("-spresume requires -spjournal (there is no "
                               "journal to resume from)")
+        if (self.sptracestore is not None
+                and not str(self.sptracestore).strip()):
+            raise ConfigError("-sptracestore path must not be empty")
+        if self.sptracestore_limit <= 0:
+            raise ConfigError(
+                f"-sptracestorelimit must be positive, "
+                f"got {self.sptracestore_limit}")
 
     @property
     def timeslice_cycles(self) -> int:
@@ -344,6 +371,8 @@ _FLAG_PARSERS = {
     "-spreplay": ("spreplay", str),
     "-spjournal": ("spjournal", str),
     "-spresume": ("spresume", lambda v: bool(int(v))),
+    "-sptracestore": ("sptracestore", str),
+    "-sptracestorelimit": ("sptracestore_limit", int),
 }
 
 

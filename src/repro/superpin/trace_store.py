@@ -1,0 +1,285 @@
+"""Persistent cross-run trace store: the warm cache's durable tier.
+
+PR 4's warm code cache amortizes JIT compilation *within* one run: the
+pilot slice compiles the working set once and every later slice starts
+hot.  The cost that remains is paid once per *run* — the pilot itself
+always compiles cold, so a service that executes the same program over
+and over (the ``repro.serve`` daemon, a CI loop, a perf gate) re-does
+identical compile work on every submission.
+
+The :class:`TraceStore` lifts the frozen warm payload onto disk,
+content-addressed so it can be shared across runs, tenants and
+processes without coordination:
+
+* **Key** (:func:`store_key`) — SHA-256 over the program digest (or
+  recording id for replays), the ISA/codegen fingerprint
+  (:func:`isa_fingerprint`), the JIT backend, and every config field
+  that shapes compiled traces (filter spec, suppression, linking).  Two
+  runs with the same key would compile byte-identical traces, which is
+  what makes adopting each other's payload sound.
+* **Entries** — one file per key (``<key>.spwc``): magic, format
+  version, SHA-256 over the payload, then the pickled
+  :class:`~repro.superpin.sharedcache.WarmTrace` tuple.  Written with
+  :func:`repro.fsutil.atomic_write`, so concurrent writers race to a
+  *complete* file, never a torn one.
+* **Verification** — every load recomputes the payload digest.  A
+  mismatch (bit rot, a truncated copy, tampering) evicts the entry and
+  reports a miss: corrupt bytes are never handed to a JIT.  Even a
+  clean payload is only *advisory* — inside the slice the per-trace
+  consistency check (source-text comparison) still runs, so a stale
+  entry can cost a cold compile but never wrong execution.
+* **Eviction** — the store is size-bounded; when the entry files exceed
+  the budget, the least-recently-used entries (by access time, which
+  loads refresh) are unlinked.  Eviction is best-effort and safe under
+  concurrency: a reader holding a now-unlinked file still sees a
+  complete, verified payload.
+
+Counters (``-spmetrics``): ``pin.cache.persistent_hits`` /
+``persistent_misses`` / ``persistent_saves`` / ``persistent_evictions``
+/ ``persistent_corrupt`` — the perf gate requires ``persistent_hits``
+to be nonzero on its warm run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+
+from ..fsutil import atomic_write, fsync_directory
+from ..obs.metrics import NULL_METRICS
+
+#: Entry-file magic + format revision.  Bump when the payload schema
+#: (the pickled WarmTrace tuple) changes shape.
+STORE_MAGIC = b"SPTS1\n"
+_DIGEST_LEN = 32
+ENTRY_SUFFIX = ".spwc"
+
+#: Default size budget for a store directory (entry files only).
+DEFAULT_STORE_LIMIT = 64 * 1024 * 1024
+
+_isa_fingerprint_cache: str | None = None
+
+
+def isa_fingerprint() -> str:
+    """Digest of every module that shapes compiled trace code.
+
+    Hashing the *source* of the ISA encoding and both JIT backends makes
+    the store self-invalidating: any change to instruction semantics or
+    code generation changes the fingerprint, so old entries simply stop
+    matching instead of feeding stale generated code to a new engine.
+    """
+    global _isa_fingerprint_cache
+    if _isa_fingerprint_cache is None:
+        import inspect
+
+        from ..isa import encoding, instructions
+        from ..pin import engine, jit, pyjit, suppress, trace
+
+        digest = hashlib.sha256()
+        for module in (encoding, instructions, trace, jit, pyjit,
+                       suppress, engine):
+            digest.update(inspect.getsource(module).encode("utf-8"))
+        _isa_fingerprint_cache = digest.hexdigest()
+    return _isa_fingerprint_cache
+
+
+#: Config fields that shape compiled trace *code* (not results): the
+#: JIT backend picks the code representation, the filter/suppression
+#: settings change what instrumentation is woven in, and linking
+#: changes nothing semantically but keeps keys honest if it ever does.
+_KEY_FIELDS = ("jit_backend", "spfilter", "spsuppress", "splinktraces")
+
+
+def store_key(source_digest: str, config) -> str:
+    """Content address of one program+config's warm payload.
+
+    ``source_digest`` identifies the code being executed — a program
+    pickle digest for live runs, a recording id for replays (the two
+    deliberately key separate entries: a recording's slice shapes are
+    its own).
+    """
+    fields = tuple(getattr(config, name, None) for name in _KEY_FIELDS)
+    token = repr((source_digest, isa_fingerprint(), fields)).encode()
+    return hashlib.sha256(token).hexdigest()
+
+
+class TraceStore:
+    """One on-disk store directory: load, save, verify, evict."""
+
+    def __init__(self, root, limit_bytes: int = DEFAULT_STORE_LIMIT,
+                 metrics=NULL_METRICS):
+        self.root = os.fspath(root)
+        self.limit_bytes = limit_bytes
+        self.metrics = metrics
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ENTRY_SUFFIX)
+
+    # -- load --------------------------------------------------------------
+
+    def load(self, key: str):
+        """Return the verified warm payload for ``key``, or None.
+
+        Counts a ``persistent_hit`` or ``persistent_miss``; a corrupt
+        entry (bad magic, bad digest, undecodable payload) is evicted
+        on the spot and reported as a miss — damaged bytes are never
+        returned.  A hit refreshes the entry's access time, which is
+        what the LRU eviction orders by.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self.metrics.inc("pin.cache.persistent_misses")
+            return None
+        payload = self._verify(data)
+        if payload is None:
+            self._evict_corrupt(path)
+            self.metrics.inc("pin.cache.persistent_misses")
+            return None
+        try:
+            entries = pickle.loads(payload)
+        except Exception:
+            self._evict_corrupt(path)
+            self.metrics.inc("pin.cache.persistent_misses")
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # evicted or unlinked concurrently; the payload stands
+        self.metrics.inc("pin.cache.persistent_hits")
+        return entries
+
+    @staticmethod
+    def _verify(data: bytes) -> bytes | None:
+        header_len = len(STORE_MAGIC) + _DIGEST_LEN
+        if len(data) < header_len or not data.startswith(STORE_MAGIC):
+            return None
+        digest = data[len(STORE_MAGIC):header_len]
+        payload = data[header_len:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        return payload
+
+    def _evict_corrupt(self, path: str) -> None:
+        self.metrics.inc("pin.cache.persistent_corrupt")
+        try:
+            os.unlink(path)
+            self.metrics.inc("pin.cache.persistent_evictions")
+        except OSError:
+            pass
+
+    # -- save --------------------------------------------------------------
+
+    def save(self, key: str, entries) -> None:
+        """Persist one frozen warm payload; enforce the size budget.
+
+        Empty payloads are not stored (a degraded pilot exports
+        nothing; an empty entry would turn every future run into a
+        useless "hit" that warms nothing).
+        """
+        entries = tuple(entries)
+        if not entries:
+            return
+        payload = pickle.dumps(entries, pickle.HIGHEST_PROTOCOL)
+        blob = (STORE_MAGIC + hashlib.sha256(payload).digest() + payload)
+        path = self._path(key)
+        atomic_write(path, blob)
+        fsync_directory(path)
+        self.metrics.inc("pin.cache.persistent_saves")
+        self._enforce_limit(keep=os.path.basename(path))
+
+    def _enforce_limit(self, keep: str | None = None) -> None:
+        """LRU-evict entry files until the store fits its budget.
+
+        The just-written entry (``keep``) is never the first casualty:
+        a store smaller than one payload should hold that payload, not
+        thrash.  Races are benign — a concurrently-unlinked file is
+        skipped, and readers that already opened a victim still see its
+        complete content.
+        """
+        entries = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(ENTRY_SUFFIX):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_atime, stat.st_mtime, name, path,
+                            stat.st_size))
+        total = sum(entry[4] for entry in entries)
+        if total <= self.limit_bytes:
+            return
+        for _atime, _mtime, name, path, size in sorted(entries):
+            if name == keep:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self.metrics.inc("pin.cache.persistent_evictions")
+            total -= size
+            if total <= self.limit_bytes:
+                return
+
+    # -- introspection -----------------------------------------------------
+
+    def keys(self) -> list[str]:
+        """Keys currently present (unverified; loads still verify)."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(name[:-len(ENTRY_SUFFIX)] for name in names
+                      if name.endswith(ENTRY_SUFFIX))
+
+    def size_bytes(self) -> int:
+        total = 0
+        for key in self.keys():
+            try:
+                total += os.stat(self._path(key)).st_size
+            except OSError:
+                continue
+        return total
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+def trace_store_for(config, metrics=NULL_METRICS) -> TraceStore | None:
+    """The run's :class:`TraceStore`, or None when not configured.
+
+    The store only participates when the warm cache itself is on: the
+    payload *is* the warm payload, and with ``-spwarmcache 0`` there is
+    nothing to install it into.
+    """
+    if config.sptracestore is None or not config.spwarmcache:
+        return None
+    return TraceStore(config.sptracestore,
+                      limit_bytes=config.sptracestore_limit,
+                      metrics=metrics)
+
+
+def damage_store_entry(root, key: str) -> None:
+    """Flip one payload bit of a store entry (test/injection hook).
+
+    Mirrors :func:`~repro.superpin.recording.damage_recording`: the
+    entry keeps its magic and length but fails its digest, which a load
+    must detect and evict.
+    """
+    store = TraceStore(root)
+    path = store._path(key)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    flip = len(STORE_MAGIC) + _DIGEST_LEN  # first payload byte
+    damaged = data[:flip] + bytes([data[flip] ^ 0x01]) + data[flip + 1:]
+    atomic_write(path, damaged)

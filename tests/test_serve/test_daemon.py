@@ -1,0 +1,305 @@
+"""End-to-end daemon coverage: a real ``superpin serve`` subprocess.
+
+Each test boots the daemon as a child process on a fresh unix socket,
+talks to it with :class:`repro.serve.ServeClient`, and kills it at the
+end.  The headline properties:
+
+- three concurrent submissions (two identical + one distinct) all
+  complete, and the second identical job proves the warm start —
+  ``pin.cache.persistent_hits > 0``, zero pilot-slice cold compiles;
+- admission control rejects past the queue bound with a clean error;
+- queued and running jobs cancel;
+- SIGKILL mid-job loses nothing durable: a restart on the same state
+  dir recovers every accepted-but-unfinished job and runs it.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeClient, ServeError
+from tests.conftest import LOOP_SUM, MULTISLICE
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
+
+#: Fast asm-based specs (the suite workloads are too slow for a unit
+#: gate); seeds/switches pinned so identical specs are identical runs.
+FAST_SWITCHES = ["-spmsec", "500", "-spclock", "10000"]
+IDENTICAL = {"asm": MULTISLICE, "tool": "icount2", "seed": 42,
+             "switches": FAST_SWITCHES}
+DISTINCT = {"asm": LOOP_SUM, "tool": "icount1", "seed": 42,
+            "switches": FAST_SWITCHES}
+
+
+class Daemon:
+    """One serve subprocess bound to a short-lived socket path."""
+
+    def __init__(self, workers=1, queue_depth=64, root=None):
+        # pytest tmp_path easily exceeds the ~108-byte AF_UNIX limit.
+        self.root = root or tempfile.mkdtemp(dir="/tmp", prefix="spsrv-")
+        self.socket = os.path.join(self.root, "d.sock")
+        self.state = os.path.join(self.root, "state")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.proc = None
+
+    def start(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(REPO_ROOT, "src"),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", self.socket, "--state", self.state,
+             "--workers", str(self.workers),
+             "--queue-depth", str(self.queue_depth)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        client = self.client()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise AssertionError(
+                    "daemon died at startup:\n"
+                    + self.proc.communicate()[0].decode())
+            if os.path.exists(self.socket):
+                try:
+                    if client.ping():
+                        return self
+                except OSError:
+                    pass
+            time.sleep(0.05)
+        raise AssertionError("daemon never became reachable")
+
+    def client(self, timeout=180.0) -> ServeClient:
+        return ServeClient(self.socket, timeout=timeout)
+
+    def sigkill(self):
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+
+    def stop(self):
+        if self.proc is None or self.proc.poll() is not None:
+            return
+        try:
+            self.client(timeout=30.0).shutdown()
+            self.proc.wait(timeout=30)
+        except (OSError, ServeError, subprocess.TimeoutExpired):
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+@pytest.fixture()
+def daemon():
+    booted = []
+
+    def boot(**kwargs):
+        instance = Daemon(**kwargs).start()
+        booted.append(instance)
+        return instance
+
+    yield boot
+    for instance in booted:
+        instance.stop()
+
+
+def _hits(final):
+    return final["result"]["counters"].get(
+        "pin.cache.persistent_hits", 0)
+
+
+class TestServiceSmoke:
+    def test_three_jobs_second_identical_starts_warm(self, daemon):
+        server = daemon(workers=2)
+        client = server.client()
+        # Job 1 populates the store (cold, saves its pilot payload).
+        first = client.submit(IDENTICAL, tenant="alice")["final"]
+        assert first["event"] == "done"
+        assert _hits(first) == 0
+        assert first["result"]["pilot_cold_compiles"] > 0
+
+        # Jobs 2 (identical) and 3 (distinct) run concurrently.
+        finals = {}
+
+        def run(name, spec, tenant):
+            finals[name] = server.client().submit(
+                spec, tenant=tenant)["final"]
+
+        threads = [
+            threading.Thread(target=run,
+                             args=("same", IDENTICAL, "alice")),
+            threading.Thread(target=run,
+                             args=("other", DISTINCT, "bob")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert finals["same"]["event"] == "done"
+        assert finals["other"]["event"] == "done"
+        # The warm-start proof, through the daemon path.
+        assert _hits(finals["same"]) > 0
+        assert finals["same"]["result"]["pilot_cold_compiles"] == 0
+        assert (finals["same"]["result"]["tool_report"]
+                == first["result"]["tool_report"])
+        # The distinct program keys a different entry: cold.
+        assert _hits(finals["other"]) == 0
+
+        snapshot = client.status()
+        states = {job["job_id"]: job["state"]
+                  for job in snapshot["jobs"]}
+        assert sorted(states) == ["j0001", "j0002", "j0003"]
+        assert set(states.values()) == {"done"}
+        counters = snapshot["daemon"]["counters"]
+        assert counters["serve.jobs.submitted"] == 3
+        assert counters["serve.jobs.completed"] == 3
+
+        # Graceful shutdown writes the state-dir exports the CI job
+        # uploads as its artifact.
+        server.stop()
+        assert os.path.exists(os.path.join(server.state, "metrics.json"))
+        store = os.path.join(server.state, "trace_store")
+        assert any(name.endswith(".spwc") for name in os.listdir(store))
+
+    def test_streams_progress_events(self, daemon):
+        server = daemon(workers=1)
+        events = []
+        final = server.client().submit(
+            IDENTICAL, on_event=lambda e: events.append(e))["final"]
+        assert final["event"] == "done"
+        kinds = {event.get("event") for event in events}
+        assert {"state", "progress", "metrics", "done"} <= kinds
+        slices = [event for event in events
+                  if event.get("event") == "progress"
+                  and event.get("kind") == "slice"]
+        assert slices
+        last = slices[-1]["payload"]
+        assert last["completed"] == last["total"] > 1
+
+
+class TestAdmissionAndCancel:
+    def test_queue_full_rejected(self, daemon):
+        # workers=0: accept-only mode, so the queue fills determinately.
+        server = daemon(workers=0, queue_depth=2)
+        client = server.client()
+        for _ in range(2):
+            client.submit(IDENTICAL, stream=False)
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(IDENTICAL, stream=False)
+        assert excinfo.value.code == "queue_full"
+        snapshot = client.status()
+        assert snapshot["daemon"]["queue_depth"] == 2
+        assert snapshot["daemon"]["counters"]["serve.jobs.rejected"] == 1
+
+    def test_bad_spec_rejected(self, daemon):
+        server = daemon(workers=0)
+        with pytest.raises(ServeError) as excinfo:
+            server.client().submit({"workload": "no-such-workload"},
+                                   stream=False)
+        assert excinfo.value.code == "bad_spec"
+
+    def test_unknown_job(self, daemon):
+        server = daemon(workers=0)
+        with pytest.raises(ServeError) as excinfo:
+            server.client().status("j9999")
+        assert excinfo.value.code == "unknown_job"
+
+    def test_cancel_queued_job(self, daemon):
+        server = daemon(workers=0)
+        client = server.client()
+        job_id = client.submit(IDENTICAL, stream=False)["job_id"]
+        response = client.cancel(job_id)
+        assert response["state"] == "failed"
+        job = client.status(job_id)["job"]
+        assert job["state"] == "failed"
+        assert job["error"] == "cancelled"
+        assert client.status()["daemon"]["queue_depth"] == 0
+
+    def test_cancel_running_job(self, daemon):
+        server = daemon(workers=1)
+        client = server.client()
+        # A long enough job to still be running when the cancel lands;
+        # cancellation preempts at its next progress event.
+        slow = {"workload": "gzip", "scale": 0.4, "tool": "icount2",
+                "seed": 42, "switches": ["-spworkers", "0"]}
+        job_id = client.submit(slow, stream=False)["job_id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if client.status(job_id)["job"]["state"] == "running":
+                break
+            time.sleep(0.02)
+        response = client.cancel(job_id)
+        assert response["state"] in ("cancelling", "failed")
+        final = client.wait(job_id)
+        assert final["event"] == "failed"
+        assert "cancelled" in final["error"]
+
+
+class TestCrashRecovery:
+    def test_sigkill_midjob_restart_recovers(self, daemon):
+        server = daemon(workers=1)
+        client = server.client()
+        slow = {"workload": "gzip", "scale": 0.3, "tool": "icount2",
+                "seed": 42, "switches": ["-spworkers", "0"]}
+        running_id = client.submit(slow, stream=False)["job_id"]
+        queued_id = client.submit(IDENTICAL, stream=False)["job_id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if client.status(running_id)["job"]["state"] == "running":
+                break
+            time.sleep(0.02)
+        server.sigkill()
+
+        # Restart on the same state dir: both the mid-flight job and
+        # the queued one were durably accepted but never durably
+        # finished, so both come back and run to completion.
+        revived = daemon(workers=1, root=server.root)
+        client = revived.client()
+        for job_id in (running_id, queued_id):
+            final = client.wait(job_id)
+            assert final["event"] == "done", final
+        snapshot = client.status()
+        assert snapshot["daemon"]["counters"]["serve.jobs.recovered"] == 2
+        states = {job["job_id"]: job["state"]
+                  for job in snapshot["jobs"]}
+        assert states == {running_id: "done", queued_id: "done"}
+
+    def test_accept_only_queue_survives_sigkill(self, daemon):
+        server = daemon(workers=0)
+        client = server.client()
+        ids = [client.submit(IDENTICAL, stream=False)["job_id"]
+               for _ in range(3)]
+        server.sigkill()
+        revived = daemon(workers=0, root=server.root)
+        snapshot = revived.client().status()
+        states = {job["job_id"]: job["state"]
+                  for job in snapshot["jobs"]}
+        assert states == {job_id: "queued" for job_id in ids}
+        assert snapshot["daemon"]["queue_depth"] == 3
+
+
+class TestProtocolEdges:
+    def test_garbage_line_is_a_protocol_error(self, daemon):
+        import socket as socket_module
+        server = daemon(workers=0)
+        sock = socket_module.socket(socket_module.AF_UNIX,
+                                    socket_module.SOCK_STREAM)
+        sock.settimeout(10)
+        sock.connect(server.socket)
+        sock.sendall(b"this is not json\n")
+        reader = sock.makefile("rb")
+        from repro.serve import decode_line
+        response = decode_line(reader.readline())
+        assert response["ok"] is False
+        assert response["code"] == "protocol"
+        sock.close()
+
+    def test_daemon_exit_code_on_shutdown(self, daemon):
+        server = daemon(workers=0)
+        server.client().shutdown()
+        assert server.proc.wait(timeout=30) == 0
