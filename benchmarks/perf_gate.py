@@ -78,6 +78,11 @@ REQUIRED_NONZERO = (
     "pin.cache.persistent_hits",
     "pin.filter.fastpath_traces",
     "pin.suppress.summarized_loops",
+    # Tier-2 execution (-sptc2, default-on): zero promotions or zero
+    # superblock dispatches means the hot-trace optimizer silently
+    # stopped engaging.
+    "pin.tc2.promotions",
+    "pin.tc2.dispatches",
 )
 
 

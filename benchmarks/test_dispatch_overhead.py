@@ -107,6 +107,73 @@ def test_dispatch_linked_vs_unlinked(save_figure):
                 f"(call-heavy guest, best of {REPEATS})\n\n{table}")
 
 
+def _run_tiered(program, backend, tc2_threshold):
+    process = load_program(program, Kernel(seed=42))
+    vm = PinVM(process, jit_backend=backend, link_traces=True,
+               tc2_threshold=tc2_threshold)
+    t0 = time.perf_counter()
+    result = vm.run()
+    elapsed = time.perf_counter() - t0
+    return result, vm, elapsed
+
+
+def test_tier_ablation_tc2_vs_linked(save_figure):
+    """Tier ablation: linked tier-1 threaded code vs TC2 superblocks.
+
+    Promotion straightens the hot call chain (and its closing back
+    edge) into superblocks, so in steady state nearly every former
+    trace execution happens *inside* a superblock: one engine dispatch
+    retires a whole chain iteration instead of one trace.  Parity is
+    asserted exactly; the wall-clock speedup is printed and held to a
+    generous sanity bound only (CI hosts jitter).
+    """
+    program = assemble(CALL_HEAVY)
+    rows = []
+    for backend in ("closure", "source"):
+        runs1 = [_run_tiered(program, backend, 0) for _ in range(REPEATS)]
+        runs2 = [_run_tiered(program, backend, 16)
+                 for _ in range(REPEATS)]
+        tier1_res, tier1_vm, tier1_s = min(runs1, key=lambda r: r[2])
+        tc2_res, tc2_vm, tc2_s = min(runs2, key=lambda r: r[2])
+
+        # Architectural identity: tier 2 changes nothing observable.
+        assert tc2_res.instructions == tier1_res.instructions
+        assert tc2_res.traces_executed == tier1_res.traces_executed
+        assert tc2_res.exit_code == tier1_res.exit_code
+        assert tc2_vm.cache.stats.compiles == tier1_vm.cache.stats.compiles
+
+        # Steady state lives in TC2: superblock segments account for
+        # nearly every (corrected) trace execution, and each dispatch
+        # covers many segments (the straightened loop back edge).
+        stats = tc2_vm.tc2.stats
+        assert tier1_res.tc2_dispatches == 0
+        assert stats.promotions > 0
+        assert stats.dispatches > 0
+        assert stats.segments > 0.9 * tc2_res.traces_executed
+        assert stats.segments > 10 * stats.dispatches
+        assert stats.mispredicts < 0.01 * stats.segments
+
+        # Generous sanity bound only; the printed table is the figure.
+        assert tc2_s < tier1_s * 1.2
+
+        rows.append([backend,
+                     str(tc2_res.traces_executed),
+                     str(stats.promotions),
+                     str(stats.dispatches),
+                     str(stats.segments),
+                     str(stats.mispredicts),
+                     f"{tier1_s * 1e3:.1f}",
+                     f"{tc2_s * 1e3:.1f}",
+                     f"{tier1_s / tc2_s:.2f}x"])
+    table = format_table(
+        ["backend", "transitions", "promotions", "sb dispatches",
+         "sb segments", "mispredicts", "tier1 (ms)", "tc2 (ms)",
+         "speedup"], rows)
+    save_figure("dispatch_tier_ablation",
+                "Tiered compilation: linked tier-1 vs TC2 superblocks\n"
+                f"(call-heavy guest, best of {REPEATS})\n\n{table}")
+
+
 def test_warm_cache_rejit_overhead(bench_scale, save_figure):
     """Cross-slice re-JIT: cold JIT invocations and slice-phase wall
     clock with the warm cache on vs off (source backend, where a warm

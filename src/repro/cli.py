@@ -213,6 +213,10 @@ def _cmd_run(args, extra: list[str]) -> int:
     if report.total_warm_mismatches:
         print(f"warm cache: {report.total_warm_mismatches} consistency "
               f"mismatches (those traces compiled cold)")
+    if config.sptc2 > 0 and instr["tc2_promotions"]:
+        print(f"tier 2: {instr['tc2_promotions']} superblock promotions, "
+              f"{instr['tc2_dispatches']} dispatches, "
+              f"{instr['tc2_mispredicts']} mispredicts")
     det = report.detection_summary()
     print(f"detection: {det['quick_checks']} quick checks, "
           f"{det['full_checks']} full "

@@ -29,6 +29,8 @@ from .suppress import (LOOP_TRIP_CAP, LoopPlan, plan_suppression,
                        SuppressedLoopTrace)
 from .pintool import NullSuperPin, Pintool, run_with_pin
 from .pyjit import SourceCompiledTrace, SourceJit
+from .superblock import (MAX_SEGMENTS, Superblock, Tc2Stats,
+                         TranslationCache2)
 from .trace import Bbl, build_trace, Ins, MAX_TRACE_INS, TraceObj
 
 __all__ = [
@@ -51,6 +53,7 @@ __all__ = [
     "InstrumentFilter", "InstrumentationStats", "OPCODE_CLASSES",
     "parse_filter", "LOOP_TRIP_CAP", "LoopPlan", "plan_suppression",
     "SuppressedLoopTrace",
+    "MAX_SEGMENTS", "Superblock", "Tc2Stats", "TranslationCache2",
     "Pintool", "run_with_pin", "Bbl", "build_trace", "Ins", "MAX_TRACE_INS",
     "TraceObj",
 ]

@@ -76,6 +76,15 @@ class CodeCache:
         #: Every insert as (address, num_ins) — consumed by the shared
         #: code-cache directory to attribute compile costs.
         self.insert_log: list[tuple[int, int]] = []
+        #: The second translation cache coupled to this cache, or None.
+        #: Tier-1 invalidations cascade into it: a flush drops every
+        #: superblock and an eviction kills the superblocks built over
+        #: the evicted trace (see repro.pin.superblock).
+        self._tc2 = None
+
+    def attach_tc2(self, tc2) -> None:
+        """Couple a TranslationCache2 for cascading invalidation."""
+        self._tc2 = tc2
 
     def lookup(self, address: int):
         """Return the compiled trace at ``address`` or None (counted)."""
@@ -84,6 +93,11 @@ class CodeCache:
         if trace is not None:
             self.stats.hits += 1
         return trace
+
+    def get(self, address: int):
+        """Uncounted lookup for internal plumbing (TC2 promotion, warm
+        profiles); dispatcher statistics stay honest."""
+        return self._traces.get(address)
 
     def can_fit(self, num_ins: int) -> bool:
         """True if a trace of ``num_ins`` instructions fits right now."""
@@ -148,6 +162,11 @@ class CodeCache:
             for pc in [pc for pc, target in tlinks.items()
                        if target is old]:
                 del tlinks[pc]
+        if self._tc2 is not None:
+            # Superblocks built over the evicted trace die with it, and
+            # superblock links into it are stripped — tier 2 must never
+            # keep evicted tier-1 code reachable.
+            self._tc2.on_evict(old, address)
         refund = self._charges.pop(address, 0)
         self._cursor -= refund
         self.stats.allocated_words -= refund
@@ -163,6 +182,10 @@ class CodeCache:
         """
         self.metrics.inc("pin.cache.evicted_traces", len(self._traces))
         self.metrics.inc("pin.cache.flushes")
+        if self._tc2 is not None:
+            # Tier 2 is built entirely from tier-1 trace objects: a
+            # tier-1 flush invalidates every superblock wholesale.
+            self._tc2.flush()
         for trace in self._traces.values():
             links = getattr(trace, "links", None)
             if links:

@@ -47,6 +47,9 @@ class PinRunResult:
     #: Trace transitions taken through a direct link, bypassing the
     #: dispatcher (0 when linking is disabled).
     linked_dispatches: int = 0
+    #: Superblock executions served from the second translation cache
+    #: (0 when TC2 is disabled; see repro.pin.superblock).
+    tc2_dispatches: int = 0
 
 
 class PinVM:
@@ -59,7 +62,8 @@ class PinVM:
                  jit_backend: str = "closure",
                  link_traces: bool = True,
                  metrics=NULL_METRICS,
-                 suppress_loops: bool = False):
+                 suppress_loops: bool = False,
+                 tc2_threshold: int = 0):
         self.process = process
         self.cpu = process.cpu
         self.mem = process.mem
@@ -100,6 +104,16 @@ class PinVM:
         #: loops compile with their invariant instrumentation summarized
         #: to one call per loop exit.
         self.suppress_loops = suppress_loops
+        #: Tier-2 execution (repro.pin.superblock): promote trace chains
+        #: whose execution counter crosses ``tc2_threshold`` into hot
+        #: superblocks in a second translation cache.  Chains are found
+        #: by following direct links, so TC2 requires linking.
+        self.tc2 = None
+        if tc2_threshold > 0 and link_traces:
+            from .superblock import TranslationCache2
+            self.tc2 = TranslationCache2(self, tc2_threshold, self.cache,
+                                         metrics=metrics)
+            self.cache.attach_tc2(self.tc2)
         #: Selective-instrumentation / suppression counters, folded into
         #: the metrics registry at slice end (``pin.filter.*`` /
         #: ``pin.suppress.*``).
@@ -135,7 +149,9 @@ class PinVM:
         compiled code, exactly as late instrumentation does in Pin.
         """
         self.trace_callbacks.append((callback, value, trace_filter))
-        if len(self.cache):
+        if len(self.cache) or (self.tc2 is not None and len(self.tc2)):
+            # Flushing tier 1 cascades into TC2 (CodeCache.attach_tc2),
+            # so late instrumentation can never reach a stale superblock.
             self.cache.flush()
 
     def add_syscall_observer(self, observer) -> None:
@@ -186,6 +202,16 @@ class PinVM:
         linking = self.link_traces
         linked = 0
         budget = max_instructions if max_instructions is not None else -1
+        budgeted = budget >= 0
+        # Tier-2 bookkeeping: superblock runners count their own
+        # dispatches and per-segment executions; the deltas correct
+        # ``traces_executed`` so tier-2 runs report the same figure a
+        # pure tier-1 run would (each segment was one tier-1 trace).
+        tc2 = self.tc2
+        threshold = tc2.threshold if tc2 is not None else 0
+        tc2_stats = tc2.stats if tc2 is not None else None
+        seg_mark = tc2_stats.segments if tc2 is not None else 0
+        disp_mark = tc2_stats.dispatches if tc2 is not None else 0
         state = RunState.EXIT
         stop_token: object | None = None
 
@@ -199,7 +225,12 @@ class PinVM:
                 state = RunState.BUDGET
                 break
             if trace is None:
-                trace = cache.lookup(pc)
+                # The dispatcher prefers TC2: a promoted superblock
+                # shadows its head trace (which stays cached for
+                # mid-chain entries and mispredict fallback).
+                trace = tc2.get(pc) if tc2 is not None else None
+                if trace is None:
+                    trace = cache.lookup(pc)
                 if trace is None:
                     warm = self.warm_traces
                     trace = warm.build(pc, jit) if warm is not None \
@@ -213,16 +244,29 @@ class PinVM:
                             self.metrics.observe("pin.jit.trace_ins",
                                                  trace.num_ins)
                     cache.insert(pc, trace, trace.num_ins)
+                    if tc2 is not None:
+                        tc2.note_insert(trace)
                 if linking and prev is not None:
                     # Patch the predecessor's exit stub: the next time
                     # it exits to ``pc`` the dispatcher is bypassed.
                     prev.links[pc] = trace
             traces_executed += 1
+            if threshold and trace.tier == 1:
+                hotness = trace.exec_count + 1
+                trace.exec_count = hotness
+                if hotness == threshold:
+                    tc2.maybe_promote(trace)
 
             if trace.is_source:
                 # Generated-code backend: one call runs the whole trace.
+                # A budget-bounded run hands a superblock its remaining
+                # allowance so the runner can stop at the same segment
+                # boundary the dispatch loop would have stopped at.
                 try:
-                    result, completed = trace.fn()
+                    if budgeted and trace.tier == 2:
+                        result, completed = trace.fn(budget - executed)
+                    else:
+                        result, completed = trace.fn()
                 except StopRun as stop:
                     executed += self._stop_count
                     cpu.pc = self._stop_pc
@@ -230,6 +274,10 @@ class PinVM:
                     stop_token = stop.args[0] if stop.args else None
                     break
                 except GuestFault:
+                    if tc2 is not None:
+                        traces_executed += (
+                            (tc2_stats.segments - seg_mark)
+                            - (tc2_stats.dispatches - disp_mark))
                     self.total_instructions += executed + self._stop_count
                     self.total_traces_executed += traces_executed
                     cache.stats.linked_dispatches += linked
@@ -261,6 +309,10 @@ class PinVM:
                     stop_token = stop.args[0] if stop.args else None
                     break
                 except GuestFault:
+                    if tc2 is not None:
+                        traces_executed += (
+                            (tc2_stats.segments - seg_mark)
+                            - (tc2_stats.dispatches - disp_mark))
                     self.total_instructions += executed + i
                     self.total_traces_executed += traces_executed
                     cache.stats.linked_dispatches += linked
@@ -291,6 +343,11 @@ class PinVM:
 
         if self.exited:
             state = RunState.EXIT
+        tc2_dispatches = 0
+        if tc2 is not None:
+            tc2_dispatches = tc2_stats.dispatches - disp_mark
+            traces_executed += ((tc2_stats.segments - seg_mark)
+                                - tc2_dispatches)
         self.total_instructions += executed
         self.total_traces_executed += traces_executed
         cache.stats.linked_dispatches += linked
@@ -304,4 +361,5 @@ class PinVM:
             exit_code=self.exit_code,
             stop_token=stop_token,
             linked_dispatches=linked,
+            tc2_dispatches=tc2_dispatches,
         )

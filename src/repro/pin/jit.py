@@ -47,9 +47,12 @@ class CompiledTrace:
     """Executable form of one trace (threaded-code backend)."""
 
     __slots__ = ("start", "steps", "addresses", "fall_address", "num_ins",
-                 "bbl_sizes", "links")
+                 "bbl_sizes", "links", "exec_count")
 
     is_source = False
+    #: Compile tier (see repro.pin.superblock): 1 = threaded code,
+    #: eligible for promotion into a TC2 superblock.
+    tier = 1
 
     def __init__(self, start: int, steps: list[Step], addresses: list[int],
                  fall_address: int | None, bbl_sizes: list[int]):
@@ -63,6 +66,9 @@ class CompiledTrace:
         #: by the engine (Pin's exit-stub patching).  Cleared wholesale
         #: by CodeCache.flush — a link must never outlive its target.
         self.links: dict[int, object] = {}
+        #: Executions since compile (or since the last failed
+        #: promotion); the TC2 promotion trigger.
+        self.exec_count = 0
 
 
 class Jit:

@@ -46,9 +46,11 @@ class SourceCompiledTrace:
     """
 
     __slots__ = ("start", "fn", "num_ins", "fall_address", "source",
-                 "bbl_sizes", "links")
+                 "bbl_sizes", "links", "exec_count")
 
     is_source = True
+    #: Compile tier (see repro.pin.superblock): eligible for TC2.
+    tier = 1
 
     def __init__(self, start: int, fn, num_ins: int,
                  fall_address: int | None, source: str,
@@ -62,6 +64,8 @@ class SourceCompiledTrace:
         #: Direct trace links: exit pc -> successor trace (see
         #: repro.pin.jit.CompiledTrace.links).
         self.links: dict[int, object] = {}
+        #: Executions since compile; the TC2 promotion trigger.
+        self.exec_count = 0
 
 
 class SourceJit:

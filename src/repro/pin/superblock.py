@@ -1,0 +1,464 @@
+"""Tier-2 execution: hot-trace superblocks in a second translation cache.
+
+The engine's compile tiers:
+
+* **tier 0** — cold compile: the dispatcher misses and the JIT lowers a
+  fresh trace into the code cache (``repro.pin.jit`` / ``pyjit``).
+* **tier 1** — linked threaded code: compiled traces chain straight to
+  their successors through patched exit links (PR 4), touching the
+  dispatcher only on cold exits.
+* **tier 2** — hot superblocks (this module): once a trace's execution
+  counter crosses the promotion threshold (``-sptc2 N``), the hottest
+  chain of linked tier-1 traces is straightened into one
+  :class:`Superblock` stored in the :class:`TranslationCache2` (TC2).
+  A superblock runs its whole chain — and a closing loop back-edge —
+  in a single engine dispatch, replacing per-trace link-dict probes
+  with one fused inter-segment guard.
+
+Fallback legality: a superblock *reuses* the already-compiled tier-1
+trace objects as its segments — the same closures and generated
+functions run, in the same order, with the same instrumentation — so
+tier-2 execution is architecturally indistinguishable from tier-1.  Any
+guard mismatch (a side exit off the hot path) returns control to the
+engine with the true continuation pc and the exact retired count; the
+engine then re-dispatches through tier-1 exactly as if the superblock
+had never existed.  Because promotion recompiles nothing, ``compiles``,
+``compile_log`` and tier-0/1 bubble accounting are byte-identical with
+TC2 on or off; only ``pin.tc2.*`` counters and dispatcher statistics
+move.
+
+The TC2 has its own word budget, half the §4.1 bubble by convention:
+superblock pressure flushes *superblocks*, never tier-1 correctness
+traces.  Eviction is two-way coupled with the code cache (see
+``CodeCache.attach_tc2``): flushing or evicting a tier-1 trace evicts
+every dependent superblock, and evicting a superblock strips every link
+that targets it — the same stale-link invariant tier 1 maintains.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import GuestFault
+from ..isa import abi
+from ..obs.metrics import NULL_METRICS
+from .codecache import TRACE_HEADER_WORDS, WORDS_PER_COMPILED_INS
+from .jit import EXIT_GUEST, StopRun
+
+#: Cache words charged per superblock over its segments' instruction
+#: words (entry stub, guard table, loop back-edge).
+SUPERBLOCK_HEADER_WORDS = 2 * TRACE_HEADER_WORDS
+
+#: Symbolic word size, for the ``pin.tc2.bytes`` counter.
+WORD_BYTES = 8
+
+#: Longest chain a promotion will straighten.  Sixteen covers a
+#: call-heavy loop iteration (~10 short traces) so the closing back
+#: edge lands inside the superblock and the internal loop engages;
+#: much longer chains only raise the mispredict cost of a mid-chain
+#: side exit.
+MAX_SEGMENTS = 16
+
+
+class Tc2Stats:
+    """Counters for the second translation cache (``pin.tc2.*``)."""
+
+    __slots__ = ("promotions", "dispatches", "mispredicts", "evictions",
+                 "bytes", "segments")
+
+    def __init__(self):
+        self.promotions = 0
+        #: Superblock executions (dispatcher hits *and* linked entries).
+        self.dispatches = 0
+        #: Guard mismatches: the chain side-exited back to tier 1.
+        self.mispredicts = 0
+        self.evictions = 0
+        #: Cumulative TC2 cache bytes allocated by promotions.
+        self.bytes = 0
+        #: Segment (former tier-1 trace) executions inside superblocks;
+        #: the engine's ``traces_executed`` correction is
+        #: ``segments - dispatches``.
+        self.segments = 0
+
+
+class Superblock:
+    """One straightened hot chain, quacking like a source-backend trace.
+
+    ``fn(limit=-1) -> (pc, executed)`` follows the generated-code
+    calling convention (``is_source``), so the engine's existing source
+    path runs superblocks unmodified; ``limit`` preserves the budget
+    guard's trace-granularity semantics (see ``_build_runner``).  The
+    result pc is always explicit — a superblock never reports a
+    fall-through, because its last segment's continuation is resolved
+    inside the runner.
+    """
+
+    __slots__ = ("start", "fn", "num_ins", "fall_address", "bbl_sizes",
+                 "links", "segment_starts", "exec_count")
+
+    is_source = True
+    tier = 2
+
+    def __init__(self, start: int, fn, num_ins: int,
+                 bbl_sizes: list[int], segment_starts: tuple[int, ...]):
+        self.start = start
+        self.fn = fn
+        self.num_ins = num_ins
+        self.fall_address = None
+        self.bbl_sizes = bbl_sizes
+        self.segment_starts = segment_starts
+        #: Exit links out of the superblock (side exits and the chain's
+        #: final continuation), patched by the engine like any trace's.
+        self.links: dict[int, object] = {}
+        self.exec_count = 0
+
+
+def _build_runner(engine, segments, stats):
+    """Compile a segment chain into one superblock runner.
+
+    The runner executes each segment's already-lowered code in order,
+    guarding every inter-segment transition (actual exit pc vs. the next
+    segment's start) and looping internally while the last segment exits
+    to the chain head.  Accounting mirrors the engine's two per-backend
+    paths exactly:
+
+    * progress is reported through the unwind markers on ``StopRun`` /
+      ``GuestFault`` (``engine._stop_pc`` / ``_stop_count``), rebased
+      from segment-relative to superblock-relative counts;
+    * ``limit`` (the caller's remaining instruction budget, or -1) is
+      checked at every segment boundary — the same granularity at which
+      the engine's dispatch loop checks its runaway guard — so a
+      budget-bounded run retires identical instruction counts with the
+      superblock on or off.
+    """
+    # Per-segment lookup tables, hoisted out of the dispatch loop: the
+    # steady state must stay allocation-free and attribute-load-light,
+    # or the runner would cost as much as the engine loop it replaces.
+    n_segs = len(segments)
+    starts = tuple(seg.start for seg in segments)
+    loop_back = starts[0]
+    is_src = tuple(seg.is_source for seg in segments)
+    fns = tuple(getattr(seg, "fn", None) for seg in segments)
+    steps_tab = tuple(getattr(seg, "steps", None) for seg in segments)
+    num_ins = tuple(seg.num_ins for seg in segments)
+    addrs = tuple(getattr(seg, "addresses", None) for seg in segments)
+    falls = tuple(seg.fall_address for seg in segments)
+
+    def run(limit: int = -1):
+        stats.dispatches += 1
+        executed = 0
+        segs_run = 0
+        k = 0
+        try:
+            while True:
+                segs_run += 1
+                if is_src[k]:
+                    try:
+                        result, completed = fns[k]()
+                    except (StopRun, GuestFault):
+                        # fn set the markers segment-relative; rebase.
+                        engine._stop_count += executed
+                        raise
+                    executed += completed
+                    if result is None:
+                        out = falls[k]
+                    elif result == EXIT_GUEST:
+                        return EXIT_GUEST, executed
+                    else:
+                        out = result
+                else:
+                    steps = steps_tab[k]
+                    n = num_ins[k]
+                    i = 0
+                    result = None
+                    try:
+                        while i < n:
+                            result = steps[i]()
+                            if result is None:
+                                i += 1
+                                continue
+                            break
+                    except StopRun:
+                        engine._stop_pc = addrs[k][i]
+                        engine._stop_count = executed + i
+                        raise
+                    except GuestFault:
+                        engine._stop_count = executed + i
+                        raise
+                    if result is None:
+                        executed += n
+                        out = falls[k]
+                    elif result == EXIT_GUEST:
+                        return EXIT_GUEST, executed + i + 1
+                    else:
+                        executed += i + 1
+                        out = result
+                k += 1
+                if k == n_segs:
+                    if out == loop_back and (limit < 0
+                                             or executed < limit):
+                        k = 0
+                        continue
+                    return out, executed
+                if out != starts[k]:
+                    stats.mispredicts += 1
+                    return out, executed
+                if 0 <= limit <= executed:
+                    return out, executed
+        finally:
+            # One fold per dispatch (the engine's traces_executed
+            # correction reads this, including on a GuestFault unwind).
+            stats.segments += segs_run
+
+    return run
+
+
+class TranslationCache2:
+    """The second translation cache: hot superblocks plus accounting.
+
+    Owned by one :class:`~repro.pin.engine.PinVM`; attached to its
+    :class:`~repro.pin.codecache.CodeCache` so tier-1 invalidations
+    cascade (see ``CodeCache.attach_tc2``).
+    """
+
+    def __init__(self, engine, threshold: int, cache,
+                 bubble_words: int = abi.BUBBLE_WORDS // 2,
+                 metrics=NULL_METRICS):
+        self._engine = engine
+        self.threshold = threshold
+        self._cache = cache
+        #: TC2's own symbolic word budget — half the §4.1 bubble —
+        #: never charged against the tier-1 cache, so superblock
+        #: pressure cannot evict correctness traces.
+        self.bubble_words = bubble_words
+        self.metrics = metrics
+        self._blocks: dict[int, Superblock] = {}
+        self._charges: dict[int, int] = {}
+        self._allocated = 0
+        #: segment start -> superblock starts depending on it.
+        self._by_segment: dict[int, set[int]] = {}
+        #: Warm promotion profile: head start -> chain of segment starts
+        #: (installed from the pilot's exports; see ``install_profile``).
+        self._profile: dict[int, tuple[int, ...]] = {}
+        self._members: frozenset[int] = frozenset()
+        self.stats = Tc2Stats()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def get(self, pc: int):
+        """The superblock starting at ``pc``, or None (uncounted —
+        dispatches are counted at execution, inside the runner)."""
+        return self._blocks.get(pc)
+
+    # -- promotion ---------------------------------------------------------
+
+    def maybe_promote(self, head):
+        """Promote the hot chain rooted at ``head``, or decline.
+
+        Called by the engine when ``head.exec_count`` crosses the
+        threshold.  On decline the counter resets so the trace can
+        re-earn promotion (its neighbourhood may have linked up since).
+        """
+        if head.start in self._blocks:
+            return None
+        started = time.perf_counter() if self.metrics.enabled else 0.0
+        chain = self._select_chain(head)
+        block = None
+        if len(chain) > 1 or head.links.get(head.start) is head:
+            block = self._install(chain)
+        if block is None:
+            head.exec_count = 0
+        elif self.metrics.enabled:
+            self.metrics.observe("pin.tc2.promote_seconds",
+                                 time.perf_counter() - started)
+        return block
+
+    def _select_chain(self, head):
+        """Follow the hottest link out of each trace, longest first.
+
+        Deterministic: successors tie-break on the lower start address,
+        and ``links`` iteration order is itself deterministic (insertion
+        order of a deterministic simulation).  Only tier-1 traces at
+        least half as hot as the threshold qualify — chaining into a
+        cold tail would buy mispredicts, not speed.
+        """
+        chain = [head]
+        seen = {head.start}
+        cur = head
+        while len(chain) < MAX_SEGMENTS:
+            best = None
+            for succ in cur.links.values():
+                if getattr(succ, "tier", 0) != 1 or succ.start in seen:
+                    continue
+                if 2 * succ.exec_count < self.threshold:
+                    continue
+                if (best is None or succ.exec_count > best.exec_count
+                        or (succ.exec_count == best.exec_count
+                            and succ.start < best.start)):
+                    best = succ
+            if best is None:
+                break
+            chain.append(best)
+            seen.add(best.start)
+            cur = best
+        return chain
+
+    def _install(self, chain):
+        """Build, charge and register one superblock; retarget links."""
+        total_ins = sum(seg.num_ins for seg in chain)
+        need = SUPERBLOCK_HEADER_WORDS + total_ins * WORDS_PER_COMPILED_INS
+        if need > self.bubble_words:
+            return None
+        if self._allocated + need > self.bubble_words:
+            self.flush()
+        bbl_sizes: list[int] = []
+        for seg in chain:
+            bbl_sizes.extend(seg.bbl_sizes)
+        head = chain[0]
+        block = Superblock(head.start,
+                           _build_runner(self._engine, tuple(chain),
+                                         self.stats),
+                           total_ins, bbl_sizes,
+                           tuple(seg.start for seg in chain))
+        self._blocks[block.start] = block
+        self._charges[block.start] = need
+        self._allocated += need
+        for seg in chain:
+            self._by_segment.setdefault(seg.start, set()).add(block.start)
+        # Retarget every existing link into the head: steady-state
+        # execution never consults the dispatcher, so inbound links are
+        # the only road into the new tier for already-linked callers.
+        for holder in self._link_holders():
+            links = holder.links
+            for pc in [pc for pc, target in links.items()
+                       if target is head]:
+                links[pc] = block
+        self.stats.promotions += 1
+        self.stats.bytes += need * WORD_BYTES
+        return block
+
+    # -- warm promotion profiles -------------------------------------------
+
+    def install_profile(self, chains) -> None:
+        """Adopt the pilot's promoted chains as a warm profile.
+
+        Each chain promotes as soon as every segment is cached — no
+        threshold wait — so warm slices start hot.  Nothing compiles at
+        promotion time (segments are the slice's own cached traces), so
+        compile accounting stays untouched.
+        """
+        for chain in chains:
+            chain = tuple(chain)
+            if chain and chain[0] not in self._profile:
+                self._profile[chain[0]] = chain
+        members = set()
+        for chain in self._profile.values():
+            members.update(chain)
+        self._members = frozenset(members)
+
+    def note_insert(self, trace) -> None:
+        """Dispatcher-insert hook: try profiled promotions this trace
+        completes."""
+        if trace.start not in self._members:
+            return
+        cache_get = self._cache.get
+        for head_start, chain in self._profile.items():
+            if head_start in self._blocks or trace.start not in chain:
+                continue
+            segments = [cache_get(address) for address in chain]
+            if any(seg is None or getattr(seg, "tier", 0) != 1
+                   for seg in segments):
+                continue
+            started = time.perf_counter() if self.metrics.enabled else 0.0
+            if (self._install(segments) is not None
+                    and self.metrics.enabled):
+                self.metrics.observe("pin.tc2.promote_seconds",
+                                     time.perf_counter() - started)
+
+    def chains(self) -> tuple[tuple[int, ...], ...]:
+        """Live superblock chains (segment starts), for warm export."""
+        return tuple(self._blocks[start].segment_starts
+                     for start in sorted(self._blocks))
+
+    # -- invalidation ------------------------------------------------------
+
+    def _link_holders(self):
+        yield from self._cache.live_traces()
+        yield from list(self._blocks.values())
+
+    def on_evict(self, old, address: int) -> None:
+        """Tier-1 trace ``old`` at ``address`` was evicted: cascade.
+
+        Every superblock built over it dies with it, and any superblock
+        link targeting it is stripped (the code cache handles tier-1
+        holders itself).
+        """
+        for start in tuple(self._by_segment.get(address, ())):
+            self._evict_block(start)
+        for block in self._blocks.values():
+            links = block.links
+            for pc in [pc for pc, target in links.items()
+                       if target is old]:
+                del links[pc]
+
+    def _evict_block(self, start: int) -> None:
+        block = self._blocks.pop(start, None)
+        if block is None:
+            return
+        block.links.clear()
+        for seg_start in block.segment_starts:
+            holders = self._by_segment.get(seg_start)
+            if holders is not None:
+                holders.discard(start)
+                if not holders:
+                    del self._by_segment[seg_start]
+        refund = self._charges.pop(start, 0)
+        self._allocated -= refund
+        for holder in self._link_holders():
+            links = holder.links
+            for pc in [pc for pc, target in links.items()
+                       if target is block]:
+                del links[pc]
+        # Let the surviving head re-earn promotion from scratch.
+        head = self._cache.get(start)
+        if head is not None and getattr(head, "tier", 0) == 1:
+            head.exec_count = 0
+        self.stats.evictions += 1
+
+    def flush(self) -> None:
+        """Drop every superblock (TC2 pressure or tier-1 flush).
+
+        Strips the tier-1 side's links into the dead blocks and resets
+        tier-1 promotion counters, so after a pressure flush the hot set
+        re-earns its superblocks deterministically.
+        """
+        if self._blocks:
+            self.stats.evictions += len(self._blocks)
+            for block in self._blocks.values():
+                block.links.clear()
+            for trace in self._cache.live_traces():
+                links = trace.links
+                for pc in [pc for pc, target in links.items()
+                           if getattr(target, "tier", 0) == 2]:
+                    del links[pc]
+                if getattr(trace, "tier", 0) == 1:
+                    trace.exec_count = 0
+        self._blocks.clear()
+        self._by_segment.clear()
+        self._charges.clear()
+        self._allocated = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def allocated_words(self) -> int:
+        return self._allocated
+
+    def live_blocks(self):
+        return self._blocks.values()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._blocks

@@ -77,9 +77,11 @@ class SuppressedLoopTrace:
     """
 
     __slots__ = ("start", "fn", "num_ins", "fall_address", "bbl_sizes",
-                 "links")
+                 "links", "exec_count")
 
     is_source = True
+    #: Compile tier (see repro.pin.superblock): eligible for TC2.
+    tier = 1
 
     def __init__(self, start: int, fn, num_ins: int,
                  fall_address: int | None, bbl_sizes: list[int]):
@@ -89,6 +91,8 @@ class SuppressedLoopTrace:
         self.fall_address = fall_address
         self.bbl_sizes = bbl_sizes
         self.links: dict[int, object] = {}
+        #: Executions since compile; the TC2 promotion trigger.
+        self.exec_count = 0
 
 
 def plan_suppression(engine, trace_obj: TraceObj) -> LoopPlan | None:

@@ -42,8 +42,9 @@ from .supervisor import (slice_deadline, SliceAttempt, SliceOutcome,
 from .switches import (DEFAULT_CLOCK_HZ, FAULT_POLICIES, parse_switches,
                        SuperPinConfig)
 from .sysrecord import PlaybackHandler, RecordedSyscall
-from .trace_store import (damage_store_entry, isa_fingerprint, store_key,
-                          trace_store_for, TraceStore)
+from .trace_store import (damage_store_chains, damage_store_entry,
+                          isa_fingerprint, store_key, trace_store_for,
+                          TraceStore)
 
 __all__ = [
     "END_SLICE_TOKEN", "SliceToolContext", "SPControl", "AuditInputs",
@@ -65,6 +66,7 @@ __all__ = [
     "RecordedSyscall", "damage_journal", "frame_blob", "program_digest",
     "RunJournal", "run_key", "unframe_blob", "damage_recording",
     "load_recording", "Recording", "save_recording", "replay_recording",
-    "reference_from_recording", "damage_store_entry", "isa_fingerprint",
+    "reference_from_recording", "damage_store_chains",
+    "damage_store_entry", "isa_fingerprint",
     "store_key", "trace_store_for", "TraceStore",
 ]

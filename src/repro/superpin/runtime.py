@@ -178,6 +178,10 @@ class SuperPinReport:
             "suppressed_calls": sum(s.suppressed_calls
                                     for s in self.slices),
             "warm_mismatches": self.total_warm_mismatches,
+            "tc2_promotions": sum(s.tc2_promotions for s in self.slices),
+            "tc2_dispatches": sum(s.tc2_dispatches for s in self.slices),
+            "tc2_mispredicts": sum(s.tc2_mispredicts
+                                   for s in self.slices),
         }
 
     def sampling_summary(self) -> dict[str, int]:

@@ -122,6 +122,27 @@ class WarmTrace:
     code: bytes | None = None
 
 
+class WarmPayload(tuple):
+    """The frozen warm payload: WarmTrace entries plus TC2 chains.
+
+    A plain tuple of :class:`WarmTrace` entries to every consumer that
+    predates tier 2 (the payload pickles into worker blobs, persists in
+    the trace store, and is indexed/iterated as a sequence), with one
+    extra attribute: ``chains`` — the pilot's promoted superblock
+    chains as tuples of segment start addresses.  Slices install them
+    as a TC2 promotion profile so warm runs start *hot*, not merely
+    warm (see ``TranslationCache2.install_profile``).
+    """
+
+    def __new__(cls, entries=(), chains=()):
+        self = tuple.__new__(cls, entries)
+        self.chains = tuple(tuple(chain) for chain in chains)
+        return self
+
+    def __reduce__(self):
+        return (WarmPayload, (tuple(self), self.chains))
+
+
 @dataclass
 class WarmTraceStore:
     """Control-process side: folds pilot exports, freezes the payload.
@@ -133,7 +154,8 @@ class WarmTraceStore:
 
     _entries: dict[tuple[int, int], WarmTrace] = field(
         default_factory=dict)
-    _frozen: tuple[WarmTrace, ...] | None = None
+    _chains: tuple = ()
+    _frozen: WarmPayload | None = None
 
     def fold(self, exports) -> None:
         """Merge one slice's :class:`WarmTrace` exports (first wins)."""
@@ -143,22 +165,31 @@ class WarmTraceStore:
             self._entries.setdefault((entry.address, entry.num_ins),
                                      entry)
 
-    def freeze(self) -> tuple[WarmTrace, ...]:
+    def fold_chains(self, chains) -> None:
+        """Adopt the pilot's superblock chains (first export wins)."""
+        if self._frozen is not None or self._chains:
+            return
+        self._chains = tuple(tuple(chain) for chain in chains)
+
+    def freeze(self) -> WarmPayload:
         """Freeze and return the payload, sorted for determinism."""
         if self._frozen is None:
-            self._frozen = tuple(sorted(
-                self._entries.values(),
-                key=lambda e: (e.address, e.num_ins)))
+            self._frozen = WarmPayload(
+                sorted(self._entries.values(),
+                       key=lambda e: (e.address, e.num_ins)),
+                self._chains)
         return self._frozen
 
-    def fold_pilot(self, result) -> tuple[WarmTrace, ...]:
+    def fold_pilot(self, result) -> WarmPayload:
         """Fold the pilot slice's exports and freeze the payload.
 
         Strips the exports off the result afterwards so reports don't
         drag trace sources around.
         """
         self.fold(result.warm_exports)
+        self.fold_chains(getattr(result, "sb_chains", ()))
         result.warm_exports = ()
+        result.sb_chains = ()
         return self.freeze()
 
 

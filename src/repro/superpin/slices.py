@@ -103,6 +103,16 @@ class SliceResult:
     summarized_loops: int = 0
     #: Per-iteration analysis calls avoided by loop summarization.
     suppressed_calls: int = 0
+    #: Tier-2 figures (``-sptc2``; informational — architecturally
+    #: invisible like linking, so they never enter merge or audit).
+    tc2_promotions: int = 0
+    tc2_dispatches: int = 0
+    tc2_mispredicts: int = 0
+    #: Superblock chains (tuples of segment start addresses) this slice
+    #: promoted — exported by the pilot alongside ``warm_exports`` and
+    #: folded into the warm payload as a promotion profile (cleared
+    #: once folded).
+    sb_chains: tuple = ()
 
     @property
     def exact(self) -> bool:
@@ -153,7 +163,8 @@ def run_slice(boundary: Boundary, interval: Interval,
     vm = PinVM(process, forced_boundaries=forced, code_cache=cache,
                jit_backend=config.jit_backend,
                link_traces=config.splinktraces, metrics=metrics,
-               suppress_loops=config.spsuppress)
+               suppress_loops=config.spsuppress,
+               tc2_threshold=config.sptc2 if config.splinktraces else 0)
 
     # 3. Fork the tool context and attach instrumentation.  Sampling
     #    (-spsample N) activates the tool on every Nth slice only; the
@@ -174,6 +185,12 @@ def run_slice(boundary: Boundary, interval: Interval,
         from .sharedcache import WarmStartSet
         warm_set = WarmStartSet(warm)
         vm.install_warm(warm_set)
+        if vm.tc2 is not None:
+            # The pilot's promoted chains become this slice's promotion
+            # profile: each chain promotes the moment its segments are
+            # cached, so warm slices start hot instead of re-earning
+            # every superblock through the execution counter.
+            vm.tc2.install_profile(getattr(warm, "chains", ()))
 
     # 4. Slice-begin callbacks (reset local statistics; paper Figure 2).
     if ctx.reset_fun is not None:
@@ -231,11 +248,16 @@ def run_slice(boundary: Boundary, interval: Interval,
         skipped_callbacks=vm.instr_stats.skipped_callbacks,
         summarized_loops=vm.instr_stats.summarized_loops,
         suppressed_calls=vm.instr_stats.suppressed_calls,
+        tc2_promotions=vm.tc2.stats.promotions if vm.tc2 else 0,
+        tc2_dispatches=vm.tc2.stats.dispatches if vm.tc2 else 0,
+        tc2_mispredicts=vm.tc2.stats.mispredicts if vm.tc2 else 0,
     )
     if export_warm:
         from .sharedcache import export_warm_traces
         result_record.warm_exports = export_warm_traces(
             cache, config.jit_backend)
+        if vm.tc2 is not None:
+            result_record.sb_chains = vm.tc2.chains()
     if shared_directory is not None:
         from .sharedcache import charge_result
         charge_result(result_record, shared_directory)
@@ -271,6 +293,17 @@ def run_slice(boundary: Boundary, interval: Interval,
                     istats.summarized_calls)
         metrics.inc("pin.suppress.suppressed_calls",
                     istats.suppressed_calls)
+        if vm.tc2 is not None:
+            # Tier-2 counters fold once per slice like the cache stats;
+            # the promotion-span histogram (pin.tc2.promote_seconds) is
+            # observed live at promotion time.
+            tc2_stats = vm.tc2.stats
+            metrics.inc("pin.tc2.promotions", tc2_stats.promotions)
+            metrics.inc("pin.tc2.dispatches", tc2_stats.dispatches)
+            metrics.inc("pin.tc2.mispredicts", tc2_stats.mispredicts)
+            metrics.inc("pin.tc2.evictions", tc2_stats.evictions)
+            metrics.inc("pin.tc2.bytes", tc2_stats.bytes)
+            metrics.inc("pin.tc2.segments", tc2_stats.segments)
         if not instrumented:
             metrics.inc("superpin.sample.skipped_slices")
         metrics.observe("superpin.slice.instructions",

@@ -50,8 +50,11 @@ from ..fsutil import atomic_write, fsync_directory
 from ..obs.metrics import NULL_METRICS
 
 #: Entry-file magic + format revision.  Bump when the payload schema
-#: (the pickled WarmTrace tuple) changes shape.
-STORE_MAGIC = b"SPTS1\n"
+#: changes shape.  Revision 2 pickles a section dict — ``traces`` (the
+#: WarmTrace tuple) plus ``chains`` (TC2 promotion chains) — instead of
+#: the bare tuple; revision-1 entries fail the magic check and evict
+#: like any other corrupt file (a clean miss, never a crash).
+STORE_MAGIC = b"SPTS2\n"
 _DIGEST_LEN = 32
 ENTRY_SUFFIX = ".spwc"
 
@@ -74,11 +77,11 @@ def isa_fingerprint() -> str:
         import inspect
 
         from ..isa import encoding, instructions
-        from ..pin import engine, jit, pyjit, suppress, trace
+        from ..pin import engine, jit, pyjit, superblock, suppress, trace
 
         digest = hashlib.sha256()
         for module in (encoding, instructions, trace, jit, pyjit,
-                       suppress, engine):
+                       suppress, superblock, engine):
             digest.update(inspect.getsource(module).encode("utf-8"))
         _isa_fingerprint_cache = digest.hexdigest()
     return _isa_fingerprint_cache
@@ -88,7 +91,10 @@ def isa_fingerprint() -> str:
 #: JIT backend picks the code representation, the filter/suppression
 #: settings change what instrumentation is woven in, and linking
 #: changes nothing semantically but keeps keys honest if it ever does.
-_KEY_FIELDS = ("jit_backend", "spfilter", "spsuppress", "splinktraces")
+#: The TC2 threshold shapes which promotion chains the payload carries,
+#: so a different ``-sptc2`` keys a different entry.
+_KEY_FIELDS = ("jit_backend", "spfilter", "spsuppress", "splinktraces",
+               "sptc2")
 
 
 def store_key(source_digest: str, config) -> str:
@@ -102,6 +108,25 @@ def store_key(source_digest: str, config) -> str:
     fields = tuple(getattr(config, name, None) for name in _KEY_FIELDS)
     token = repr((source_digest, isa_fingerprint(), fields)).encode()
     return hashlib.sha256(token).hexdigest()
+
+
+def _valid_chains(chains) -> bool:
+    """Structural validity of a persisted TC2 chain section.
+
+    Chains carry no per-entry digest of their own (the file digest
+    covers them, but a buggy or hostile writer can produce a validly
+    signed file), so a load checks the shape a promotion profile
+    requires: a tuple of non-empty tuples of addresses.
+    """
+    if not isinstance(chains, tuple):
+        return False
+    for chain in chains:
+        if not isinstance(chain, tuple) or not chain:
+            return False
+        for address in chain:
+            if not isinstance(address, int) or isinstance(address, bool):
+                return False
+    return True
 
 
 class TraceStore:
@@ -141,17 +166,28 @@ class TraceStore:
             self.metrics.inc("pin.cache.persistent_misses")
             return None
         try:
-            entries = pickle.loads(payload)
+            sections = pickle.loads(payload)
+            traces = tuple(sections["traces"])
         except Exception:
             self._evict_corrupt(path)
             self.metrics.inc("pin.cache.persistent_misses")
             return None
+        chains = sections.get("chains", ())
+        if not _valid_chains(chains):
+            # A bad TC2 section must not poison the tier-1 warm start:
+            # drop the chains, keep the traces.  (The slice-side
+            # per-trace consistency check still guards the traces
+            # themselves; chains have no such second line of defence,
+            # so they are validated structurally here.)
+            self.metrics.inc("pin.cache.persistent_chain_drops")
+            chains = ()
         try:
             os.utime(path)
         except OSError:
             pass  # evicted or unlinked concurrently; the payload stands
         self.metrics.inc("pin.cache.persistent_hits")
-        return entries
+        from .sharedcache import WarmPayload
+        return WarmPayload(traces, chains)
 
     @staticmethod
     def _verify(data: bytes) -> bytes | None:
@@ -181,10 +217,13 @@ class TraceStore:
         nothing; an empty entry would turn every future run into a
         useless "hit" that warms nothing).
         """
+        chains = tuple(tuple(chain) for chain
+                       in getattr(entries, "chains", ()))
         entries = tuple(entries)
         if not entries:
             return
-        payload = pickle.dumps(entries, pickle.HIGHEST_PROTOCOL)
+        payload = pickle.dumps({"traces": entries, "chains": chains},
+                               pickle.HIGHEST_PROTOCOL)
         blob = (STORE_MAGIC + hashlib.sha256(payload).digest() + payload)
         path = self._path(key)
         atomic_write(path, blob)
@@ -283,3 +322,23 @@ def damage_store_entry(root, key: str) -> None:
     flip = len(STORE_MAGIC) + _DIGEST_LEN  # first payload byte
     damaged = data[:flip] + bytes([data[flip] ^ 0x01]) + data[flip + 1:]
     atomic_write(path, damaged)
+
+
+def damage_store_chains(root, key: str) -> None:
+    """Corrupt only the TC2 chain section of an entry (test hook).
+
+    Rewrites the entry with a structurally invalid ``chains`` section
+    and a *recomputed* (valid) digest: the file verifies, the traces
+    decode, and only the chain validation can catch the rot — the load
+    must drop the chains while still warming tier 1.
+    """
+    store = TraceStore(root)
+    path = store._path(key)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    payload = TraceStore._verify(data)
+    sections = pickle.loads(payload)
+    sections["chains"] = ("not-a-chain",)
+    damaged = pickle.dumps(sections, pickle.HIGHEST_PROTOCOL)
+    atomic_write(path, STORE_MAGIC + hashlib.sha256(damaged).digest()
+                 + damaged)

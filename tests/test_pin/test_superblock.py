@@ -1,0 +1,515 @@
+"""Tier-2 superblocks (-sptc2) must be architecturally invisible.
+
+A superblock re-runs the *same* compiled tier-1 segments in the same
+order, so every observable quantity — final machine state, instruction
+counts, (corrected) trace counts, analysis-call streams, unwind points
+on StopRun / GuestFault, compile logs — must be bit-identical with TC2
+on or off, on both JIT backends, at the engine level and through the
+whole SuperPin pipeline (serial and parallel, audited, and combined
+with -spsuppress / -spfilter).
+
+The invalidation tests guard the tier-2 flavour of the stale-link bug:
+a superblock surviving a flush, an eviction of one of its segments, or
+a late ``add_trace_callback`` would execute stale instrumentation the
+dispatcher can no longer see.
+"""
+
+import pytest
+
+from repro.errors import ArithmeticFault
+from repro.isa import assemble
+from repro.machine import Kernel, load_program
+from repro.pin import (CodeCache, IARG_END, IARG_INST_PTR, IARG_REG_VALUE,
+                       IPOINT_BEFORE, PinVM, RunState, StopRun,
+                       TranslationCache2)
+from repro.superpin import run_superpin, SuperPinConfig
+from repro.tools import ICount2
+from tests.conftest import LOOP_SUM, MULTISLICE, run_native
+
+BACKENDS = ["closure", "source"]
+THRESHOLD = 4
+
+#: Tiny leaf calls split the loop body into a chain of short traces —
+#: the shape promotion exists for.
+CALL_CHAIN = """
+.entry main
+main:
+    li   t0, 0
+    li   t1, 2000
+lp:
+    call f1
+    call f2
+    addi t0, t0, 1
+    bne  t0, t1, lp
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+f1: ret
+f2: ret
+"""
+
+#: Every 32nd iteration the hot chain side-exits through ``g1``: the
+#: promoted superblock's inter-segment guard must mispredict and fall
+#: back to tier 1 with exact state.
+SIDE_EXIT = """
+.entry main
+main:
+    li   t0, 0
+    li   t1, 2000
+lp:
+    call f1
+    call f2
+    andi t2, t0, 31
+    bnez t2, stay
+    call g1
+stay:
+    addi t0, t0, 1
+    bne  t0, t1, lp
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+f1: ret
+f2: ret
+g1: ret
+"""
+
+#: Two disjoint self-loops: promoting the second must pressure the
+#: first out of a one-block TC2 without touching tier 1.
+TWO_LOOPS = """
+.entry main
+main:
+    li   t0, 0
+    li   t1, 200
+    li   t2, 0
+    li   t3, 0
+l1:
+    add  t2, t2, t0
+    addi t0, t0, 1
+    bne  t0, t1, l1
+    li   t0, 0
+l2:
+    add  t3, t3, t0
+    addi t0, t0, 1
+    bne  t0, t1, l2
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+"""
+
+#: Faults at iteration 800 — long after the chain went tier 2 — so the
+#: GuestFault unwinds out of a superblock segment.
+FAULT_AT_800 = """
+.entry main
+main:
+    li   t0, 0
+    li   t1, 1000
+    li   t5, 800
+lp:
+    call f1
+    call f2
+    sub  t4, t5, t0
+    div  t6, t1, t4
+    addi t0, t0, 1
+    bne  t0, t1, lp
+    li   a0, SYS_EXIT
+    li   a1, 0
+    syscall
+f1: ret
+f2: ret
+"""
+
+
+def _make_vm(program, backend, threshold, seed=42, **kwargs):
+    process = load_program(program, Kernel(seed=seed))
+    return PinVM(process, jit_backend=backend, link_traces=True,
+                 tc2_threshold=threshold, **kwargs)
+
+
+def _trace_pcs(program, backend, threshold):
+    """Run fully instrumented; return (result, vm, per-call pc list)."""
+    vm = _make_vm(program, backend, threshold)
+    pcs = []
+
+    def instrument(trace, value):
+        for ins in trace.instructions:
+            ins.insert_call(IPOINT_BEFORE, pcs.append,
+                            IARG_INST_PTR, IARG_END)
+
+    vm.add_trace_callback(instrument, pcs)
+    result = vm.run()
+    return result, vm, pcs
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_tc2_matches_tier1_state(self, backend, multislice_program):
+        on = _make_vm(multislice_program, backend, THRESHOLD)
+        off = _make_vm(multislice_program, backend, 0)
+        r_on, r_off = on.run(), off.run()
+
+        assert r_on.state is r_off.state is RunState.EXIT
+        assert r_on.exit_code == r_off.exit_code
+        assert r_on.instructions == r_off.instructions
+        assert r_on.traces_executed == r_off.traces_executed
+        assert on.cpu.regs == off.cpu.regs
+        assert on.cpu.pc == off.cpu.pc
+        # Promotion never recompiles: both tiers, same compile stream.
+        assert on.cache.stats.compiles == off.cache.stats.compiles
+        assert on.cache.insert_log == off.cache.insert_log
+
+        assert off.tc2 is None and r_off.tc2_dispatches == 0
+        assert on.tc2.stats.promotions > 0
+        assert r_on.tc2_dispatches > 0
+        assert on.tc2.stats.segments >= on.tc2.stats.dispatches
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_analysis_call_order_identical(self, backend):
+        """The exact per-call pc sequence is preserved under tier 2."""
+        program = assemble(CALL_CHAIN)
+        r_on, vm_on, pcs_on = _trace_pcs(program, backend, THRESHOLD)
+        r_off, _, pcs_off = _trace_pcs(program, backend, 0)
+        assert vm_on.tc2.stats.promotions > 0
+        assert pcs_on == pcs_off
+        assert len(pcs_on) == r_on.instructions == r_off.instructions
+        assert r_on.analysis_calls == r_off.analysis_calls
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("budget", [777, 5000])
+    def test_budget_stops_identical(self, backend, budget,
+                                    multislice_program):
+        """Slice the run into fixed budgets: every intermediate stop
+        must land on the same instruction with the same registers, even
+        when the budget expires mid-superblock."""
+        on = _make_vm(multislice_program, backend, THRESHOLD)
+        off = _make_vm(multislice_program, backend, 0)
+        for _ in range(10_000):
+            r_on = on.run(max_instructions=budget)
+            r_off = off.run(max_instructions=budget)
+            assert r_on.state is r_off.state
+            assert r_on.instructions == r_off.instructions
+            assert r_on.traces_executed == r_off.traces_executed
+            assert on.cpu.regs == off.cpu.regs
+            assert on.cpu.pc == off.cpu.pc
+            if r_on.state is RunState.EXIT:
+                break
+        assert r_on.state is RunState.EXIT
+        assert on.tc2.stats.dispatches > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mispredict_falls_back_exact(self, backend):
+        """A side exit off the hot path mispredicts the guard and hands
+        control back to tier 1 — with byte-identical results."""
+        program = assemble(SIDE_EXIT)
+        r_on, vm_on, pcs_on = _trace_pcs(program, backend, THRESHOLD)
+        r_off, _, pcs_off = _trace_pcs(program, backend, 0)
+        assert vm_on.tc2.stats.promotions > 0
+        assert vm_on.tc2.stats.mispredicts > 0
+        assert pcs_on == pcs_off
+        assert r_on.instructions == r_off.instructions
+        assert r_on.traces_executed == r_off.traces_executed
+        assert r_on.exit_code == r_off.exit_code
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stoprun_unwind_point_identical(self, backend):
+        """StopRun raised by instrumentation *inside* a superblock
+        segment unwinds to the same pc/register state as tier 1."""
+        program = assemble(CALL_CHAIN)
+        results = {}
+        for threshold in (THRESHOLD, 0):
+            vm = _make_vm(program, backend, threshold)
+            token = object()
+
+            def instrument(trace, value):
+                for ins in trace.instructions:
+                    if ins.mnemonic == "addi":
+                        def check(v):
+                            if v == 1500:
+                                raise StopRun(token)
+                        ins.insert_call(IPOINT_BEFORE, check,
+                                        IARG_REG_VALUE, 8, IARG_END)
+
+            vm.add_trace_callback(instrument)
+            result = vm.run()
+            assert result.state is RunState.STOPPED
+            assert result.stop_token is token
+            results[threshold] = (result.instructions, vm.cpu.pc,
+                                  dict(enumerate(vm.cpu.regs)))
+            if threshold:
+                # By iteration 1500 the chain is promoted, so the stop
+                # unwound out of a tier-2 dispatch.
+                assert vm.tc2.stats.dispatches > 0
+        assert results[THRESHOLD] == results[0]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_guestfault_accounting_identical(self, backend):
+        """A guest fault deep inside a superblock reports the same
+        retired-instruction and (corrected) trace totals as tier 1."""
+        program = assemble(FAULT_AT_800)
+        totals = {}
+        for threshold in (THRESHOLD, 0):
+            vm = _make_vm(program, backend, threshold)
+            with pytest.raises(ArithmeticFault):
+                vm.run()
+            totals[threshold] = (vm.total_instructions,
+                                 vm.total_traces_executed)
+            if threshold:
+                assert vm.tc2.stats.dispatches > 0
+        assert totals[THRESHOLD] == totals[0]
+
+
+class TestPromotionPolicy:
+    def test_below_threshold_never_promotes(self):
+        program = assemble(LOOP_SUM)
+        vm = _make_vm(program, "closure", 10 ** 9)
+        vm.run()
+        assert len(vm.tc2) == 0
+        assert vm.tc2.stats.promotions == 0
+        assert vm.tc2.stats.dispatches == 0
+
+    def test_self_loop_promotes_single_segment(self):
+        """LOOP_SUM's body is one self-linked trace: promotion accepts
+        the degenerate one-segment chain because the internal back edge
+        still collapses the whole loop into few dispatches."""
+        program = assemble(LOOP_SUM)
+        vm = _make_vm(program, "closure", THRESHOLD)
+        result = vm.run()
+        stats = vm.tc2.stats
+        assert stats.promotions >= 1
+        assert stats.dispatches >= 1
+        assert stats.segments > 10 * stats.dispatches
+        assert result.traces_executed \
+            == _make_vm(program, "closure", 0).run().traces_executed
+
+    def test_chain_covers_call_cluster(self):
+        program = assemble(CALL_CHAIN)
+        vm = _make_vm(program, "source", THRESHOLD)
+        vm.run()
+        blocks = list(vm.tc2.live_blocks())
+        assert blocks
+        # The loop body (~5 traces) straightened into one superblock.
+        assert max(len(b.segment_starts) for b in blocks) >= 4
+        assert vm.tc2.stats.bytes > 0
+        assert vm.tc2.allocated_words > 0
+
+    def test_declined_promotion_resets_counter(self, loop_program):
+        """A TC2 too small for any superblock declines every promotion
+        and resets the head's counter so it can re-earn one later."""
+        vm = _make_vm(loop_program, "closure", 0)
+        vm.run()
+        head = next(t for t in vm.cache.live_traces()
+                    if t.links.get(t.start) is t)
+        head.exec_count = 7
+        tiny = TranslationCache2(vm, 8, vm.cache, bubble_words=1)
+        assert tiny.maybe_promote(head) is None
+        assert head.exec_count == 0
+        assert len(tiny) == 0
+
+    def test_pressure_flushes_superblocks_only(self):
+        """TC2 pressure evicts superblocks, never tier-1 traces."""
+        from repro.pin.codecache import WORDS_PER_COMPILED_INS
+        from repro.pin.superblock import SUPERBLOCK_HEADER_WORDS
+        program = assemble(TWO_LOOPS)
+        vm = _make_vm(program, "closure", 0)
+        vm.run()
+        heads = sorted((t for t in vm.cache.live_traces()
+                        if t.links.get(t.start) is t),
+                       key=lambda t: t.start)
+        assert len(heads) == 2
+        h1, h2 = heads
+        need = max(SUPERBLOCK_HEADER_WORDS
+                   + h.num_ins * WORDS_PER_COMPILED_INS
+                   for h in heads)
+        tc2 = TranslationCache2(vm, 8, vm.cache, bubble_words=need)
+        tier1_before = len(vm.cache)
+        h1.exec_count = 8
+        assert tc2.maybe_promote(h1) is not None
+        h2.exec_count = 8
+        assert tc2.maybe_promote(h2) is not None
+        # One block's budget: promoting h2 pressure-flushed h1's block.
+        assert tc2.stats.evictions >= 1
+        assert h1.start not in tc2 and h2.start in tc2
+        assert len(vm.cache) == tier1_before  # tier 1 untouched
+
+
+class TestInvalidation:
+    """The tier-2 flavour of test_linking's stale-link guarantees."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_flush_evicts_superblocks(self, backend, multislice_program):
+        vm = _make_vm(multislice_program, backend, THRESHOLD)
+        vm.run(max_instructions=20_000)
+        assert len(vm.tc2) > 0
+        vm.cache.flush()
+        assert len(vm.tc2) == 0
+        assert vm.tc2.allocated_words == 0
+        assert vm.tc2.stats.evictions > 0
+        # No surviving trace may hold a link to a dead superblock.
+        for trace in vm.cache.live_traces():
+            assert not trace.links
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mid_run_flush_reearns_promotions(self, backend,
+                                              multislice_program):
+        """An analysis-triggered flush mid-run kills every superblock;
+        the run re-promotes and still produces native-exact results."""
+        _, interp, _ = run_native(multislice_program)
+        vm = _make_vm(multislice_program, backend, THRESHOLD)
+        seen = [0]
+
+        def instrument(trace, value):
+            for ins in trace.instructions:
+                def count():
+                    seen[0] += 1
+                    if seen[0] in (10_000, 20_000):
+                        vm.cache.flush()
+                ins.insert_call(IPOINT_BEFORE, count, IARG_END)
+
+        vm.add_trace_callback(instrument)
+        result = vm.run()
+        assert result.state is RunState.EXIT
+        assert result.instructions == interp.total_instructions
+        assert seen[0] == interp.total_instructions
+        assert vm.cache.stats.flushes >= 2
+        # The hot set re-earned superblocks after the flushes.
+        assert vm.tc2.stats.promotions >= 2
+        assert vm.tc2.stats.dispatches > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_late_callback_evicts_superblocks(self, backend,
+                                              multislice_program):
+        """add_trace_callback after partial execution must flush TC2
+        too: a stale superblock would run un-instrumented segments."""
+        _, interp, _ = run_native(multislice_program)
+        vm = _make_vm(multislice_program, backend, THRESHOLD)
+        first = vm.run(max_instructions=20_000)
+        assert first.state is RunState.BUDGET
+        assert len(vm.tc2) > 0
+
+        calls = []
+
+        def instrument(trace, value):
+            for ins in trace.instructions:
+                ins.insert_call(IPOINT_BEFORE, lambda: calls.append(1),
+                                IARG_END)
+
+        vm.add_trace_callback(instrument)
+        assert len(vm.tc2) == 0  # flushed with the code cache
+        second = vm.run()
+        assert second.state is RunState.EXIT
+        assert first.instructions + second.instructions \
+            == interp.total_instructions
+        assert len(calls) == second.instructions
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_tier1_eviction_cascades(self, backend, multislice_program):
+        """Cache pressure evicts tier-1 traces one at a time; every
+        dependent superblock must die with its segment, and the run
+        stays native-exact.  Live superblocks only ever reference live
+        segments."""
+        _, interp, _ = run_native(multislice_program)
+        cache = CodeCache(bubble_base=0, bubble_words=150)
+        process = load_program(multislice_program, Kernel(seed=42))
+        vm = PinVM(process, code_cache=cache, jit_backend=backend,
+                   link_traces=True, tc2_threshold=THRESHOLD)
+        result = vm.run()
+        assert result.state is RunState.EXIT
+        assert result.instructions == interp.total_instructions
+        assert cache.stats.flushes > 0
+        for block in vm.tc2.live_blocks():
+            for seg_start in block.segment_starts:
+                assert cache.get(seg_start) is not None
+
+    def test_evicting_segment_kills_block_unit(self, loop_program):
+        """Unit-level: evicting the head trace evicts the superblock,
+        strips inbound links, and refunds the TC2 charge."""
+        vm = _make_vm(loop_program, "closure", THRESHOLD)
+        vm.run(max_instructions=150)
+        assert len(vm.tc2) == 1
+        block = next(iter(vm.tc2.live_blocks()))
+        head_start = block.segment_starts[0]
+        vm.cache._evict_one(head_start)  # cascades via attach_tc2
+        assert len(vm.tc2) == 0
+        assert vm.tc2.allocated_words == 0
+        for trace in vm.cache.live_traces():
+            assert all(getattr(t, "tier", 0) != 2
+                       for t in trace.links.values())
+
+
+def _fingerprint(report):
+    return [(s.index, s.exact, s.instructions, s.traces_executed,
+             s.analysis_calls, s.compiles, s.compile_log)
+            for s in report.slices]
+
+
+def _run_pipeline(program, **kwargs):
+    kwargs.setdefault("spmsec", 400)
+    kwargs.setdefault("clock_hz", 10_000)
+    kwargs.setdefault("spmetrics", True)
+    tool = ICount2()
+    report = run_superpin(program, tool, SuperPinConfig(**kwargs),
+                          kernel=Kernel(seed=7))
+    return report, tool
+
+
+class TestPipelineParity:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return assemble(MULTISLICE)
+
+    @pytest.mark.parametrize("spworkers", [0, 2])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_tc2_invisible_in_pipeline(self, program, spworkers, backend):
+        """-sptc2 on (default) vs off: identical reports across the
+        worker-count × backend matrix."""
+        on, tool_on = _run_pipeline(program, spworkers=spworkers,
+                                    jit_backend=backend)
+        off, tool_off = _run_pipeline(program, spworkers=spworkers,
+                                      jit_backend=backend, sptc2=0)
+        assert _fingerprint(on) == _fingerprint(off)
+        assert tool_on.report() == tool_off.report()
+        assert on.stdout == off.stdout
+        c_on = dict(on.metrics.counters)
+        c_off = dict(off.metrics.counters)
+        assert c_on["pin.tc2.promotions"] > 0
+        assert c_on["pin.tc2.dispatches"] > 0
+        assert "pin.tc2.promotions" not in c_off
+        assert c_on["pin.cache.compiles"] == c_off["pin.cache.compiles"]
+
+    def test_audit_clean_with_tc2(self, program):
+        """The differential replay audit passes with tier 2 engaged."""
+        report, _ = _run_pipeline(program, spworkers=2, spaudit=True)
+        assert report.audit is not None
+        assert report.audit.ok, report.audit.summary()
+        counters = dict(report.metrics.counters)
+        assert counters["pin.tc2.promotions"] > 0
+        assert counters.get("superpin.audit.divergences", 0) == 0
+
+    @pytest.mark.parametrize("extras", [
+        {"spsuppress": True},
+        {"spfilter": "opcode:mem"},
+        {"spsuppress": True, "spfilter": "opcode:mem"},
+    ])
+    def test_tc2_composes_with_suppress_and_filter(self, program, extras):
+        """Loop suppression and selective instrumentation reshape the
+        trace stream; TC2 must stay invisible on the reshaped stream."""
+        on, tool_on = _run_pipeline(program, spworkers=2, **extras)
+        off, tool_off = _run_pipeline(program, spworkers=2, sptc2=0,
+                                      **extras)
+        assert _fingerprint(on) == _fingerprint(off)
+        assert tool_on.report() == tool_off.report()
+
+    def test_runtime_summary_and_switch(self, program):
+        """-sptc2 parses; the instrumentation summary carries tier-2
+        totals; -sptc2 0 turns the whole tier off."""
+        from repro.errors import ConfigError
+        from repro.superpin import parse_switches
+        config = parse_switches(["-sptc2", "32"])
+        assert config.sptc2 == 32
+        with pytest.raises(ConfigError):
+            SuperPinConfig(sptc2=-1)
+
+        report, _ = _run_pipeline(program, spworkers=0)
+        summary = report.instrumentation_summary()
+        assert summary["tc2_promotions"] > 0
+        assert summary["tc2_dispatches"] > 0
+        assert summary["tc2_mispredicts"] >= 0

@@ -25,11 +25,12 @@ import pytest
 
 from repro.isa import assemble
 from repro.machine import Kernel
-from repro.superpin import (damage_store_entry, program_digest,
-                            replay_recording, run_superpin, store_key,
-                            SuperPinConfig, trace_store_for, TraceStore)
+from repro.superpin import (damage_store_chains, damage_store_entry,
+                            program_digest, replay_recording,
+                            run_superpin, store_key, SuperPinConfig,
+                            trace_store_for, TraceStore)
 from repro.superpin.journal import damage_journal
-from repro.superpin.sharedcache import WarmTrace
+from repro.superpin.sharedcache import WarmPayload, WarmTrace
 from repro.tools import ICount2
 from tests.conftest import MULTISLICE
 
@@ -101,6 +102,9 @@ class TestStoreBasics:
             digest, SuperPinConfig(jit_backend="source")) != base
         assert store_key(
             digest, SuperPinConfig(spsuppress=True)) != base
+        # The TC2 threshold shapes the persisted promotion chains.
+        assert store_key(digest, SuperPinConfig(sptc2=0)) != base
+        assert store_key(digest, SuperPinConfig(sptc2=64)) != base
         # Fields that do not shape compiled code do not shape the key.
         assert store_key(digest, SuperPinConfig(spworkers=2)) == base
         assert store_key(digest, SuperPinConfig(spmsec=250)) == base
@@ -263,6 +267,64 @@ class TestReplayAndResumeWarm:
         assert resumed.resumed_slices < resumed.num_slices
         assert counters["pin.cache.persistent_hits"] == 1
         assert _fingerprint(full) == _fingerprint(resumed)
+
+
+class TestSuperblockChains:
+    """The persisted TC2 section (satellite of the -sptc2 tentpole)."""
+
+    def test_chains_round_trip(self, store_dir):
+        store = TraceStore(store_dir)
+        chains = ((0x100, 0x110, 0x120), (0x200,))
+        store.save("k" * 64, WarmPayload(_payload(), chains))
+        loaded = store.load("k" * 64)
+        assert loaded == _payload()  # tuple contract unchanged
+        assert loaded.chains == chains
+
+    def test_plain_payload_loads_with_empty_chains(self, store_dir):
+        store = TraceStore(store_dir)
+        store.save("p" * 64, _payload())
+        assert store.load("p" * 64).chains == ()
+
+    def test_warm_run_promotes_from_stored_profile(self, program,
+                                                   store_dir):
+        """The second run's pilot starts with the first run's promotion
+        profile: superblocks appear without re-earning the threshold,
+        and the reports stay byte-identical."""
+        first, _ = _report(program, store_dir)
+        second, _ = _report(program, store_dir)
+        c1 = dict(first.metrics.counters)
+        c2 = dict(second.metrics.counters)
+        assert c1["pin.tc2.promotions"] > 0
+        assert c2["pin.tc2.promotions"] > 0
+        assert c2["pin.cache.persistent_hits"] == 1
+        assert _pilot_cold(second) == 0
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_damaged_chains_keep_tier1_warm(self, program, store_dir):
+        """A rotten chain section must not poison the entry: the load
+        drops the chains (counted) and still warms tier 1 — zero pilot
+        cold compiles, byte-identical results."""
+        first, _ = _report(program, store_dir)
+        key = store_key(program_digest(program),
+                        SuperPinConfig(sptracestore=store_dir))
+        damage_store_chains(store_dir, key)
+        second, _ = _report(program, store_dir)
+        counters = dict(second.metrics.counters)
+        assert counters["pin.cache.persistent_chain_drops"] == 1
+        assert counters["pin.cache.persistent_hits"] == 1
+        assert counters.get("pin.cache.persistent_corrupt", 0) == 0
+        assert _pilot_cold(second) == 0
+        assert _fingerprint(first) == _fingerprint(second)
+        # Promotions still happen the slow way (threshold re-earned).
+        assert dict(second.metrics.counters)["pin.tc2.promotions"] > 0
+
+    def test_sptc2_off_persists_no_chains(self, program, store_dir):
+        _report(program, store_dir, sptc2=0)
+        key = store_key(program_digest(program),
+                        SuperPinConfig(sptracestore=store_dir, sptc2=0))
+        loaded = TraceStore(store_dir).load(key)
+        assert loaded is not None
+        assert loaded.chains == ()
 
 
 _HAMMER = """
