@@ -58,6 +58,16 @@ def main(argv: list[str] | None = None) -> int:
                           help="comma-separated tool names (see "
                                "'superpin list')")
 
+    debug_p = sub.add_parser(
+        "debug", help="time-travel debugger over a -sprecord artifact")
+    debug_p.add_argument("recording",
+                         help="recording artifact written by -sprecord")
+    debug_p.add_argument("--script", default=None,
+                         help="batch command file (one command per line) "
+                              "instead of the interactive REPL")
+    # -sp* switches (jit backend, tc2, degrade policy) ride in the
+    # unparsed remainder, like 'run'.
+
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("which", choices=sorted(FIGURES) + ["all"])
     fig_p.add_argument("--scale", type=float, default=1.0)
@@ -123,6 +133,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_replay(args, extra)
     if args.command == "submit":
         return _cmd_submit(args, extra)
+    if args.command == "debug":
+        return _cmd_debug(args, extra)
     if extra:
         parser.error(f"unrecognized arguments: {' '.join(extra)}")
     if args.command == "figure":
@@ -299,6 +311,76 @@ def _cmd_replay(args, extra: list[str]) -> int:
             if not report.audit.ok:
                 status = 3
     return status
+
+
+def _cmd_debug(args, extra: list[str]) -> int:
+    from .errors import (DivergenceError, RecordingCorruptError,
+                         TimeTravelError)
+    from .superpin import load_recording, parse_switches, SuperPinConfig
+    from .superpin.timetravel import DebugSession
+
+    switches = [s for s in extra if s != "--"]
+    config = parse_switches(switches) if switches else SuperPinConfig()
+    try:
+        recording = load_recording(
+            args.recording,
+            tolerate_damaged=config.spfaults == "degrade")
+    except RecordingCorruptError as error:
+        print(f"recording rejected: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot read recording: {error}", file=sys.stderr)
+        return 2
+    session = DebugSession(recording, config)
+
+    if args.script:
+        try:
+            with open(args.script, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            print(f"cannot read script: {error}", file=sys.stderr)
+            return 2
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            print(f"(ttd) {line}")
+            try:
+                output = session.execute(line)
+            except TimeTravelError as error:
+                print(f"error: {error}")
+                return 2
+            except DivergenceError as error:
+                print(f"divergence: {error}")
+                return 3
+            if output is None:
+                break
+            for text in output:
+                print(text)
+        return 0
+
+    print(f"debug {args.recording}: {recording.num_slices} slices, "
+          f"{recording.total_instructions} instructions "
+          f"(id {recording.recording_id[:12]})")
+    print("type 'help' for commands, 'quit' to leave")
+    while True:
+        try:
+            line = input("(ttd) ")
+        except EOFError:
+            print()
+            return 0
+        try:
+            output = session.execute(line)
+        except TimeTravelError as error:
+            print(f"error: {error}")
+            continue
+        except DivergenceError as error:
+            print(f"divergence: {error}")
+            continue
+        if output is None:
+            return 0
+        for text in output:
+            print(text)
 
 
 def _cmd_serve(args) -> int:

@@ -169,3 +169,21 @@ class CodeCacheOverflowError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid SuperPin switch or configuration value."""
+
+
+class TimeTravelError(ReproError):
+    """A time-travel debugging request cannot be satisfied.
+
+    Raised by :mod:`repro.superpin.timetravel` for targets outside the
+    recorded run, for travel into a degraded (hole) slice of a
+    ``tolerate_damaged`` recording, and for malformed debugger commands.
+    The engine distinguishes these from :class:`RecordingCorruptError`
+    (the artifact itself failed verification) and
+    :class:`DivergenceError` (re-execution disagreed with the record).
+    """
+
+    def __init__(self, message: str, kind: str = "request"):
+        #: ``request`` (bad target/command), ``hole`` (degraded slice),
+        #: or ``state`` (engine cannot materialize the target state).
+        self.kind = kind
+        super().__init__(f"[{kind}] {message}")

@@ -121,6 +121,12 @@ class PinVM:
         #: Unwind markers maintained by generated code (source backend).
         self._stop_pc = 0
         self._stop_count = 0
+        #: Single-instruction traces for the exact-budget mode, keyed by
+        #: pc.  Kept outside the code cache so exact landings never
+        #: change trace shapes, statistics or bubble accounting; cleared
+        #: with the cache whenever instrumentation changes.
+        self._step_cache: dict[int, CompiledTrace] = {}
+        self._step_jit: Jit | None = None
         #: (callback, value, filter) triples called for every newly
         #: compiled trace; ``filter`` is an InstrumentFilter or None
         #: (always instrument).
@@ -149,6 +155,7 @@ class PinVM:
         compiled code, exactly as late instrumentation does in Pin.
         """
         self.trace_callbacks.append((callback, value, trace_filter))
+        self._step_cache.clear()
         if len(self.cache) or (self.tc2 is not None and len(self.tc2)):
             # Flushing tier 1 cascades into TC2 (CodeCache.attach_tc2),
             # so late instrumentation can never reach a stale superblock.
@@ -184,12 +191,43 @@ class PinVM:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, max_instructions: int | None = None) -> PinRunResult:
+    def _step_trace(self, pc: int) -> CompiledTrace:
+        """A single-instruction trace at ``pc`` (exact-budget landings).
+
+        Compiled with the closure backend regardless of the configured
+        backend (one instruction has no codegen advantage), carrying the
+        engine's instrumentation like any cold compile, and cached
+        outside the code cache so trace shapes and cache statistics stay
+        untouched.
+        """
+        trace = self._step_cache.get(pc)
+        if trace is None:
+            if self._step_jit is None:
+                self._step_jit = Jit(self)
+            trace = self._step_jit.compile_step(pc)
+            self._step_cache[pc] = trace
+        return trace
+
+    def run(self, max_instructions: int | None = None,
+            exact_budget: bool = False) -> PinRunResult:
         """Execute the guest under instrumentation.
 
         Runs until the guest exits, an analysis routine raises
-        :class:`StopRun`, or ``max_instructions`` is exceeded (checked at
-        trace granularity — it is a runaway guard, not a precise budget).
+        :class:`StopRun`, or ``max_instructions`` is exceeded.  By
+        default the budget is checked at trace granularity — a runaway
+        guard, not a precise budget.
+
+        With ``exact_budget`` set (and a budget given), the run retires
+        *exactly* ``max_instructions`` instructions before reporting
+        ``BUDGET`` — the interpreter's semantics: the Nth instruction
+        executes even when it is a syscall, and ``cpu.pc`` is then the
+        next unexecuted instruction.  Guest exit at or before the Nth
+        instruction still reports ``EXIT``.  Mechanism: a trace (any
+        tier) only runs whole when its worst-case retirement fits the
+        remaining allowance; superblocks stop at segment boundaries
+        pre-emptively, and the last few instructions land through
+        single-instruction step traces (still instrumented, kept outside
+        the code cache).
         """
         cpu = self.cpu
         cache = self.cache
@@ -203,6 +241,7 @@ class PinVM:
         linked = 0
         budget = max_instructions if max_instructions is not None else -1
         budgeted = budget >= 0
+        exact = exact_budget and budgeted
         # Tier-2 bookkeeping: superblock runners count their own
         # dispatches and per-segment executions; the deltas correct
         # ``traces_executed`` so tier-2 runs report the same figure a
@@ -250,8 +289,23 @@ class PinVM:
                     # Patch the predecessor's exit stub: the next time
                     # it exits to ``pc`` the dispatcher is bypassed.
                     prev.links[pc] = trace
+            step_sub = False
+            if exact:
+                remaining = budget - executed
+                if trace.tier == 2 and (trace.unbounded
+                                        or trace.num_ins > remaining):
+                    # A superblock that cannot finish inside the
+                    # allowance demotes to its still-cached tier-1 head.
+                    fallback = cache.lookup(pc)
+                    if fallback is not None:
+                        trace = fallback
+                if trace.unbounded or trace.num_ins > remaining:
+                    # Worst-case retirement exceeds the allowance: land
+                    # the tail one instrumented instruction at a time.
+                    trace = self._step_trace(pc)
+                    step_sub = True
             traces_executed += 1
-            if threshold and trace.tier == 1:
+            if threshold and not step_sub and trace.tier == 1:
                 hotness = trace.exec_count + 1
                 trace.exec_count = hotness
                 if hotness == threshold:
@@ -264,7 +318,8 @@ class PinVM:
                 # boundary the dispatch loop would have stopped at.
                 try:
                     if budgeted and trace.tier == 2:
-                        result, completed = trace.fn(budget - executed)
+                        result, completed = trace.fn(budget - executed,
+                                                     exact)
                     else:
                         result, completed = trace.fn()
                 except StopRun as stop:
@@ -329,7 +384,7 @@ class PinVM:
                     executed += i + 1
                     pc = result
             cpu.pc = pc
-            if linking:
+            if linking and not step_sub:
                 # Linked fast path: chain straight to the successor if
                 # this exit was patched on an earlier transition.  A
                 # flush clears every ``links`` dict, so a stale link can
@@ -339,6 +394,9 @@ class PinVM:
                 if trace is not None:
                     linked += 1
             else:
+                # Step traces live outside the cache; they must neither
+                # receive nor become link targets.
+                prev = None
                 trace = None
 
         if self.exited:

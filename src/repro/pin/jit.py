@@ -53,6 +53,11 @@ class CompiledTrace:
     #: Compile tier (see repro.pin.superblock): 1 = threaded code,
     #: eligible for promotion into a TC2 superblock.
     tier = 1
+    #: A bounded trace retires at most ``num_ins`` instructions per
+    #: invocation — the property the engine's exact-budget mode relies
+    #: on.  Summarized loop traces override this (one invocation may
+    #: retire thousands of instructions).
+    unbounded = False
 
     def __init__(self, start: int, steps: list[Step], addresses: list[int],
                  fall_address: int | None, bbl_sizes: list[int]):
@@ -96,6 +101,27 @@ class Jit:
             addresses.append(ins.address)
         return CompiledTrace(address, steps, addresses,
                              trace_obj.fall_address,
+                             [bbl.num_ins for bbl in trace_obj.bbls])
+
+    def compile_step(self, address: int) -> CompiledTrace:
+        """Lower a single-instruction trace (exact-budget stepping).
+
+        Instrumentation still runs — the one instruction carries exactly
+        the analysis calls a full compile would attach to it — but
+        suppression never applies (a one-instruction trace has no loop
+        body to summarize), so a step trace retires exactly one
+        instruction per invocation.  Step traces are kept outside the
+        code cache: they exist only so the engine can land on an
+        arbitrary instruction boundary without changing trace shapes.
+        """
+        engine = self._engine
+        trace_obj = build_trace(engine.mem, address,
+                                forced_boundaries=engine.forced_boundaries,
+                                max_ins=1)
+        run_trace_callbacks(engine, trace_obj)
+        ins = trace_obj.instructions[0]
+        return CompiledTrace(address, [self._lower_ins(ins)],
+                             [ins.address], trace_obj.fall_address,
                              [bbl.num_ins for bbl in trace_obj.bbls])
 
     # -- redundancy suppression ----------------------------------------------

@@ -46,7 +46,7 @@ class SourceCompiledTrace:
     """
 
     __slots__ = ("start", "fn", "num_ins", "fall_address", "source",
-                 "bbl_sizes", "links", "exec_count")
+                 "bbl_sizes", "links", "exec_count", "unbounded")
 
     is_source = True
     #: Compile tier (see repro.pin.superblock): eligible for TC2.
@@ -54,7 +54,7 @@ class SourceCompiledTrace:
 
     def __init__(self, start: int, fn, num_ins: int,
                  fall_address: int | None, source: str,
-                 bbl_sizes: list[int]):
+                 bbl_sizes: list[int], unbounded: bool = False):
         self.start = start
         self.fn = fn
         self.num_ins = num_ins
@@ -66,6 +66,10 @@ class SourceCompiledTrace:
         self.links: dict[int, object] = {}
         #: Executions since compile; the TC2 promotion trigger.
         self.exec_count = 0
+        #: True when the trace contains a summarized loop: one ``fn()``
+        #: call may then retire far more than ``num_ins`` instructions,
+        #: so the engine's exact-budget mode single-steps it instead.
+        self.unbounded = unbounded
 
 
 class SourceJit:
@@ -111,7 +115,8 @@ class SourceJit:
             start=address, fn=fn,
             num_ins=len(trace_obj.instructions),
             fall_address=trace_obj.fall_address, source=source,
-            bbl_sizes=[bbl.num_ins for bbl in trace_obj.bbls])
+            bbl_sizes=[bbl.num_ins for bbl in trace_obj.bbls],
+            unbounded=emitter.suppressed)
 
     def compile(self, address: int) -> SourceCompiledTrace:
         trace_obj, emitter = self._lower(address)

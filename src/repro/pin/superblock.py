@@ -94,7 +94,7 @@ class Superblock:
     """
 
     __slots__ = ("start", "fn", "num_ins", "fall_address", "bbl_sizes",
-                 "links", "segment_starts", "exec_count")
+                 "links", "segment_starts", "exec_count", "unbounded")
 
     is_source = True
     tier = 2
@@ -111,6 +111,10 @@ class Superblock:
         #: final continuation), patched by the engine like any trace's.
         self.links: dict[int, object] = {}
         self.exec_count = 0
+        #: True when any segment is a summarized loop trace (its
+        #: retirement per invocation is not bounded by ``num_ins``);
+        #: the engine's exact-budget mode then avoids this block.
+        self.unbounded = False
 
 
 def _build_runner(engine, segments, stats):
@@ -129,7 +133,13 @@ def _build_runner(engine, segments, stats):
       checked at every segment boundary — the same granularity at which
       the engine's dispatch loop checks its runaway guard — so a
       budget-bounded run retires identical instruction counts with the
-      superblock on or off.
+      superblock on or off;
+    * with ``exact`` set (the engine's exact-budget mode) the check
+      moves *before* each segment: a segment that cannot finish inside
+      ``limit`` is never started, so the runner can overshoot by at
+      most nothing — it returns the would-be segment's start pc and the
+      engine lands the remaining handful of instructions through tier 1
+      / single steps.
     """
     # Per-segment lookup tables, hoisted out of the dispatch loop: the
     # steady state must stay allocation-free and attribute-load-light,
@@ -144,13 +154,18 @@ def _build_runner(engine, segments, stats):
     addrs = tuple(getattr(seg, "addresses", None) for seg in segments)
     falls = tuple(seg.fall_address for seg in segments)
 
-    def run(limit: int = -1):
+    def run(limit: int = -1, exact: bool = False):
         stats.dispatches += 1
         executed = 0
         segs_run = 0
         k = 0
         try:
             while True:
+                if exact and executed + num_ins[k] > limit:
+                    # Exact budgets never start a segment they cannot
+                    # finish; the engine dispatch gate guarantees the
+                    # first segment always fits, so progress is made.
+                    return starts[k], executed
                 segs_run += 1
                 if is_src[k]:
                     try:
@@ -320,6 +335,8 @@ class TranslationCache2:
                                          self.stats),
                            total_ins, bbl_sizes,
                            tuple(seg.start for seg in chain))
+        block.unbounded = any(getattr(seg, "unbounded", False)
+                              for seg in chain)
         self._blocks[block.start] = block
         self._charges[block.start] = need
         self._allocated += need

@@ -82,6 +82,10 @@ class SuppressedLoopTrace:
     is_source = True
     #: Compile tier (see repro.pin.superblock): eligible for TC2.
     tier = 1
+    #: One invocation may retire up to ``LOOP_TRIP_CAP * body_len``
+    #: instructions — far more than ``num_ins`` — so the engine's
+    #: exact-budget mode must never run this trace whole.
+    unbounded = True
 
     def __init__(self, start: int, fn, num_ins: int,
                  fall_address: int | None, bbl_sizes: list[int]):

@@ -42,6 +42,7 @@ from .supervisor import (slice_deadline, SliceAttempt, SliceOutcome,
 from .switches import (DEFAULT_CLOCK_HZ, FAULT_POLICIES, parse_switches,
                        SuperPinConfig)
 from .sysrecord import PlaybackHandler, RecordedSyscall
+from .timetravel import DebugSession, StopEvent, TimeTravelEngine
 from .trace_store import (damage_store_chains, damage_store_entry,
                           isa_fingerprint, store_key, trace_store_for,
                           TraceStore)
@@ -69,4 +70,5 @@ __all__ = [
     "reference_from_recording", "damage_store_chains",
     "damage_store_entry", "isa_fingerprint",
     "store_key", "trace_store_for", "TraceStore",
+    "DebugSession", "StopEvent", "TimeTravelEngine",
 ]

@@ -59,6 +59,37 @@ class Boundary:
     #: Master memory pages resident at fork time (fork-cost model input).
     resident_pages: int
 
+    @classmethod
+    def hole(cls, index: int, master_instructions: int) -> "Boundary":
+        """The explicit placeholder for an unloadable slice spec.
+
+        A damaged recording section tolerated under ``-spfaults
+        degrade`` still needs a timeline entry so slice indexing and
+        icount accounting line up; the hole carries the real
+        ``master_instructions`` (which lives in the verified meta
+        section) but no snapshot state.  Every consumer must check
+        :attr:`is_hole` before touching the snapshot — the register
+        sentinel deliberately cannot fingerprint (``fingerprint_state``
+        rejects a negative pc), so a hole that leaks into checkpoint
+        comparison fails loudly instead of masquerading as a real
+        boundary.
+        """
+        return cls(index=index, reason=BoundaryReason.START,
+                   cpu_snapshot=(-1, ()), mem_fork=None,
+                   layout_fork=None, thread_fork=None,
+                   master_instructions=master_instructions,
+                   resident_pages=0)
+
+    @property
+    def is_hole(self) -> bool:
+        """True for a degraded-slice placeholder (no usable snapshot).
+
+        Derived from the absence of the memory fork rather than stored,
+        so boundaries unpickled from older recordings classify correctly
+        — a real boundary always carries its COW fork.
+        """
+        return self.mem_fork is None
+
 
 @dataclass
 class Interval:

@@ -43,6 +43,7 @@ slice) must never share loaded ``Boundary`` objects.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import io
 import json
@@ -54,7 +55,7 @@ from ..errors import RecordingCorruptError
 from ..fsutil import atomic_write
 from ..machine.cpu import fingerprint_state
 from ..obs.metrics import NULL_METRICS
-from .control import Boundary, BoundaryReason, Interval, MasterTimeline
+from .control import Boundary, Interval, MasterTimeline
 from .journal import _KEY_FIELDS
 from .signature import Signature
 from .sysrecord import recorded_stream_digest
@@ -188,6 +189,49 @@ class Recording:
             raise self.damaged[k]
         return pickle.loads(self._sections[_slice_section(k)])
 
+    # -- random access (time travel) ---------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        """Master instructions the recorded run retired, end to end."""
+        return self.meta["total_instructions"]
+
+    def checkpoint(self, k: int) -> tuple[int, int, str]:
+        """Boundary ``k``'s verified checkpoint triple.
+
+        ``(master_instructions, pc, cpu_hash)`` from the meta section —
+        available even for a damaged slice (the meta section must always
+        verify), which is what lets degraded holes keep correct icount
+        spans.
+        """
+        icount, pc, cpu_hash = self.meta["checkpoints"][k]
+        return icount, pc, cpu_hash
+
+    def slice_span(self, k: int) -> tuple[int, int]:
+        """Half-open master-icount interval ``[start, end)`` slice ``k``
+        re-executes."""
+        start = self.meta["checkpoints"][k][0]
+        return start, start + self.meta["interval_instructions"][k]
+
+    def slice_for_icount(self, icount: int) -> int:
+        """Index of the slice whose interval covers ``icount``.
+
+        Bisects the verified checkpoint table: slice ``k`` covers
+        ``[checkpoints[k], checkpoints[k] + interval_instructions[k])``.
+        ``icount == total_instructions`` (the run's final state) maps to
+        the last slice.  Out-of-range targets raise ``ValueError``.
+        """
+        total = self.total_instructions
+        if not 0 <= icount <= total:
+            raise ValueError(
+                f"icount {icount} outside the recorded run "
+                f"[0, {total}]")
+        starts = [entry[0] for entry in self.meta["checkpoints"]]
+        k = bisect.bisect_right(starts, icount) - 1
+        if icount == total:
+            k = self.num_slices - 1
+        return k
+
     def build_timeline(self) -> MasterTimeline:
         """Materialize a fresh :class:`MasterTimeline` for one replay.
 
@@ -201,12 +245,13 @@ class Recording:
         intervals: list[Interval] = []
         for k in range(self.num_slices):
             if k in self.damaged:
-                icount = meta["checkpoints"][k][0]
-                boundaries.append(Boundary(
-                    index=k, reason=BoundaryReason.START,
-                    cpu_snapshot=(-1, ()), mem_fork=None,
-                    layout_fork=None, thread_fork=None,
-                    master_instructions=icount, resident_pages=0))
+                # Explicit hole sentinel (Boundary.is_hole): consumers
+                # must never treat it as a real snapshot — the audit
+                # reports it as a divergence and slice execution refuses
+                # it outright instead of crashing on the register stub.
+                boundaries.append(Boundary.hole(
+                    index=k,
+                    master_instructions=meta["checkpoints"][k][0]))
                 intervals.append(Interval(
                     index=k,
                     instructions=meta["interval_instructions"][k],
@@ -342,7 +387,10 @@ def damage_recording(path, kind: str, slice_index: int | None = None
 
     ``truncate`` chops the file mid-way through a slice section (the
     last one by default, or ``slice_index``'s), producing a short read
-    the loader must reject (or degrade around); ``stale`` ages the
+    the loader must reject (or degrade around) — note every *later*
+    section is lost with the tail; ``corrupt`` flips one byte inside a
+    single slice section (bit rot: only that section's digest fails,
+    the rest of the artifact stays loadable); ``stale`` ages the
     manifest's format version, producing version skew.
     """
     path = str(path)
@@ -358,6 +406,13 @@ def damage_recording(path, kind: str, slice_index: int | None = None
         entry = next(e for e in manifest["sections"] if e["name"] == name)
         cut = data_start + entry["offset"] + entry["length"] // 2
         atomic_write(path, blob[:cut])
+    elif kind == "corrupt":
+        name = (_slice_section(slice_index) if slice_index is not None
+                else _slice_section(manifest["num_slices"] - 1))
+        entry = next(e for e in manifest["sections"] if e["name"] == name)
+        at = data_start + entry["offset"] + entry["length"] // 2
+        flipped = blob[:at] + bytes([blob[at] ^ 0xFF]) + blob[at + 1:]
+        atomic_write(path, flipped)
     elif kind == "stale":
         manifest["format_version"] = FORMAT_VERSION + 1
         new_manifest = json.dumps(manifest, sort_keys=True).encode("utf-8")

@@ -143,6 +143,10 @@ def run_slice(boundary: Boundary, interval: Interval,
     traces on the result — set only for the pilot slice.
     """
     index = interval.index
+    if boundary.is_hole:
+        raise DivergenceError(
+            f"slice {index} has no boundary snapshot (degraded-slice "
+            f"placeholder) — it cannot be executed, only skipped")
 
     # 1. Fork state: registers, COW memory, kernel layout.
     cpu = CpuState()
@@ -152,7 +156,11 @@ def run_slice(boundary: Boundary, interval: Interval,
     layout.do_munmap(abi.BUBBLE_BASE, abi.BUBBLE_WORDS)
     manager = (boundary.thread_fork.fork()
                if boundary.thread_fork is not None else None)
-    handler = PlaybackHandler(interval.records, layout, index,
+    # A fresh list per execution: PlaybackHandler's cursor contract is
+    # single-use, and sharing the interval's own list would let a
+    # re-execution of the same interval (retry, time travel) observe a
+    # mutation made through the handler's view.
+    handler = PlaybackHandler(list(interval.records), layout, index,
                               thread_manager=manager)
     process = Process(cpu, boundary.mem_fork, handler)
     cow_mark = process.mem.cow_faults

@@ -101,12 +101,29 @@ class PlaybackHandler:
     Pops the timeslice's recorded calls in order.  The handler is where
     SuperPin's transparency story is enforced: a slice can never touch
     the live kernel.
+
+    **Single-use contract.**  The cursor only advances; there is no
+    rewind.  Re-executing an interval (retry, replay, time travel) must
+    build a *fresh* handler over a fresh record list and forked layout /
+    scheduler state — reusing a handler would resume mid-stream, and
+    sharing the interval's own list would alias any mutation across
+    executions.  ``start_pos`` exists for the one legitimate partial
+    consumer: resuming from a mid-interval micro-checkpoint, where the
+    first ``start_pos`` records were already consumed by the execution
+    that took the checkpoint.  The consumption digest then covers only
+    the records consumed *by this handler* (from ``start_pos`` on).
     """
 
     def __init__(self, records: list[RecordedSyscall], layout: MemLayout,
-                 slice_index: int, thread_manager=None):
+                 slice_index: int, thread_manager=None,
+                 start_pos: int = 0):
+        if not 0 <= start_pos <= len(records):
+            raise ValueError(
+                f"start_pos {start_pos} outside the record queue "
+                f"[0, {len(records)}]")
         self._records = records
-        self._pos = 0
+        self._pos = start_pos
+        self.start_pos = start_pos
         self.layout = layout
         self.slice_index = slice_index
         self.thread_manager = thread_manager
@@ -115,6 +132,11 @@ class PlaybackHandler:
         #: Digest of the records actually consumed, in consumption
         #: order — the audit compares it against the recorded stream.
         self.digest = StreamDigest()
+
+    @property
+    def consumed(self) -> int:
+        """Cursor position: records consumed so far (incl. start_pos)."""
+        return self._pos
 
     @property
     def remaining(self) -> int:

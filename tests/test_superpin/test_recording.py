@@ -193,6 +193,47 @@ class TestDamageDetection:
         assert metrics.counters[
             "superpin.recording.verify_failures"] == 1
 
+    def test_corrupt_flips_one_section_only(self, artifact):
+        """Unlike truncate (which loses the tail), bit rot confines to
+        one section: every other slice stays loadable."""
+        damage_recording(artifact, "corrupt", slice_index=2)
+        with pytest.raises(RecordingCorruptError) as info:
+            load_recording(artifact)
+        assert info.value.kind == "digest"
+        assert info.value.section == "slice_0002"
+        recording = load_recording(artifact, tolerate_damaged=True)
+        assert set(recording.damaged) == {2}
+        assert recording.slice_spec(3)
+
+    def test_degraded_replay_audit_reports_hole(self, artifact,
+                                                recorded):
+        """Regression: a degraded placeholder boundary (pc sentinel -1)
+        used to crash ``fingerprint_state`` inside the replay audit;
+        the hole is now its own divergence kind."""
+        _, live_report, _ = recorded
+        last = live_report.num_slices - 1
+        damage_recording(artifact, "corrupt", slice_index=last)
+        report = replay_recording(artifact, ICount2(), _config(
+            spfaults="degrade", spaudit=True))
+        assert report.degraded_slices == [last]
+        assert report.audit is not None
+        assert not report.audit.ok
+        kinds = {d.kind for d in report.audit.divergences}
+        assert "boundary.hole" in kinds
+
+    def test_replay_twice_has_zero_playback_drift(self, recorded):
+        """Re-forked slice specs mean fresh cursors and fresh record
+        objects: two replays consume identical syscall streams with no
+        leftover-record drift."""
+        path, _, _ = recorded
+        first = replay_recording(path, ICount2(), _config())
+        second = replay_recording(path, ICount2(), _config())
+        for s1, s2 in zip(first.slices, second.slices):
+            assert s1.syscall_digest == s2.syscall_digest
+            assert s1.leftover_records == 0 == s2.leftover_records
+            assert (s1.end_pc, s1.end_cpu_hash) \
+                == (s2.end_pc, s2.end_cpu_hash)
+
     def test_tolerant_load_confines_slice_damage(self, artifact,
                                                  recorded):
         """Damage to the *last* slice section lands in .damaged; core

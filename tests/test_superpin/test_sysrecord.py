@@ -253,3 +253,51 @@ inner:
         assert report.all_exact
         replayed = sum(s.replayed_syscalls for s in report.slices)
         assert replayed >= 30
+
+
+class TestSingleUseContract:
+    """PlaybackHandler cursors never rewind: re-execution means a fresh
+    handler (and a fresh list), resumption means ``start_pos``."""
+
+    def test_fresh_handler_replays_identically(self):
+        records = [_record(abi.SYS_TIME, retval=n) for n in range(3)]
+        first = PlaybackHandler(list(records), MemLayout(), 0)
+        for _ in range(3):
+            _invoke(first, abi.SYS_TIME)
+        second = PlaybackHandler(list(records), MemLayout(), 0)
+        values = []
+        for _ in range(3):
+            cpu, _ = _invoke(second, abi.SYS_TIME)
+            values.append(cpu.regs[RV])
+        assert values == [0, 1, 2]
+        assert first.stream_digest == second.stream_digest
+        assert first.remaining == second.remaining == 0
+
+    def test_start_pos_resumes_mid_stream(self):
+        records = [_record(abi.SYS_TIME, retval=n) for n in range(4)]
+        handler = PlaybackHandler(list(records), MemLayout(), 0,
+                                  start_pos=2)
+        assert handler.consumed == 2
+        assert handler.remaining == 2
+        cpu, _ = _invoke(handler, abi.SYS_TIME)
+        assert cpu.regs[RV] == 2
+        # The digest covers only what *this* handler consumed.
+        assert handler.stream_digest \
+            == stream_digest([records[2].record])
+
+    def test_start_pos_validated(self):
+        records = [_record(abi.SYS_TIME, retval=1)]
+        with pytest.raises(ValueError):
+            PlaybackHandler(records, MemLayout(), 0, start_pos=2)
+        with pytest.raises(ValueError):
+            PlaybackHandler(records, MemLayout(), 0, start_pos=-1)
+
+    def test_playback_leaves_record_objects_untouched(self):
+        """Re-execution safety: consuming a record must not mutate it —
+        a second handler over the same objects sees identical state."""
+        records = [_record(abi.SYS_READ, (0, 50, 1), retval=1,
+                           mem_writes=((50, 97),))]
+        image = repr(records[0].record)
+        handler = PlaybackHandler(list(records), MemLayout(), 0)
+        _invoke(handler, abi.SYS_READ, 0, 50, 1)
+        assert repr(records[0].record) == image

@@ -1,0 +1,307 @@
+"""Time-travel debugging over recordings.
+
+The contract under test: ``goto``/``step-back``/``reverse-continue``
+resolve purely from the recording artifact (the master is never
+re-run), and the materialized state at a given icount is byte-identical
+across repeated visits, JIT backends and tier-2 settings — and equal to
+the master's own state at that icount (interpreter ground truth).
+"""
+
+import shutil
+
+import pytest
+
+from repro.errors import RecordingCorruptError, TimeTravelError
+from repro.isa import assemble
+from repro.machine import Kernel, load_program
+from repro.machine.cpu import fingerprint_state
+from repro.machine.interpreter import Interpreter
+from repro.superpin import (damage_recording, DebugSession, load_recording,
+                            run_superpin, SuperPinConfig, TimeTravelEngine)
+from repro.tools import ICount2
+from tests.conftest import MULTISLICE
+
+JIT_BACKENDS = ["closure", "source"]
+TC2 = [0, 4]
+
+#: Probe icounts: slice starts, syscall-exact landings (763/767/1534),
+#: mid-loop interiors, a cross-slice point and the final state.
+PROBES = [0, 500, 763, 767, 1534, 5000, 5001, 12345, 29922, 30690]
+
+#: The MULTISLICE inner loop stores s2 at 0x9000+t0; address 0x9002 is
+#: written with value 2 once per outer iteration (t0=2, s2=0+2).
+WATCH_ADDR = 0x9002
+WATCH_VALUE = 2
+
+
+def _config(**kwargs):
+    kwargs.setdefault("spmsec", 500)
+    kwargs.setdefault("clock_hz", 10_000)
+    return SuperPinConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(MULTISLICE)
+
+
+@pytest.fixture(scope="module")
+def recorded(program, tmp_path_factory):
+    path = tmp_path_factory.mktemp("ttd") / "run.sprec"
+    run_superpin(program, ICount2(), _config(sprecord=str(path)),
+                 kernel=Kernel(seed=42))
+    return path
+
+
+@pytest.fixture(scope="module")
+def master_states(program):
+    """Interpreter ground truth: the master's state at every probe."""
+    out = {}
+    for icount in PROBES:
+        process = load_program(program, Kernel(seed=42))
+        result = Interpreter(process).run(max_instructions=icount)
+        assert result.instructions == icount
+        out[icount] = process.cpu.snapshot()
+    return out
+
+
+def _engine(path, backend="closure", tc2=0):
+    recording = load_recording(path)
+    return TimeTravelEngine(recording, SuperPinConfig(
+        jit_backend=backend, sptc2=tc2))
+
+
+class TestGotoDeterminism:
+    @pytest.mark.parametrize("backend", JIT_BACKENDS)
+    @pytest.mark.parametrize("tc2", TC2)
+    def test_repeated_visits_are_byte_identical(self, recorded, backend,
+                                                tc2):
+        tt = _engine(recorded, backend, tc2)
+        first = {}
+        for icount in PROBES:
+            tt.goto(icount)
+            first[icount] = (tt.state_fingerprint(),
+                             tuple(tt.read_memory(0x9000, 8)))
+        # Revisit in reverse order: every landing must reproduce.
+        for icount in reversed(PROBES):
+            tt.goto(icount)
+            assert (tt.state_fingerprint(),
+                    tuple(tt.read_memory(0x9000, 8))) == first[icount], \
+                f"icount {icount} drifted on revisit"
+
+    @pytest.mark.parametrize("backend", JIT_BACKENDS)
+    @pytest.mark.parametrize("tc2", TC2)
+    def test_goto_matches_master_timeline(self, recorded, master_states,
+                                          backend, tc2):
+        """The replay-side landing equals the master's own state —
+        without the master ever being re-run by the engine."""
+        tt = _engine(recorded, backend, tc2)
+        for icount in PROBES:
+            tt.goto(icount)
+            pc, regs = master_states[icount]
+            assert tt.registers() == (pc, regs), f"icount {icount}"
+            assert tt.state_fingerprint() \
+                == fingerprint_state(pc, regs)
+
+    def test_goto_rejects_out_of_range(self, recorded):
+        tt = _engine(recorded)
+        with pytest.raises(TimeTravelError):
+            tt.goto(-1)
+        with pytest.raises(TimeTravelError):
+            tt.goto(tt.total_instructions + 1)
+
+
+class TestStepping:
+    def test_step_and_step_back_are_inverse(self, recorded):
+        tt = _engine(recorded)
+        tt.goto(1000)
+        mark = tt.state_fingerprint()
+        tt.step(7)
+        tt.step_back(7)
+        assert tt.position == 1000
+        assert tt.state_fingerprint() == mark
+
+    def test_step_back_run_is_deterministic(self, recorded):
+        """A run of single step-backs (the micro-checkpoint fast path)
+        visits the same states a cold goto materializes."""
+        tt = _engine(recorded)
+        tt.goto(2000)
+        walked = []
+        for _ in range(25):
+            tt.step_back()
+            walked.append((tt.position, tt.state_fingerprint()))
+        cold = _engine(recorded)
+        for position, fingerprint in walked:
+            cold.goto(position)
+            assert cold.state_fingerprint() == fingerprint, position
+
+    def test_step_back_across_slice_boundary(self, recorded):
+        tt = _engine(recorded)
+        start, _ = tt.recording.slice_span(1)
+        tt.goto(start)
+        tt.step_back()
+        assert tt.position == start - 1
+        tt.step()
+        assert tt.position == start
+
+    def test_step_past_end_rejected(self, recorded):
+        tt = _engine(recorded)
+        tt.goto(tt.total_instructions)
+        with pytest.raises(TimeTravelError):
+            tt.step()
+        tt.goto(0)
+        with pytest.raises(TimeTravelError):
+            tt.step_back()
+
+
+class TestWatchpoints:
+    @pytest.mark.parametrize("backend", JIT_BACKENDS)
+    @pytest.mark.parametrize("tc2", TC2)
+    def test_watchpoint_in_the_past_finds_last_writer(self, recorded,
+                                                      backend, tc2):
+        tt = _engine(recorded, backend, tc2)
+        hit = tt.last_write_before(WATCH_ADDR, 1534)
+        assert hit is not None and hit.icount < 1534
+        # The hit is the *about to write* point: the target word changes
+        # to the known written value across that single instruction.
+        tt.goto(hit.icount)
+        assert tt.registers()[0] == hit.pc
+        tt.step()
+        assert tt.read_memory(WATCH_ADDR)[0] == WATCH_VALUE
+        # No later write before the limit: probing between the hit and
+        # the limit keeps resolving to the same writer.
+        later = tt.last_write_before(WATCH_ADDR, hit.icount + 100)
+        assert later is not None and later.icount == hit.icount
+
+    def test_last_write_crosses_slices_backward(self, recorded):
+        tt = _engine(recorded)
+        tail_start, _ = tt.recording.slice_span(tt.recording.num_slices - 1)
+        hit = tt.last_write_before(WATCH_ADDR, tail_start + 100)
+        # The tail slice only runs the epilogue syscalls: the writer
+        # lives in an earlier slice, found by the backward scan.
+        assert hit is not None and hit.icount < tail_start
+
+    def test_no_write_returns_none(self, recorded):
+        tt = _engine(recorded)
+        assert tt.last_write_before(0xdead00, 30000) is None
+        assert tt.last_write_before(WATCH_ADDR, 0) is None
+
+    def test_reverse_continue_to_watchpoint(self, recorded):
+        tt = _engine(recorded)
+        tt.goto(1534)
+        tt.watchpoints.add(WATCH_ADDR)
+        event = tt.reverse_continue()
+        assert event.kind == "watchpoint"
+        assert event.addr == WATCH_ADDR
+        assert event.icount < 1534
+        hit = tt.last_write_before(WATCH_ADDR, 1534)
+        assert event.icount == hit.icount
+
+
+class TestBreakpoints:
+    def test_breakpoint_inside_replayed_syscall_interval(self, recorded):
+        """Stopping on (and stepping over) a replayed syscall keeps the
+        playback cursor consistent: the landing equals a direct goto."""
+        tt = _engine(recorded)
+        tt.goto(763)               # next instruction is a syscall
+        syscall_pc = tt.registers()[0]
+        tt.goto(0)
+        tt.breakpoints.add(syscall_pc)
+        event = tt.continue_()
+        assert (event.kind, event.icount) == ("breakpoint", 763)
+        assert tt.registers()[0] == syscall_pc
+        # Step over the replayed syscall; cross-check against a cold
+        # goto of the post-syscall state.
+        tt.step()
+        stepped = tt.state_fingerprint()
+        cold = _engine(recorded)
+        cold.goto(764)
+        assert cold.state_fingerprint() == stepped
+        # The same pc fires again one outer iteration later.
+        event = tt.continue_()
+        assert (event.kind, event.icount) == ("breakpoint", 1530)
+
+    def test_continue_without_hits_runs_to_end(self, recorded):
+        tt = _engine(recorded)
+        tt.goto(0)
+        event = tt.continue_()
+        assert event.kind == "end"
+        assert event.icount == tt.total_instructions
+
+    def test_reverse_continue_without_hits_lands_at_start(self, recorded):
+        tt = _engine(recorded)
+        tt.goto(5000)
+        event = tt.reverse_continue()
+        assert (event.kind, event.icount) == ("start", 0)
+
+
+class TestDegradedRecordings:
+    @pytest.fixture()
+    def damaged(self, recorded, tmp_path):
+        path = tmp_path / "damaged.sprec"
+        shutil.copy(recorded, path)
+        damage_recording(path, "corrupt", slice_index=2)
+        return path
+
+    def test_goto_into_hole_is_taxonomized(self, damaged):
+        with pytest.raises(RecordingCorruptError):
+            load_recording(damaged)
+        recording = load_recording(damaged, tolerate_damaged=True)
+        tt = TimeTravelEngine(recording, SuperPinConfig())
+        start, end = recording.slice_span(2)
+        with pytest.raises(TimeTravelError) as info:
+            tt.goto((start + end) // 2)
+        assert info.value.kind == "hole"
+        # Healthy slices on both sides stay reachable.
+        tt.goto(start - 100)
+        tt.goto(end + 100)
+
+    def test_scans_skip_holes(self, damaged, recorded):
+        recording = load_recording(damaged, tolerate_damaged=True)
+        tt = TimeTravelEngine(recording, SuperPinConfig())
+        start3, _ = recording.slice_span(3)
+        tt.goto(start3 + 10)
+        tt.watchpoints.add(WATCH_ADDR)
+        event = tt.reverse_continue()
+        # The writer inside slice 2 is unknowable; the scan skips the
+        # hole and resolves in an earlier healthy slice.
+        start2, _ = recording.slice_span(2)
+        assert event.kind == "watchpoint"
+        assert event.icount < start2
+
+
+class TestDebugSession:
+    SCRIPT = ["info", "goto 1534", "regs", "watch 0x9002",
+              "reverse-continue", "mem 0x9000 4",
+              "lastwrite 0x9002 1534", "step-back 2", "step 2", "regs"]
+
+    def test_scripted_sessions_are_reproducible(self, recorded):
+        recording = load_recording(recorded)
+        outputs = []
+        for _ in range(2):
+            session = DebugSession(recording, SuperPinConfig())
+            outputs.append([session.execute(line)
+                            for line in self.SCRIPT])
+        assert outputs[0] == outputs[1]
+
+    def test_backends_produce_identical_transcripts(self, recorded):
+        recording = load_recording(recorded)
+        transcripts = []
+        for backend in JIT_BACKENDS:
+            session = DebugSession(recording, SuperPinConfig(
+                jit_backend=backend))
+            transcripts.append([session.execute(line)
+                                for line in self.SCRIPT])
+        assert transcripts[0] == transcripts[1]
+
+    def test_unknown_command_raises(self, recorded):
+        session = DebugSession(load_recording(recorded))
+        with pytest.raises(TimeTravelError):
+            session.execute("bogus 1 2 3")
+        with pytest.raises(TimeTravelError):
+            session.execute("goto notanumber")
+
+    def test_quit_returns_none(self, recorded):
+        session = DebugSession(load_recording(recorded))
+        assert session.execute("quit") is None
+        assert session.execute("") == []
